@@ -1,0 +1,301 @@
+//! The audit record: one structured entry per interaction with personal
+//! data.
+//!
+//! Article 30 spells out what a record of processing must capture: the
+//! operation, the categories of data touched, the purpose, the actor and
+//! the time. [`AuditRecord`] carries those fields plus the outcome, so that
+//! denied accesses (Article 25 enforcement) leave evidence too.
+
+use std::fmt;
+
+/// The kind of interaction being recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Operation {
+    /// A data-path read (`GET`, `HGET`, `HGETALL`, scans…).
+    Read,
+    /// A data-path write (`SET`, `HSET`, …).
+    Write,
+    /// A deletion, whether explicit or TTL-driven.
+    Delete,
+    /// A TTL / retention-metadata change.
+    ExpireUpdate,
+    /// A metadata change (purposes, objections, location…).
+    MetadataUpdate,
+    /// An access-control change (grants, revocations).
+    AccessControl,
+    /// A data-subject rights request (Articles 15/17/20/21).
+    RightsRequest,
+    /// Engine-internal maintenance (AOF rewrite, snapshot, key rotation).
+    Maintenance,
+}
+
+impl Operation {
+    /// Short stable string used in the serialized form.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Operation::Read => "read",
+            Operation::Write => "write",
+            Operation::Delete => "delete",
+            Operation::ExpireUpdate => "expire",
+            Operation::MetadataUpdate => "metadata",
+            Operation::AccessControl => "acl",
+            Operation::RightsRequest => "rights",
+            Operation::Maintenance => "maintenance",
+        }
+    }
+
+    /// Parse the serialized form.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "read" => Operation::Read,
+            "write" => Operation::Write,
+            "delete" => Operation::Delete,
+            "expire" => Operation::ExpireUpdate,
+            "metadata" => Operation::MetadataUpdate,
+            "acl" => Operation::AccessControl,
+            "rights" => Operation::RightsRequest,
+            "maintenance" => Operation::Maintenance,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether the recorded interaction was allowed to proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Outcome {
+    /// The operation completed.
+    #[default]
+    Allowed,
+    /// The operation was rejected by access control or purpose limitation.
+    Denied,
+    /// The operation failed for an internal reason (I/O, corruption).
+    Failed,
+}
+
+impl Outcome {
+    /// Short stable string used in the serialized form.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Outcome::Allowed => "allowed",
+            Outcome::Denied => "denied",
+            Outcome::Failed => "failed",
+        }
+    }
+
+    /// Parse the serialized form.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "allowed" => Outcome::Allowed,
+            "denied" => Outcome::Denied,
+            "failed" => Outcome::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// One entry in the audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotonic sequence number assigned by the log.
+    pub sequence: u64,
+    /// Unix-millisecond timestamp of the interaction.
+    pub timestamp_ms: u64,
+    /// The acting entity (application id, processor, or "engine").
+    pub actor: String,
+    /// The kind of interaction.
+    pub operation: Operation,
+    /// The key (or other object) touched, if any.
+    pub key: Option<String>,
+    /// The data subject whose personal data was touched, if known.
+    pub subject: Option<String>,
+    /// The declared processing purpose, if any.
+    pub purpose: Option<String>,
+    /// Whether the operation was allowed, denied or failed.
+    pub outcome: Outcome,
+    /// Free-form detail (command name, byte counts, rights-request type…).
+    pub detail: String,
+}
+
+impl AuditRecord {
+    /// Create a record with the required fields; optional fields start
+    /// empty and can be set with the builder-style methods.
+    #[must_use]
+    pub fn new(timestamp_ms: u64, actor: &str, operation: Operation) -> Self {
+        AuditRecord {
+            sequence: 0,
+            timestamp_ms,
+            actor: actor.to_string(),
+            operation,
+            key: None,
+            subject: None,
+            purpose: None,
+            outcome: Outcome::Allowed,
+            detail: String::new(),
+        }
+    }
+
+    /// Builder-style: set the key.
+    #[must_use]
+    pub fn key(mut self, key: &str) -> Self {
+        self.key = Some(key.to_string());
+        self
+    }
+
+    /// Builder-style: set the data subject.
+    #[must_use]
+    pub fn subject(mut self, subject: &str) -> Self {
+        self.subject = Some(subject.to_string());
+        self
+    }
+
+    /// Builder-style: set the processing purpose.
+    #[must_use]
+    pub fn purpose(mut self, purpose: &str) -> Self {
+        self.purpose = Some(purpose.to_string());
+        self
+    }
+
+    /// Builder-style: set the outcome.
+    #[must_use]
+    pub fn outcome(mut self, outcome: Outcome) -> Self {
+        self.outcome = outcome;
+        self
+    }
+
+    /// Builder-style: set the free-form detail.
+    #[must_use]
+    pub fn detail(mut self, detail: &str) -> Self {
+        self.detail = detail.to_string();
+        self
+    }
+
+    /// Serialize to the single-line, pipe-separated representation used in
+    /// the trail files. Fields containing `|` or newlines are escaped.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('|', "\\p").replace('\n', "\\n")
+        }
+        format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            self.sequence,
+            self.timestamp_ms,
+            esc(&self.actor),
+            self.operation.as_str(),
+            esc(self.key.as_deref().unwrap_or("")),
+            esc(self.subject.as_deref().unwrap_or("")),
+            esc(self.purpose.as_deref().unwrap_or("")),
+            self.outcome.as_str(),
+            esc(&self.detail),
+        )
+    }
+
+    /// Parse a line produced by [`Self::to_line`].
+    ///
+    /// Returns `None` for malformed lines (the reader surfaces that as a
+    /// corruption error with context).
+    #[must_use]
+    pub fn from_line(line: &str) -> Option<Self> {
+        fn unesc(s: &str) -> String {
+            s.replace("\\n", "\n").replace("\\p", "|").replace("\\\\", "\\")
+        }
+        let parts: Vec<&str> = line.split('|').collect();
+        if parts.len() != 9 {
+            return None;
+        }
+        let opt = |s: &str| if s.is_empty() { None } else { Some(unesc(s)) };
+        Some(AuditRecord {
+            sequence: parts[0].parse().ok()?,
+            timestamp_ms: parts[1].parse().ok()?,
+            actor: unesc(parts[2]),
+            operation: Operation::parse(parts[3])?,
+            key: opt(parts[4]),
+            subject: opt(parts[5]),
+            purpose: opt(parts[6]),
+            outcome: Outcome::parse(parts[7])?,
+            detail: unesc(parts[8]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditRecord {
+        AuditRecord::new(1_700_000_000_000, "ycsb-client-3", Operation::Read)
+            .key("user:42:profile")
+            .subject("subject-42")
+            .purpose("analytics")
+            .outcome(Outcome::Allowed)
+            .detail("GET 118 bytes")
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut r = sample();
+        r.sequence = 17;
+        let parsed = AuditRecord::from_line(&r.to_line()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn roundtrip_with_escaping() {
+        let mut r = sample().detail("weird|detail\nwith newline \\ and backslash");
+        r.actor = "pipe|actor".to_string();
+        r.sequence = 1;
+        let line = r.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(AuditRecord::from_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_optional_fields_roundtrip_as_none() {
+        let r = AuditRecord::new(5, "engine", Operation::Maintenance);
+        let parsed = AuditRecord::from_line(&r.to_line()).unwrap();
+        assert_eq!(parsed.key, None);
+        assert_eq!(parsed.subject, None);
+        assert_eq!(parsed.purpose, None);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(AuditRecord::from_line("").is_none());
+        assert!(AuditRecord::from_line("1|2|3").is_none());
+        assert!(AuditRecord::from_line("x|2|a|read|||allowed|d|extra").is_none());
+        assert!(AuditRecord::from_line("1|2|a|bogusop||||allowed|d").is_none());
+    }
+
+    #[test]
+    fn operation_and_outcome_parse_all_variants() {
+        for op in [
+            Operation::Read,
+            Operation::Write,
+            Operation::Delete,
+            Operation::ExpireUpdate,
+            Operation::MetadataUpdate,
+            Operation::AccessControl,
+            Operation::RightsRequest,
+            Operation::Maintenance,
+        ] {
+            assert_eq!(Operation::parse(op.as_str()), Some(op));
+            assert_eq!(format!("{op}"), op.as_str());
+        }
+        for oc in [Outcome::Allowed, Outcome::Denied, Outcome::Failed] {
+            assert_eq!(Outcome::parse(oc.as_str()), Some(oc));
+        }
+        assert_eq!(Operation::parse("nope"), None);
+        assert_eq!(Outcome::parse("nope"), None);
+    }
+}

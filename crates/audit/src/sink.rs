@@ -1,0 +1,207 @@
+//! Audit sinks: where trail lines are persisted.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::Result;
+
+/// Counters describing sink activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Lines written to the sink.
+    pub lines: u64,
+    /// Bytes written to the sink.
+    pub bytes: u64,
+    /// Durable sync operations performed.
+    pub syncs: u64,
+}
+
+/// A destination for audit-trail lines.
+pub trait AuditSink: Send + std::fmt::Debug {
+    /// Persist one line (without trailing newline; the sink adds it).
+    fn write_line(&mut self, line: &str) -> Result<()>;
+
+    /// Force previously written lines to durable storage.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Activity counters.
+    fn stats(&self) -> SinkStats;
+}
+
+/// A sink that discards everything (the "monitoring off" baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink {
+    stats: SinkStats,
+}
+
+impl NullSink {
+    /// Create a null sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AuditSink for NullSink {
+    fn write_line(&mut self, line: &str) -> Result<()> {
+        self.stats.lines += 1;
+        self.stats.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.stats
+    }
+}
+
+/// An in-memory sink, shareable so tests can read back what was written.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+    stats: SinkStats,
+}
+
+impl MemorySink {
+    /// Create an empty in-memory sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle to the same underlying line buffer.
+    #[must_use]
+    pub fn share(&self) -> MemorySink {
+        MemorySink { lines: Arc::clone(&self.lines), stats: SinkStats::default() }
+    }
+
+    /// A copy of every line written so far.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl AuditSink for MemorySink {
+    fn write_line(&mut self, line: &str) -> Result<()> {
+        self.lines.lock().push(line.to_string());
+        self.stats.lines += 1;
+        self.stats.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.stats
+    }
+}
+
+/// An append-only file sink with explicit fsync.
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    file: File,
+    stats: SinkStats,
+}
+
+impl FileSink {
+    /// Open (creating if necessary) a trail file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening the file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileSink { path, file, stats: SinkStats::default() })
+    }
+
+    /// Path of the trail file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl AuditSink for FileSink {
+    fn write_line(&mut self, line: &str) -> Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.stats.lines += 1;
+        self.stats.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_counts_but_stores_nothing() {
+        let mut s = NullSink::new();
+        s.write_line("one").unwrap();
+        s.write_line("two").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.stats().lines, 2);
+        assert_eq!(s.stats().syncs, 1);
+        assert!(s.stats().bytes > 0);
+    }
+
+    #[test]
+    fn memory_sink_roundtrip_and_share() {
+        let mut s = MemorySink::new();
+        let view = s.share();
+        s.write_line("alpha").unwrap();
+        s.write_line("beta").unwrap();
+        assert_eq!(view.lines(), vec!["alpha", "beta"]);
+        assert_eq!(s.stats().lines, 2);
+    }
+
+    #[test]
+    fn file_sink_appends_lines() {
+        let dir = std::env::temp_dir().join(format!("audit-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trail.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileSink::open(&path).unwrap();
+            s.write_line("first").unwrap();
+            s.write_line("second").unwrap();
+            s.sync().unwrap();
+            assert_eq!(s.path(), path.as_path());
+            assert_eq!(s.stats().lines, 2);
+        }
+        // Re-open and append more.
+        {
+            let mut s = FileSink::open(&path).unwrap();
+            s.write_line("third").unwrap();
+            s.sync().unwrap();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "first\nsecond\nthird\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

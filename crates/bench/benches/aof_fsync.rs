@@ -1,0 +1,51 @@
+//! Ablation: AOF fsync policy (§4.1 of the paper).
+//!
+//! Measures the per-record append cost of the journal under the three
+//! `appendfsync` policies, against both an in-memory device (pure CPU) and
+//! a real file (where `always` pays an fsync per record).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvstore::aof::{AofLog, FsyncPolicy};
+use kvstore::clock::SystemClock;
+use kvstore::device::{MemoryDevice, PlainFileDevice};
+
+fn bench_aof_fsync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aof_fsync");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let record = vec![0xa5u8; 128];
+
+    for policy in [FsyncPolicy::Never, FsyncPolicy::EverySec, FsyncPolicy::Always] {
+        group.bench_with_input(
+            BenchmarkId::new("memory-device", policy.as_str()),
+            &policy,
+            |b, &policy| {
+                let mut log = AofLog::new(Box::new(MemoryDevice::new()), policy, Arc::new(SystemClock));
+                b.iter(|| log.append(&record).unwrap());
+            },
+        );
+    }
+
+    let dir = std::env::temp_dir().join(format!("aof-fsync-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for policy in [FsyncPolicy::Never, FsyncPolicy::EverySec, FsyncPolicy::Always] {
+        group.bench_with_input(
+            BenchmarkId::new("file-device", policy.as_str()),
+            &policy,
+            |b, &policy| {
+                let path = dir.join(format!("bench-{}.aof", policy.as_str()));
+                let _ = std::fs::remove_file(&path);
+                let device = PlainFileDevice::open(&path).unwrap();
+                let mut log = AofLog::new(Box::new(device), policy, Arc::new(SystemClock));
+                b.iter(|| log.append(&record).unwrap());
+            },
+        );
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_aof_fsync);
+criterion_main!(benches);

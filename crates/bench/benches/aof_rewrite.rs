@@ -1,0 +1,76 @@
+//! Ablation: AOF rewrite (compaction) cost — the mechanism that finally
+//! scrubs deleted personal data from persistent media (§4.3 of the paper),
+//! and the trade-off between per-deletion compaction and periodic
+//! compaction (DESIGN.md §5.5).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvstore::config::StoreConfig;
+use kvstore::store::KvStore;
+
+/// Build an engine whose AOF holds `live` live keys plus `stale` records of
+/// overwritten/deleted data.
+fn store_with_history(live: usize, stale: usize) -> KvStore {
+    let store = KvStore::open(StoreConfig::in_memory().aof_in_memory()).unwrap();
+    for i in 0..live {
+        store.set(&format!("live{i:06}"), vec![0u8; 100]).unwrap();
+    }
+    for i in 0..stale {
+        let key = format!("stale{:06}", i % (live.max(1)));
+        store.set(&key, vec![1u8; 100]).unwrap();
+        store.delete(&key).unwrap();
+    }
+    store
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aof_rewrite");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for &(live, stale) in &[(1_000usize, 1_000usize), (1_000, 10_000), (10_000, 10_000)] {
+        group.bench_with_input(
+            BenchmarkId::new("rewrite", format!("{live}live_{stale}stale")),
+            &(live, stale),
+            |b, &(live, stale)| {
+                b.iter_batched(
+                    || store_with_history(live, stale),
+                    |store| store.rewrite_aof().unwrap(),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+
+    // Per-deletion scrubbing vs deferred compaction: delete 100 keys out of
+    // 1000 either rewriting after every delete or once at the end.
+    group.bench_function("scrub_per_delete_100", |b| {
+        b.iter_batched(
+            || store_with_history(1_000, 0),
+            |store| {
+                for i in 0..100 {
+                    store.delete(&format!("live{i:06}")).unwrap();
+                    store.rewrite_aof().unwrap();
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("scrub_once_after_100_deletes", |b| {
+        b.iter_batched(
+            || store_with_history(1_000, 0),
+            |store| {
+                for i in 0..100 {
+                    store.delete(&format!("live{i:06}")).unwrap();
+                }
+                store.rewrite_aof().unwrap();
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: cost of the cryptographic primitives behind the LUKS and TLS
+//! simulations (§4.2 of the paper).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdpr_crypto::aead::ChaCha20Poly1305;
+use gdpr_crypto::hmac::HmacSha256;
+use gdpr_crypto::sha256::Sha256;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for size in [128usize, 1_024, 16_384] {
+        let data = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("aead_seal", size), &data, |b, data| {
+            let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+            b.iter(|| aead.seal(&[0u8; 12], b"", data));
+        });
+
+        group.bench_with_input(BenchmarkId::new("aead_roundtrip", size), &data, |b, data| {
+            let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+            b.iter(|| {
+                let sealed = aead.seal(&[0u8; 12], b"", data);
+                aead.open(&[0u8; 12], b"", &sealed).unwrap()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data));
+        });
+
+        group.bench_with_input(BenchmarkId::new("hmac_sha256", size), &data, |b, data| {
+            b.iter(|| HmacSha256::mac(b"key material", data));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 2 companion: per-cycle cost of the expiry policies, and the full
+//! simulated erasure-delay experiment at a small scale.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdpr_core::retention::ErasureDelayExperiment;
+use kvstore::clock::SimClock;
+use kvstore::db::Db;
+use kvstore::expire::{run_expire_cycle, ActiveExpireConfig, ExpiryMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn populated_db(total: usize, expired_fraction: f64) -> (Db, SimClock) {
+    let clock = SimClock::new(0);
+    let mut db = Db::new(Arc::new(clock.clone()));
+    let expired = (total as f64 * expired_fraction) as usize;
+    for i in 0..total {
+        let key = format!("key{i:08}");
+        db.set(&key, vec![0u8; 64]);
+        db.expire_in_millis(&key, if i < expired { 1_000 } else { 1_000_000_000 });
+    }
+    clock.advance_millis(2_000);
+    (db, clock)
+}
+
+fn bench_expiry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expiry");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for &total in &[10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::new("lazy_cycle", total), &total, |b, &total| {
+            b.iter_batched(
+                || populated_db(total, 0.2),
+                |(mut db, _clock)| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    run_expire_cycle(&mut db, ExpiryMode::LazyProbabilistic, &ActiveExpireConfig::default(), &mut rng)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+
+        group.bench_with_input(BenchmarkId::new("strict_sweep", total), &total, |b, &total| {
+            b.iter_batched(
+                || populated_db(total, 0.2),
+                |(mut db, _clock)| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    run_expire_cycle(&mut db, ExpiryMode::Strict, &ActiveExpireConfig::default(), &mut rng)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+
+    // Full Figure 2 point (simulated) at 2k keys for both policies.
+    for mode in [ExpiryMode::LazyProbabilistic, ExpiryMode::Strict] {
+        group.bench_with_input(
+            BenchmarkId::new("figure2_simulation_2k", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| ErasureDelayExperiment::figure2(2_000, mode).run(1));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expiry);
+criterion_main!(benches);

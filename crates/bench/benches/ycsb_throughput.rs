@@ -1,0 +1,75 @@
+//! Figure 1 companion: micro-scale YCSB workload A against the main
+//! configurations (criterion-sized; the full sweep lives in the
+//! `fig1_throughput` binary).
+
+use std::time::Duration;
+
+use bench::adapters::{EmbeddedAdapter, GdprAdapter, RemoteAdapter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdpr_core::policy::CompliancePolicy;
+use gdpr_core::store::GdprStore;
+use kvstore::config::StoreConfig;
+use kvstore::store::KvStore;
+use netsim::client::RemoteClient;
+use netsim::link::LinkConfig;
+use netsim::server::RespKvServer;
+use ycsb::client::{Driver, KvInterface};
+use ycsb::workload::WorkloadSpec;
+
+const RECORDS: u64 = 500;
+const OPS: u64 = 1_000;
+
+fn run_workload_a<S: KvInterface + ?Sized>(adapter: &mut S) {
+    let mut driver = Driver::new(WorkloadSpec::workload_a(RECORDS, OPS), 42);
+    driver.run_load(adapter).unwrap();
+    driver.run_transactions(adapter).unwrap();
+}
+
+fn bench_ycsb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ycsb_workload_a");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("unmodified_embedded", |b| {
+        b.iter(|| {
+            let mut adapter = EmbeddedAdapter::new(KvStore::open(StoreConfig::in_memory()).unwrap());
+            run_workload_a(&mut adapter);
+        });
+    });
+
+    group.bench_function("aof_everysec_monitoring", |b| {
+        b.iter(|| {
+            let store = KvStore::open(StoreConfig::in_memory().aof_in_memory().log_reads(true)).unwrap();
+            let mut adapter = EmbeddedAdapter::new(store);
+            run_workload_a(&mut adapter);
+        });
+    });
+
+    group.bench_function("luks_tls_remote", |b| {
+        b.iter(|| {
+            let store = KvStore::open(
+                StoreConfig::in_memory().aof_in_memory().encrypted(b"bench-passphrase"),
+            )
+            .unwrap();
+            let client = RemoteClient::connect_secure(
+                RespKvServer::new(store),
+                LinkConfig::tls_proxied_4_9gbps(),
+                b"bench-secret",
+            );
+            let mut adapter = RemoteAdapter::new(client);
+            run_workload_a(&mut adapter);
+        });
+    });
+
+    group.bench_function("strict_gdpr_layer", |b| {
+        b.iter(|| {
+            let store = GdprStore::open_in_memory(CompliancePolicy::strict()).unwrap();
+            let mut adapter = GdprAdapter::new(store);
+            run_workload_a(&mut adapter);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ycsb);
+criterion_main!(benches);

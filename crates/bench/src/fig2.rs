@@ -1,0 +1,139 @@
+//! Figure 2: delay until expired keys are actually erased.
+//!
+//! The paper loads 1k–128k keys, gives 20 % of them a 5-minute TTL and the
+//! rest a 5-day TTL, waits the 5 minutes, and measures how long stock Redis
+//! takes to physically erase the expired 20 % (41 s at 1k keys, 10 728 s at
+//! 128k). Its modified Redis ("fast active expiry" backed by an index over
+//! expiry times) erases them in under a second even at one million keys.
+//!
+//! [`run_figure2`] replays that experiment on the simulated clock, so the
+//! multi-hour measurements complete in milliseconds of real time while the
+//! reported quantity (simulated seconds until the last expired key is
+//! gone) is the same one the paper plots.
+
+use gdpr_core::retention::ErasureDelayExperiment;
+use kvstore::expire::ExpiryMode;
+
+/// The paper's reported erasure delays (seconds) for the lazy policy, used
+/// for side-by-side comparison in the output.
+pub const PAPER_LAZY_SECONDS: &[(usize, f64)] = &[
+    (1_000, 41.0),
+    (2_000, 94.0),
+    (4_000, 256.0),
+    (8_000, 511.0),
+    (16_000, 1_090.0),
+    (32_000, 2_228.0),
+    (64_000, 4_830.0),
+    (128_000, 10_728.0),
+];
+
+/// One measured point of the Figure 2 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Point {
+    /// Total keys in the datastore.
+    pub total_keys: usize,
+    /// Expiry policy measured.
+    pub mode: ExpiryMode,
+    /// Simulated seconds from TTL expiry until the last expired key was
+    /// erased.
+    pub erase_seconds: f64,
+    /// Number of keys that had to be erased (20 % of the total).
+    pub erased_keys: usize,
+    /// Expiry cycles the policy needed.
+    pub cycles: u64,
+}
+
+/// Run the Figure 2 sweep for the given sizes and policy.
+#[must_use]
+pub fn run_sweep(sizes: &[usize], mode: ExpiryMode, seed: u64) -> Vec<Fig2Point> {
+    sizes
+        .iter()
+        .map(|&total_keys| {
+            let report = ErasureDelayExperiment::figure2(total_keys, mode).run(seed);
+            Fig2Point {
+                total_keys,
+                mode,
+                erase_seconds: report.erase_seconds(),
+                erased_keys: report.erased_keys,
+                cycles: report.cycles,
+            }
+        })
+        .collect()
+}
+
+/// Run the full Figure 2 experiment: the paper's 1k–128k lazy sweep plus
+/// the strict policy at the same sizes and at 1 M keys.
+#[must_use]
+pub fn run_figure2(seed: u64) -> (Vec<Fig2Point>, Vec<Fig2Point>) {
+    let sizes: Vec<usize> = PAPER_LAZY_SECONDS.iter().map(|(n, _)| *n).collect();
+    let lazy = run_sweep(&sizes, ExpiryMode::LazyProbabilistic, seed);
+    let mut strict_sizes = sizes;
+    strict_sizes.push(1_000_000);
+    let strict = run_sweep(&strict_sizes, ExpiryMode::Strict, seed);
+    (lazy, strict)
+}
+
+/// Render the Figure 2 table with the paper's numbers alongside.
+#[must_use]
+pub fn render_table(lazy: &[Fig2Point], strict: &[Fig2Point]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10} | {:>16} | {:>16} | {:>18} | {:>10}\n",
+        "total keys", "paper lazy (s)", "measured lazy (s)", "measured strict (s)", "erased keys"
+    ));
+    out.push_str(&"-".repeat(84));
+    out.push('\n');
+    for point in lazy {
+        let paper = PAPER_LAZY_SECONDS
+            .iter()
+            .find(|(n, _)| *n == point.total_keys)
+            .map(|(_, s)| *s);
+        let strict_point = strict.iter().find(|p| p.total_keys == point.total_keys);
+        out.push_str(&format!(
+            "{:>10} | {:>16} | {:>17.1} | {:>18} | {:>10}\n",
+            point.total_keys,
+            paper.map_or_else(|| "-".to_string(), |s| format!("{s:.0}")),
+            point.erase_seconds,
+            strict_point.map_or_else(|| "-".to_string(), |p| format!("{:.3}", p.erase_seconds)),
+            point.erased_keys,
+        ));
+    }
+    // Strict-only sizes (the 1 M point).
+    for point in strict.iter().filter(|p| !lazy.iter().any(|l| l.total_keys == p.total_keys)) {
+        out.push_str(&format!(
+            "{:>10} | {:>16} | {:>17} | {:>18.3} | {:>10}\n",
+            point.total_keys, "-", "-", point.erase_seconds, point.erased_keys,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_reproduces_the_papers_shape() {
+        let lazy = run_sweep(&[1_000, 4_000], ExpiryMode::LazyProbabilistic, 3);
+        let strict = run_sweep(&[1_000, 4_000], ExpiryMode::Strict, 3);
+        // Lazy delay grows with database size.
+        assert!(lazy[1].erase_seconds > lazy[0].erase_seconds * 2.0);
+        // Strict is sub-second everywhere.
+        assert!(strict.iter().all(|p| p.erase_seconds < 1.0));
+        // Both erase exactly the short-term 20 %.
+        assert_eq!(lazy[0].erased_keys, 200);
+        assert_eq!(strict[1].erased_keys, 800);
+        // Lazy needs many cycles, strict needs one.
+        assert!(lazy[0].cycles > strict[0].cycles);
+    }
+
+    #[test]
+    fn table_renders_paper_and_measured_columns() {
+        let lazy = run_sweep(&[1_000], ExpiryMode::LazyProbabilistic, 3);
+        let strict = run_sweep(&[1_000, 16_000], ExpiryMode::Strict, 3);
+        let table = render_table(&lazy, &strict);
+        assert!(table.contains("paper lazy"));
+        assert!(table.contains("1000"));
+        assert!(table.contains("16000"));
+    }
+}

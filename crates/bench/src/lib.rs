@@ -1,0 +1,61 @@
+//! Shared plumbing for the benchmark harness: store adapters that let the
+//! YCSB driver run against every configuration of the reproduction, and
+//! the experiment runners behind the `fig1_*` / `fig2_*` binaries.
+//!
+//! Every table and figure of the paper maps to a binary in `src/bin/` (see
+//! DESIGN.md §4); the Criterion benches under `benches/` cover the same
+//! code paths at micro scale plus the ablations listed in DESIGN.md §5.
+
+pub mod adapters;
+pub mod fig1;
+pub mod fig2;
+
+use std::path::PathBuf;
+
+/// A scratch directory for benchmark artefacts (AOF files, audit trails).
+/// Created under the system temp dir and namespaced by process id so
+/// concurrent runs do not collide.
+#[must_use]
+pub fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdpr-bench-{}-{label}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Remove a scratch directory, ignoring errors (best-effort cleanup).
+pub fn cleanup_scratch(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Parse `key=value` style command-line overrides used by the harness
+/// binaries (e.g. `records=100000 ops=200000`).
+#[must_use]
+pub fn arg_value(args: &[String], key: &str) -> Option<u64> {
+    args.iter().find_map(|a| {
+        a.strip_prefix(&format!("{key}="))
+            .and_then(|v| v.parse::<u64>().ok())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dir_is_created_and_cleaned() {
+        let dir = scratch_dir("unit");
+        assert!(dir.exists());
+        cleanup_scratch(&dir);
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn arg_value_parses_overrides() {
+        let args: Vec<String> =
+            vec!["records=1000".into(), "ops=5".into(), "junk".into(), "bad=x".into()];
+        assert_eq!(arg_value(&args, "records"), Some(1000));
+        assert_eq!(arg_value(&args, "ops"), Some(5));
+        assert_eq!(arg_value(&args, "missing"), None);
+        assert_eq!(arg_value(&args, "bad"), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! A small JSON writer used for the data-portability export (Article 20).
+//!
+//! Article 20 requires personal data to be handed over "in a structured,
+//! commonly used and machine-readable format"; JSON is the obvious choice.
+//! To keep the workspace within its approved dependency set this module
+//! implements the tiny subset of JSON generation the export needs (objects,
+//! arrays, strings, numbers, booleans) rather than pulling in a full
+//! serializer.
+
+/// A JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (rendered without a trailing `.0` for integers).
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn string(s: impl Into<String>) -> Self {
+        Json::String(s.into())
+    }
+
+    /// Convenience constructor for an integer value.
+    #[must_use]
+    pub fn integer(value: u64) -> Self {
+        Json::Number(value as f64)
+    }
+
+    /// Convenience constructor for an empty object builder.
+    #[must_use]
+    pub fn object() -> JsonObject {
+        JsonObject { fields: Vec::new() }
+    }
+
+    /// Render to a compact JSON string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::String(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Fluent builder for JSON objects.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, Json)>,
+}
+
+impl JsonObject {
+    /// Add a field.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Finish the object.
+    #[must_use]
+    pub fn build(self) -> Json {
+        Json::Object(self.fields)
+    }
+}
+
+/// Render arbitrary bytes for inclusion in an export: UTF-8 text is passed
+/// through, binary data is hex-encoded with a marker prefix.
+#[must_use]
+pub fn bytes_to_json(bytes: &[u8]) -> Json {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => Json::string(text),
+        Err(_) => Json::string(format!("hex:{}", gdpr_crypto::sha256::to_hex(bytes))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Bool(false).render(), "false");
+        assert_eq!(Json::integer(42).render(), "42");
+        assert_eq!(Json::Number(1.5).render(), "1.5");
+        assert_eq!(Json::string("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::string("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::string("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_render() {
+        let value = Json::object()
+            .field("subject", Json::string("alice"))
+            .field("keys", Json::Array(vec![Json::string("k1"), Json::string("k2")]))
+            .field("count", Json::integer(2))
+            .field("complete", Json::Bool(true))
+            .build();
+        assert_eq!(
+            value.render(),
+            "{\"subject\":\"alice\",\"keys\":[\"k1\",\"k2\"],\"count\":2,\"complete\":true}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Array(vec![]).render(), "[]");
+        assert_eq!(Json::object().build().render(), "{}");
+    }
+
+    #[test]
+    fn bytes_conversion() {
+        assert_eq!(bytes_to_json(b"plain text").render(), "\"plain text\"");
+        let binary = bytes_to_json(&[0xff, 0xfe, 0x00]);
+        assert!(binary.render().starts_with("\"hex:"));
+    }
+
+    #[test]
+    fn large_integers_keep_integer_form() {
+        assert_eq!(Json::integer(1_700_000_000_000).render(), "1700000000000");
+    }
+}

@@ -1,0 +1,180 @@
+//! Secondary metadata indexes (Articles 15, 17, 20, 21).
+//!
+//! The data-subject rights all start with the same query: *find every key
+//! that belongs to this person* (or: that is processed under this purpose).
+//! Stock key-value stores can only answer that with a full scan; the paper
+//! lists "Metadata indexing" as a required storage feature and "efficient
+//! metadata indexing" as an open research challenge (§5.1). The compliance
+//! layer maintains two inverted indexes — subject → keys and purpose →
+//! keys — updated on every write and erase.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// In-memory inverted indexes over the GDPR metadata.
+///
+/// The index is rebuildable from the metadata shadow records (see
+/// [`crate::store::GdprStore::rebuild_index`]), so it does not need its own
+/// persistence.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataIndex {
+    by_subject: BTreeMap<String, BTreeSet<String>>,
+    by_purpose: BTreeMap<String, BTreeSet<String>>,
+    /// Number of index mutations performed (used by the ablation bench).
+    updates: u64,
+}
+
+impl MetadataIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index `key` as belonging to `subject` with the given purposes.
+    pub fn insert(&mut self, key: &str, subject: &str, purposes: impl IntoIterator<Item = String>) {
+        self.by_subject.entry(subject.to_string()).or_default().insert(key.to_string());
+        for purpose in purposes {
+            self.by_purpose.entry(purpose).or_default().insert(key.to_string());
+        }
+        self.updates += 1;
+    }
+
+    /// Remove `key` from every posting list.
+    pub fn remove(&mut self, key: &str) {
+        self.by_subject.retain(|_, keys| {
+            keys.remove(key);
+            !keys.is_empty()
+        });
+        self.by_purpose.retain(|_, keys| {
+            keys.remove(key);
+            !keys.is_empty()
+        });
+        self.updates += 1;
+    }
+
+    /// Remove `key` from one purpose's posting list (used when an objection
+    /// is recorded against that purpose).
+    pub fn remove_purpose(&mut self, key: &str, purpose: &str) {
+        if let Some(keys) = self.by_purpose.get_mut(purpose) {
+            keys.remove(key);
+            if keys.is_empty() {
+                self.by_purpose.remove(purpose);
+            }
+        }
+        self.updates += 1;
+    }
+
+    /// Every key owned by `subject`, in lexicographic order.
+    #[must_use]
+    pub fn keys_of_subject(&self, subject: &str) -> Vec<String> {
+        self.by_subject.get(subject).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Every key processable under `purpose`, in lexicographic order.
+    #[must_use]
+    pub fn keys_for_purpose(&self, purpose: &str) -> Vec<String> {
+        self.by_purpose.get(purpose).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// All data subjects currently present in the index.
+    #[must_use]
+    pub fn subjects(&self) -> Vec<String> {
+        self.by_subject.keys().cloned().collect()
+    }
+
+    /// All purposes currently present in the index.
+    #[must_use]
+    pub fn purposes(&self) -> Vec<String> {
+        self.by_purpose.keys().cloned().collect()
+    }
+
+    /// Number of keys indexed for `subject`.
+    #[must_use]
+    pub fn subject_key_count(&self, subject: &str) -> usize {
+        self.by_subject.get(subject).map_or(0, BTreeSet::len)
+    }
+
+    /// Total number of index mutations performed.
+    #[must_use]
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Clear the index (before a rebuild).
+    pub fn clear(&mut self) {
+        self.by_subject.clear();
+        self.by_purpose.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> MetadataIndex {
+        let mut idx = MetadataIndex::new();
+        idx.insert("user:alice:email", "alice", ["billing".to_string(), "analytics".to_string()]);
+        idx.insert("user:alice:address", "alice", ["billing".to_string()]);
+        idx.insert("user:bob:email", "bob", ["analytics".to_string()]);
+        idx
+    }
+
+    #[test]
+    fn subject_lookup() {
+        let idx = sample_index();
+        assert_eq!(idx.keys_of_subject("alice"), vec!["user:alice:address", "user:alice:email"]);
+        assert_eq!(idx.keys_of_subject("bob"), vec!["user:bob:email"]);
+        assert!(idx.keys_of_subject("carol").is_empty());
+        assert_eq!(idx.subject_key_count("alice"), 2);
+        assert_eq!(idx.subjects(), vec!["alice", "bob"]);
+    }
+
+    #[test]
+    fn purpose_lookup() {
+        let idx = sample_index();
+        assert_eq!(idx.keys_for_purpose("billing").len(), 2);
+        assert_eq!(idx.keys_for_purpose("analytics").len(), 2);
+        assert!(idx.keys_for_purpose("marketing").is_empty());
+        assert_eq!(idx.purposes(), vec!["analytics", "billing"]);
+    }
+
+    #[test]
+    fn remove_key_everywhere() {
+        let mut idx = sample_index();
+        idx.remove("user:alice:email");
+        assert_eq!(idx.keys_of_subject("alice"), vec!["user:alice:address"]);
+        assert_eq!(idx.keys_for_purpose("analytics"), vec!["user:bob:email"]);
+        // Removing the last key of a subject drops the subject entirely.
+        idx.remove("user:bob:email");
+        assert!(idx.subjects().iter().all(|s| s != "bob"));
+    }
+
+    #[test]
+    fn remove_purpose_only_affects_that_posting_list() {
+        let mut idx = sample_index();
+        idx.remove_purpose("user:alice:email", "analytics");
+        assert_eq!(idx.keys_for_purpose("analytics"), vec!["user:bob:email"]);
+        // Subject index untouched.
+        assert_eq!(idx.subject_key_count("alice"), 2);
+        // Billing still lists the key.
+        assert!(idx.keys_for_purpose("billing").contains(&"user:alice:email".to_string()));
+    }
+
+    #[test]
+    fn clear_and_update_counter() {
+        let mut idx = sample_index();
+        assert_eq!(idx.update_count(), 3);
+        idx.clear();
+        assert!(idx.subjects().is_empty());
+        assert!(idx.purposes().is_empty());
+    }
+
+    #[test]
+    fn reinserting_same_key_is_idempotent_in_content() {
+        let mut idx = MetadataIndex::new();
+        idx.insert("k", "alice", ["p".to_string()]);
+        idx.insert("k", "alice", ["p".to_string()]);
+        assert_eq!(idx.keys_of_subject("alice"), vec!["k"]);
+        assert_eq!(idx.keys_for_purpose("p"), vec!["k"]);
+    }
+}

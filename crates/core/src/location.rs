@@ -1,0 +1,168 @@
+//! Data-location management (Article 46).
+//!
+//! GDPR restricts transfers of personal data to jurisdictions without
+//! adequate protection. At the storage layer that translates into two
+//! capabilities the paper lists in Table 1: *know* where each value lives
+//! (the region field in [`crate::metadata::PersonalMetadata`]) and
+//! *restrict* where it may be placed or replicated ([`LocationPolicy`]).
+
+use std::collections::BTreeSet;
+
+use crate::metadata::Region;
+
+/// Placement restrictions for personal data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocationPolicy {
+    /// Regions where personal data may be stored. An empty set means no
+    /// restriction (any region allowed).
+    allowed: BTreeSet<Region>,
+}
+
+impl LocationPolicy {
+    /// No restrictions (the unmodified baseline).
+    #[must_use]
+    pub fn unrestricted() -> Self {
+        LocationPolicy { allowed: BTreeSet::new() }
+    }
+
+    /// Only EU placement allowed.
+    #[must_use]
+    pub fn eu_only() -> Self {
+        Self::restricted_to([Region::Eu])
+    }
+
+    /// Placement restricted to the given regions.
+    pub fn restricted_to(regions: impl IntoIterator<Item = Region>) -> Self {
+        LocationPolicy { allowed: regions.into_iter().collect() }
+    }
+
+    /// Whether this policy imposes no restriction.
+    #[must_use]
+    pub fn is_unrestricted(&self) -> bool {
+        self.allowed.is_empty()
+    }
+
+    /// Whether placing data in `region` is permitted.
+    #[must_use]
+    pub fn allows(&self, region: Region) -> bool {
+        self.allowed.is_empty() || self.allowed.contains(&region)
+    }
+
+    /// The allowed regions (empty = all).
+    #[must_use]
+    pub fn allowed_regions(&self) -> Vec<Region> {
+        self.allowed.iter().copied().collect()
+    }
+
+    /// Human-readable description for reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        if self.is_unrestricted() {
+            "any region".to_string()
+        } else {
+            self.allowed.iter().map(Region::as_str).collect::<Vec<_>>().join(", ")
+        }
+    }
+}
+
+impl Default for LocationPolicy {
+    fn default() -> Self {
+        Self::unrestricted()
+    }
+}
+
+/// A per-region placement inventory: how many values live where. Produced
+/// by the store so an operator can answer "where is personal data right
+/// now?" — the *find* half of Article 46.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocationInventory {
+    counts: std::collections::BTreeMap<Region, u64>,
+}
+
+impl LocationInventory {
+    /// Empty inventory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value stored in `region`.
+    pub fn add(&mut self, region: Region) {
+        *self.counts.entry(region).or_insert(0) += 1;
+    }
+
+    /// Number of values in `region`.
+    #[must_use]
+    pub fn count(&self, region: Region) -> u64 {
+        self.counts.get(&region).copied().unwrap_or(0)
+    }
+
+    /// Total values across all regions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Regions that hold at least one value but are not allowed by
+    /// `policy` — i.e. Article 46 violations that need remediation.
+    #[must_use]
+    pub fn violations(&self, policy: &LocationPolicy) -> Vec<(Region, u64)> {
+        self.counts
+            .iter()
+            .filter(|(region, count)| **count > 0 && !policy.allows(**region))
+            .map(|(region, count)| (*region, *count))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_allows_everything() {
+        let p = LocationPolicy::unrestricted();
+        assert!(p.is_unrestricted());
+        for r in [Region::Eu, Region::Us, Region::Apac, Region::Other] {
+            assert!(p.allows(r));
+        }
+        assert_eq!(p.describe(), "any region");
+        assert_eq!(LocationPolicy::default(), p);
+    }
+
+    #[test]
+    fn eu_only_blocks_other_regions() {
+        let p = LocationPolicy::eu_only();
+        assert!(p.allows(Region::Eu));
+        assert!(!p.allows(Region::Us));
+        assert!(!p.allows(Region::Apac));
+        assert!(!p.is_unrestricted());
+        assert_eq!(p.allowed_regions(), vec![Region::Eu]);
+        assert!(p.describe().contains("eu"));
+    }
+
+    #[test]
+    fn multi_region_policy() {
+        let p = LocationPolicy::restricted_to([Region::Eu, Region::Us]);
+        assert!(p.allows(Region::Eu));
+        assert!(p.allows(Region::Us));
+        assert!(!p.allows(Region::Apac));
+    }
+
+    #[test]
+    fn inventory_counts_and_violations() {
+        let mut inv = LocationInventory::new();
+        for _ in 0..3 {
+            inv.add(Region::Eu);
+        }
+        inv.add(Region::Us);
+        assert_eq!(inv.count(Region::Eu), 3);
+        assert_eq!(inv.count(Region::Us), 1);
+        assert_eq!(inv.count(Region::Apac), 0);
+        assert_eq!(inv.total(), 4);
+
+        let violations = inv.violations(&LocationPolicy::eu_only());
+        assert_eq!(violations, vec![(Region::Us, 1)]);
+        assert!(inv.violations(&LocationPolicy::unrestricted()).is_empty());
+    }
+}

@@ -1,0 +1,398 @@
+//! Data-subject rights (GDPR Chapter 3).
+//!
+//! The four rights the paper identifies as storage-relevant:
+//!
+//! * **Article 15 — right of access**: [`GdprStore::right_of_access`]
+//!   returns everything the store knows about a subject, including the
+//!   purposes, recipients, retention and whether automated decision-making
+//!   uses the data.
+//! * **Article 17 — right to be forgotten**:
+//!   [`GdprStore::right_to_erasure`] finds every key of the subject via the
+//!   metadata index and erases data, metadata and (under strict compliance)
+//!   the journal tombstones, synchronously.
+//! * **Article 20 — right to data portability**:
+//!   [`GdprStore::right_to_portability`] exports the subject's data as
+//!   machine-readable JSON.
+//! * **Article 21 — right to object**: [`GdprStore::right_to_object`]
+//!   records an objection against a purpose on every key of the subject,
+//!   after which reads under that purpose are refused.
+
+use std::collections::BTreeMap;
+
+use audit::record::{AuditRecord, Operation};
+use kvstore::object::Bytes;
+
+use crate::export::{bytes_to_json, Json};
+use crate::metadata::PersonalMetadata;
+use crate::store::{AccessContext, GdprStore};
+use crate::Result;
+
+/// Everything returned to a data subject exercising their right of access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectAccessReport {
+    /// The data subject.
+    pub subject: String,
+    /// When the report was generated (Unix milliseconds).
+    pub generated_at_ms: u64,
+    /// One entry per stored key.
+    pub items: Vec<SubjectDataItem>,
+}
+
+/// One stored value belonging to the subject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectDataItem {
+    /// The key under which the value is stored.
+    pub key: String,
+    /// The stored value (string form) or the flattened record fields.
+    pub value: Option<Bytes>,
+    /// Record fields when the value is a multi-field record.
+    pub fields: Option<BTreeMap<String, Bytes>>,
+    /// The GDPR metadata attached to the value.
+    pub metadata: PersonalMetadata,
+}
+
+/// Result of a right-to-be-forgotten request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErasureReport {
+    /// The data subject whose data was erased.
+    pub subject: String,
+    /// Keys physically removed from the keyspace.
+    pub erased_keys: Vec<String>,
+    /// Number of journal records dropped by the accompanying compaction
+    /// (0 when the policy defers scrubbing).
+    pub journal_records_scrubbed: u64,
+    /// Whether the erasure was completed synchronously (real-time
+    /// compliance) or left residue for background clean-up.
+    pub completed_in_real_time: bool,
+}
+
+/// Result of an objection request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectionReport {
+    /// The data subject.
+    pub subject: String,
+    /// The purpose objected to.
+    pub purpose: String,
+    /// Keys whose metadata was updated.
+    pub updated_keys: Vec<String>,
+}
+
+impl GdprStore {
+    /// Every key currently owned by `subject` (from the metadata index,
+    /// falling back to a scan when indexing is disabled — the "partial
+    /// compliance" path).
+    ///
+    /// # Errors
+    ///
+    /// Returns storage or corruption errors.
+    pub fn keys_of_subject(&self, subject: &str) -> Result<Vec<String>> {
+        if self.policy.maintain_indexes {
+            return Ok(self.index.lock().keys_of_subject(subject));
+        }
+        // Fallback: full scan over the metadata shadow records.
+        let mut keys = Vec::new();
+        for meta_key in self.kv.keys(&format!("{}*", crate::store::META_PREFIX))? {
+            if let Some(bytes) = self.kv.get(&meta_key)? {
+                if let Some(meta) = PersonalMetadata::decode(&bytes) {
+                    if meta.subject == subject {
+                        keys.push(meta_key.trim_start_matches(crate::store::META_PREFIX).to_string());
+                    }
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    /// Article 15: produce the full access report for a subject.
+    ///
+    /// # Errors
+    ///
+    /// Returns storage or corruption errors.
+    pub fn right_of_access(&self, ctx: &AccessContext, subject: &str) -> Result<SubjectAccessReport> {
+        let now = self.now_ms();
+        let mut items = Vec::new();
+        for key in self.keys_of_subject(subject)? {
+            let Some(metadata) = self.load_metadata(&key)? else { continue };
+            // Values can be plain strings or multi-field records.
+            let fields = self.kv.hgetall(&key).ok().flatten();
+            let value = if fields.is_some() { None } else { self.kv.get(&key)? };
+            items.push(SubjectDataItem { key, value, fields, metadata });
+        }
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
+                .subject(subject)
+                .purpose(&ctx.purpose)
+                .detail(&format!("art.15 access request: {} items", items.len())),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(SubjectAccessReport { subject: subject.to_string(), generated_at_ms: now, items })
+    }
+
+    /// Article 17: erase every key belonging to `subject`.
+    ///
+    /// Under a strict policy the accompanying journal compaction runs
+    /// synchronously so no tombstone of the personal data survives in the
+    /// AOF (the §4.3 concern); under an eventual policy the compaction is
+    /// left to the next scheduled rewrite.
+    ///
+    /// # Errors
+    ///
+    /// Returns storage or audit errors.
+    pub fn right_to_erasure(&self, ctx: &AccessContext, subject: &str) -> Result<ErasureReport> {
+        let now = self.now_ms();
+        let keys = self.keys_of_subject(subject)?;
+        let mut erased = Vec::with_capacity(keys.len());
+        for key in keys {
+            let existed = self.kv.delete(&key)?;
+            self.kv.delete(&Self::meta_key(&key))?;
+            if self.policy.maintain_indexes {
+                self.index.lock().remove(&key);
+            }
+            if existed {
+                erased.push(key);
+            }
+        }
+
+        let journal_records_scrubbed = if self.policy.scrub_aof_on_erasure && !erased.is_empty() {
+            self.kv.rewrite_aof()?
+        } else {
+            0
+        };
+
+        self.stats.lock().erased_by_request += erased.len() as u64;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
+                .subject(subject)
+                .purpose(&ctx.purpose)
+                .detail(&format!(
+                    "art.17 erasure: {} keys erased, {} journal records scrubbed",
+                    erased.len(),
+                    journal_records_scrubbed
+                )),
+        );
+        self.flush_audit_if_strict()?;
+
+        Ok(ErasureReport {
+            subject: subject.to_string(),
+            erased_keys: erased,
+            journal_records_scrubbed,
+            completed_in_real_time: self.policy.erasure_response.is_real_time()
+                && self.policy.scrub_aof_on_erasure,
+        })
+    }
+
+    /// Article 20: export all of a subject's data as machine-readable JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns storage or corruption errors.
+    pub fn right_to_portability(&self, ctx: &AccessContext, subject: &str) -> Result<String> {
+        let report = self.right_of_access(ctx, subject)?;
+        let items: Vec<Json> = report
+            .items
+            .iter()
+            .map(|item| {
+                let mut object = Json::object()
+                    .field("key", Json::string(&item.key))
+                    .field("subject", Json::string(&item.metadata.subject))
+                    .field(
+                        "purposes",
+                        Json::Array(item.metadata.purposes.iter().map(Json::string).collect()),
+                    )
+                    .field(
+                        "recipients",
+                        Json::Array(item.metadata.recipients.iter().map(Json::string).collect()),
+                    )
+                    .field("origin", Json::string(&item.metadata.origin))
+                    .field("location", Json::string(item.metadata.location.as_str()))
+                    .field(
+                        "expires_at_ms",
+                        item.metadata.expires_at_ms.map_or(Json::Null, Json::integer),
+                    )
+                    .field("automated_decisions", Json::Bool(item.metadata.automated_decisions));
+                if let Some(value) = &item.value {
+                    object = object.field("value", bytes_to_json(value));
+                }
+                if let Some(fields) = &item.fields {
+                    object = object.field(
+                        "fields",
+                        Json::Object(
+                            fields.iter().map(|(f, v)| (f.clone(), bytes_to_json(v))).collect(),
+                        ),
+                    );
+                }
+                object.build()
+            })
+            .collect();
+
+        let export = Json::object()
+            .field("format", Json::string("gdpr-portability-export/v1"))
+            .field("subject", Json::string(subject))
+            .field("generated_at_ms", Json::integer(report.generated_at_ms))
+            .field("item_count", Json::integer(items.len() as u64))
+            .field("items", Json::Array(items))
+            .build();
+        Ok(export.render())
+    }
+
+    /// Article 21: record an objection against `purpose` on every key of
+    /// `subject`. Subsequent reads under that purpose are refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns storage or corruption errors.
+    pub fn right_to_object(
+        &self,
+        ctx: &AccessContext,
+        subject: &str,
+        purpose: &str,
+    ) -> Result<ObjectionReport> {
+        let now = self.now_ms();
+        let mut updated = Vec::new();
+        for key in self.keys_of_subject(subject)? {
+            if let Some(mut meta) = self.load_metadata(&key)? {
+                meta.object_to(purpose);
+                self.store_metadata(&key, &meta)?;
+                if self.policy.maintain_indexes {
+                    self.index.lock().remove_purpose(&key, purpose);
+                }
+                updated.push(key);
+            }
+        }
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
+                .subject(subject)
+                .purpose(purpose)
+                .detail(&format!("art.21 objection recorded on {} keys", updated.len())),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(ObjectionReport { subject: subject.to_string(), purpose: purpose.to_string(), updated_keys: updated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::Grant;
+    use crate::metadata::Region;
+    use crate::policy::CompliancePolicy;
+    use crate::GdprError;
+
+    fn ctx() -> AccessContext {
+        AccessContext::new("app", "billing")
+    }
+
+    fn store_with_data(policy: CompliancePolicy) -> GdprStore {
+        let store = GdprStore::open_in_memory(policy).unwrap();
+        store.grant(Grant::new("app", "billing"));
+        store.grant(Grant::new("app", "analytics"));
+        let alice = PersonalMetadata::new("alice")
+            .with_purpose("billing")
+            .with_purpose("analytics")
+            .with_recipient("payments-inc")
+            .with_location(Region::Eu);
+        let bob = PersonalMetadata::new("bob").with_purpose("billing").with_location(Region::Eu);
+        store.put(&ctx(), "user:alice:email", b"alice@example.com".to_vec(), alice.clone()).unwrap();
+        store.put(&ctx(), "user:alice:address", b"1 Main St".to_vec(), alice).unwrap();
+        store.put(&ctx(), "user:bob:email", b"bob@example.com".to_vec(), bob).unwrap();
+        store
+    }
+
+    #[test]
+    fn right_of_access_returns_all_subject_items() {
+        let store = store_with_data(CompliancePolicy::strict());
+        let report = store.right_of_access(&ctx(), "alice").unwrap();
+        assert_eq!(report.subject, "alice");
+        assert_eq!(report.items.len(), 2);
+        assert!(report.items.iter().all(|i| i.metadata.subject == "alice"));
+        assert!(report.items.iter().any(|i| i.value == Some(b"alice@example.com".to_vec())));
+        // Bob's report only sees bob's data.
+        assert_eq!(store.right_of_access(&ctx(), "bob").unwrap().items.len(), 1);
+        // Unknown subject: empty report, not an error.
+        assert!(store.right_of_access(&ctx(), "carol").unwrap().items.is_empty());
+    }
+
+    #[test]
+    fn right_to_erasure_removes_data_metadata_and_index_entries() {
+        let store = store_with_data(CompliancePolicy::strict());
+        let report = store.right_to_erasure(&ctx(), "alice").unwrap();
+        assert_eq!(report.erased_keys.len(), 2);
+        assert!(report.completed_in_real_time);
+        assert!(report.journal_records_scrubbed > 0, "strict policy scrubs the journal");
+        assert_eq!(store.get(&ctx(), "user:alice:email").unwrap(), None);
+        assert!(store.keys_of_subject("alice").unwrap().is_empty());
+        // Bob is untouched.
+        assert_eq!(store.get(&ctx(), "user:bob:email").unwrap(), Some(b"bob@example.com".to_vec()));
+        assert_eq!(store.stats().erased_by_request, 2);
+        // Erasing again is a no-op.
+        assert!(store.right_to_erasure(&ctx(), "alice").unwrap().erased_keys.is_empty());
+    }
+
+    #[test]
+    fn erasure_under_eventual_policy_defers_journal_scrub() {
+        let store = store_with_data(CompliancePolicy::eventual());
+        let report = store.right_to_erasure(&ctx(), "alice").unwrap();
+        assert_eq!(report.erased_keys.len(), 2);
+        assert!(!report.completed_in_real_time);
+        assert_eq!(report.journal_records_scrubbed, 0);
+    }
+
+    #[test]
+    fn portability_export_is_valid_jsonish_and_complete() {
+        let store = store_with_data(CompliancePolicy::strict());
+        let json = store.right_to_portability(&ctx(), "alice").unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"subject\":\"alice\""));
+        assert!(json.contains("alice@example.com"));
+        assert!(json.contains("payments-inc"));
+        assert!(json.contains("\"item_count\":2"));
+        assert!(!json.contains("bob@example.com"), "other subjects' data must not leak");
+    }
+
+    #[test]
+    fn objection_blocks_the_purpose_going_forward() {
+        let store = store_with_data(CompliancePolicy::strict());
+        let analytics = AccessContext::new("app", "analytics");
+        // Works before the objection.
+        assert!(store.get(&analytics, "user:alice:email").is_ok());
+        let report = store.right_to_object(&ctx(), "alice", "analytics").unwrap();
+        assert_eq!(report.updated_keys.len(), 2);
+        // Blocked afterwards.
+        let err = store.get(&analytics, "user:alice:email").unwrap_err();
+        assert!(matches!(err, GdprError::PurposeViolation { .. }));
+        // Billing still works.
+        assert!(store.get(&ctx(), "user:alice:email").is_ok());
+        // Purpose index no longer lists alice's keys under analytics.
+        assert!(!store
+            .index
+            .lock()
+            .keys_for_purpose("analytics")
+            .iter()
+            .any(|k| k.contains("alice")));
+    }
+
+    #[test]
+    fn rights_requests_are_audited() {
+        let store = store_with_data(CompliancePolicy::strict());
+        store.right_of_access(&ctx(), "alice").unwrap();
+        store.right_to_erasure(&ctx(), "alice").unwrap();
+        let trail = store.audit_trail().unwrap().join("\n");
+        assert!(trail.contains("art.15"));
+        assert!(trail.contains("art.17"));
+    }
+
+    #[test]
+    fn subject_lookup_without_index_falls_back_to_scan() {
+        // Eventual policy keeps indexes; build a policy without them.
+        let mut policy = CompliancePolicy::eventual();
+        policy.maintain_indexes = false;
+        policy.enforce_access_control = false;
+        let store = GdprStore::open_in_memory(policy).unwrap();
+        let meta = PersonalMetadata::new("dora").with_purpose("billing");
+        store.put(&ctx(), "user:dora:email", b"d@e.f".to_vec(), meta).unwrap();
+        assert_eq!(store.keys_of_subject("dora").unwrap(), vec!["user:dora:email"]);
+        let report = store.right_of_access(&ctx(), "dora").unwrap();
+        assert_eq!(report.items.len(), 1);
+    }
+}

@@ -1,0 +1,919 @@
+//! [`GdprStore`]: the compliant store façade.
+//!
+//! Every operation goes through the same pipeline the paper's modified
+//! Redis implements (spread across its §4.1–§4.3 changes):
+//!
+//! 1. **access control** — the actor must hold a grant for the claimed
+//!    purpose (Articles 25/32);
+//! 2. **purpose limitation** — the key's metadata must whitelist the
+//!    purpose and the data subject must not have objected (Articles 5/21);
+//! 3. **location policy** — new data may only be placed in permitted
+//!    regions (Article 46);
+//! 4. the operation executes on the underlying engine, with TTLs resolved
+//!    from the retention metadata (Articles 5(e)/13/17);
+//! 5. **monitoring** — an audit record is emitted, and under real-time
+//!    compliance it is durable before the call returns (Articles 30/33/34);
+//! 6. secondary **metadata indexes** are maintained so subject rights can
+//!    be answered without scanning (Articles 15/17/20/21).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use audit::log::AuditLog;
+use audit::record::{AuditRecord, Operation, Outcome};
+use audit::sink::{AuditSink, MemorySink};
+use kvstore::clock::SharedClock;
+use kvstore::config::StoreConfig;
+use kvstore::expire::CycleOutcome;
+use kvstore::object::Bytes;
+use kvstore::store::KvStore;
+use parking_lot::Mutex;
+
+use crate::acl::{AccessController, AccessDecision, Grant};
+use crate::index::MetadataIndex;
+use crate::location::LocationInventory;
+use crate::metadata::PersonalMetadata;
+use crate::policy::CompliancePolicy;
+use crate::{GdprError, Result};
+
+/// Prefix under which metadata shadow records are stored in the engine.
+pub const META_PREFIX: &str = "__gdpr_meta__:";
+
+/// Who is asking, and why — attached to every operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessContext {
+    /// The acting entity (application, service, processor).
+    pub actor: String,
+    /// The declared processing purpose.
+    pub purpose: String,
+}
+
+impl AccessContext {
+    /// Build a context.
+    #[must_use]
+    pub fn new(actor: &str, purpose: &str) -> Self {
+        AccessContext { actor: actor.to_string(), purpose: purpose.to_string() }
+    }
+}
+
+/// Counters specific to the compliance layer (the engine keeps its own).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GdprStats {
+    /// Operations admitted by the compliance checks.
+    pub allowed_ops: u64,
+    /// Operations rejected (access, purpose or location violations).
+    pub denied_ops: u64,
+    /// Audit records emitted.
+    pub audit_records: u64,
+    /// Keys erased through the right to be forgotten.
+    pub erased_by_request: u64,
+    /// Keys erased because their retention period elapsed.
+    pub erased_by_retention: u64,
+}
+
+/// The GDPR-compliant store.
+pub struct GdprStore {
+    pub(crate) kv: KvStore,
+    pub(crate) audit: Mutex<AuditLog>,
+    pub(crate) acl: Mutex<AccessController>,
+    pub(crate) index: Mutex<MetadataIndex>,
+    pub(crate) policy: CompliancePolicy,
+    pub(crate) clock: SharedClock,
+    pub(crate) stats: Mutex<GdprStats>,
+    /// When the store was opened with an in-memory audit sink, a shared
+    /// view of it (lets examples and the breach module read the trail back
+    /// without going through the filesystem).
+    pub(crate) audit_mirror: Option<MemorySink>,
+}
+
+impl std::fmt::Debug for GdprStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GdprStore")
+            .field("policy", &self.policy.name)
+            .field("keys", &self.kv.len())
+            .finish()
+    }
+}
+
+impl GdprStore {
+    /// Open a fully in-memory store (in-memory engine journal if the policy
+    /// journals writes, in-memory audit sink). The configuration of the
+    /// engine is derived from the compliance policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-open errors.
+    pub fn open_in_memory(policy: CompliancePolicy) -> Result<Self> {
+        let mut config = StoreConfig::in_memory();
+        if policy.journal_writes || policy.monitor_all_operations {
+            config = config.aof_in_memory();
+        }
+        let sink = MemorySink::new();
+        let mirror = sink.share();
+        Self::open(policy, config, Box::new(sink)).map(|mut store| {
+            store.audit_mirror = Some(mirror);
+            store
+        })
+    }
+
+    /// Open a store over an explicit engine configuration and audit sink
+    /// (used by the benchmark harness to point both at real files).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-open errors.
+    pub fn open(
+        policy: CompliancePolicy,
+        mut kv_config: StoreConfig,
+        audit_sink: Box<dyn AuditSink>,
+    ) -> Result<Self> {
+        // The engine-level knobs follow the compliance policy.
+        kv_config.fsync = policy.journal_fsync;
+        kv_config.expiry_mode = policy.expiry_mode;
+        if policy.encrypt_at_rest && kv_config.encryption.is_none() {
+            kv_config = kv_config.encrypted(b"gdpr-store-default-passphrase");
+        }
+        let clock = Arc::clone(&kv_config.clock);
+        let kv = KvStore::open(kv_config)?;
+
+        let mut audit_log = AuditLog::new(audit_sink, policy.audit_flush);
+        if !policy.audit_chaining {
+            audit_log = audit_log.without_chain();
+        }
+
+        let store = GdprStore {
+            kv,
+            audit: Mutex::new(audit_log),
+            acl: Mutex::new(AccessController::new()),
+            index: Mutex::new(MetadataIndex::new()),
+            policy,
+            clock,
+            stats: Mutex::new(GdprStats::default()),
+            audit_mirror: None,
+        };
+        store.rebuild_index()?;
+        Ok(store)
+    }
+
+    /// The compliance policy this store enforces.
+    #[must_use]
+    pub fn policy(&self) -> &CompliancePolicy {
+        &self.policy
+    }
+
+    /// The underlying engine (for benchmarks that need engine statistics).
+    #[must_use]
+    pub fn engine(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// Compliance-layer counters.
+    #[must_use]
+    pub fn stats(&self) -> GdprStats {
+        *self.stats.lock()
+    }
+
+    /// Current time in Unix milliseconds (from the engine clock).
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_millis()
+    }
+
+    /// A copy of the audit trail lines, if the store was opened with the
+    /// in-memory sink ([`Self::open_in_memory`]).
+    #[must_use]
+    pub fn audit_trail(&self) -> Option<Vec<String>> {
+        self.audit_mirror.as_ref().map(MemorySink::lines)
+    }
+
+    /// Current tip digest of the audit hash chain, if chaining is enabled.
+    #[must_use]
+    pub fn audit_chain_tip(&self) -> Option<String> {
+        self.audit.lock().chain_tip()
+    }
+
+    /// Install an access grant (Article 25: restrict access by default,
+    /// open it explicitly).
+    pub fn grant(&self, grant: Grant) {
+        let now = self.now_ms();
+        self.acl.lock().grant(grant.clone());
+        self.emit_audit(
+            AuditRecord::new(now, &grant.actor, Operation::AccessControl)
+                .purpose(&grant.purpose)
+                .detail("grant installed"),
+        );
+    }
+
+    /// Revoke every grant of `actor` for `purpose`. Returns how many were
+    /// removed.
+    pub fn revoke(&self, actor: &str, purpose: &str) -> usize {
+        let now = self.now_ms();
+        let removed = self.acl.lock().revoke(actor, purpose);
+        self.emit_audit(
+            AuditRecord::new(now, actor, Operation::AccessControl)
+                .purpose(purpose)
+                .detail(&format!("{removed} grants revoked")),
+        );
+        removed
+    }
+
+    // ---- internal helpers ---------------------------------------------------
+
+    pub(crate) fn meta_key(key: &str) -> String {
+        format!("{META_PREFIX}{key}")
+    }
+
+    /// Whether a key is a metadata shadow record.
+    #[must_use]
+    pub fn is_meta_key(key: &str) -> bool {
+        key.starts_with(META_PREFIX)
+    }
+
+    pub(crate) fn emit_audit(&self, record: AuditRecord) {
+        // Under the unmodified policy nothing is monitored at all.
+        if !self.policy.monitor_all_operations {
+            return;
+        }
+        self.stats.lock().audit_records += 1;
+        // An audit failure under strict compliance should fail the caller;
+        // we surface it lazily through flush errors. Recording into the
+        // buffer itself cannot fail for the provided sinks.
+        let _ = self.audit.lock().record(record);
+    }
+
+    pub(crate) fn load_metadata(&self, key: &str) -> Result<Option<PersonalMetadata>> {
+        match self.kv.get(&Self::meta_key(key))? {
+            Some(bytes) => match PersonalMetadata::decode(&bytes) {
+                Some(meta) => Ok(Some(meta)),
+                None => Err(GdprError::CorruptMetadata {
+                    key: key.to_string(),
+                    detail: format!("{} bytes", bytes.len()),
+                }),
+            },
+            None => Ok(None),
+        }
+    }
+
+    pub(crate) fn store_metadata(&self, key: &str, meta: &PersonalMetadata) -> Result<()> {
+        self.kv.set(&Self::meta_key(key), meta.encode())?;
+        if let Some(at) = meta.expires_at_ms {
+            self.kv.expire_at(&Self::meta_key(key), at)?;
+        }
+        Ok(())
+    }
+
+    fn check_access(&self, ctx: &AccessContext, subject: &str, key: &str) -> Result<()> {
+        if !self.policy.enforce_access_control {
+            return Ok(());
+        }
+        let now = self.now_ms();
+        let decision = self.acl.lock().check(&ctx.actor, &ctx.purpose, subject, now);
+        match decision {
+            AccessDecision::Allow => Ok(()),
+            AccessDecision::Deny { reason } => {
+                self.stats.lock().denied_ops += 1;
+                self.emit_audit(
+                    AuditRecord::new(now, &ctx.actor, Operation::Read)
+                        .key(key)
+                        .subject(subject)
+                        .purpose(&ctx.purpose)
+                        .outcome(Outcome::Denied)
+                        .detail(&reason),
+                );
+                Err(GdprError::AccessDenied {
+                    actor: ctx.actor.clone(),
+                    purpose: ctx.purpose.clone(),
+                    reason,
+                })
+            }
+        }
+    }
+
+    fn check_purpose(&self, ctx: &AccessContext, key: &str, meta: &PersonalMetadata) -> Result<()> {
+        if !self.policy.enforce_purpose_limitation {
+            return Ok(());
+        }
+        if meta.allows_purpose(&ctx.purpose) {
+            return Ok(());
+        }
+        let now = self.now_ms();
+        self.stats.lock().denied_ops += 1;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Read)
+                .key(key)
+                .subject(&meta.subject)
+                .purpose(&ctx.purpose)
+                .outcome(Outcome::Denied)
+                .detail("purpose not permitted for this key"),
+        );
+        Err(GdprError::PurposeViolation { key: key.to_string(), purpose: ctx.purpose.clone() })
+    }
+
+    /// Resolve the retention deadline carried in freshly supplied metadata:
+    /// values smaller than the current clock are interpreted as *relative*
+    /// TTLs (the convenient `with_ttl_millis` spelling), larger ones as
+    /// absolute deadlines.
+    fn resolve_retention(&self, meta: &mut PersonalMetadata) {
+        let now = self.now_ms();
+        if meta.created_at_ms == 0 {
+            meta.created_at_ms = now;
+        }
+        if let Some(value) = meta.expires_at_ms {
+            if value < now {
+                meta.expires_at_ms = Some(now.saturating_add(value));
+            }
+        }
+    }
+
+    // ---- data-path operations -----------------------------------------------
+
+    /// Store personal data under `key` with its GDPR metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns access, purpose, location or storage errors; on any denial a
+    /// `Denied` audit record is emitted (when monitoring is enabled).
+    pub fn put(
+        &self,
+        ctx: &AccessContext,
+        key: &str,
+        value: Bytes,
+        mut meta: PersonalMetadata,
+    ) -> Result<()> {
+        let now = self.now_ms();
+
+        // Article 46: placement control.
+        if !self.policy.location_policy.allows(meta.location) {
+            self.stats.lock().denied_ops += 1;
+            self.emit_audit(
+                AuditRecord::new(now, &ctx.actor, Operation::Write)
+                    .key(key)
+                    .subject(&meta.subject)
+                    .purpose(&ctx.purpose)
+                    .outcome(Outcome::Denied)
+                    .detail("location policy violation"),
+            );
+            return Err(GdprError::LocationViolation { region: meta.location.to_string() });
+        }
+
+        self.check_access(ctx, &meta.subject, key)?;
+
+        // Article 5: the writer must itself be acting under a declared,
+        // whitelisted purpose.
+        if self.policy.enforce_purpose_limitation && !meta.purposes.contains(&ctx.purpose) {
+            self.stats.lock().denied_ops += 1;
+            return Err(GdprError::PurposeViolation { key: key.to_string(), purpose: ctx.purpose.clone() });
+        }
+
+        self.resolve_retention(&mut meta);
+
+        let value_len = value.len();
+        self.kv.set(key, value)?;
+        if let Some(at) = meta.expires_at_ms {
+            self.kv.expire_at(key, at)?;
+        }
+        self.store_metadata(key, &meta)?;
+
+        if self.policy.maintain_indexes {
+            self.index.lock().insert(key, &meta.subject, meta.purposes.iter().cloned());
+        }
+
+        self.stats.lock().allowed_ops += 1;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Write)
+                .key(key)
+                .subject(&meta.subject)
+                .purpose(&ctx.purpose)
+                .detail(&format!("SET {value_len} bytes")),
+        );
+        self.flush_audit_if_strict()
+    }
+
+    /// Store a multi-field record (the YCSB record shape) with metadata.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::put`].
+    pub fn put_record(
+        &self,
+        ctx: &AccessContext,
+        key: &str,
+        fields: &BTreeMap<String, Bytes>,
+        mut meta: PersonalMetadata,
+    ) -> Result<()> {
+        let now = self.now_ms();
+        if !self.policy.location_policy.allows(meta.location) {
+            self.stats.lock().denied_ops += 1;
+            return Err(GdprError::LocationViolation { region: meta.location.to_string() });
+        }
+        self.check_access(ctx, &meta.subject, key)?;
+        if self.policy.enforce_purpose_limitation && !meta.purposes.contains(&ctx.purpose) {
+            self.stats.lock().denied_ops += 1;
+            return Err(GdprError::PurposeViolation { key: key.to_string(), purpose: ctx.purpose.clone() });
+        }
+        self.resolve_retention(&mut meta);
+
+        self.kv.hset_multi(key, fields)?;
+        if let Some(at) = meta.expires_at_ms {
+            self.kv.expire_at(key, at)?;
+        }
+        self.store_metadata(key, &meta)?;
+        if self.policy.maintain_indexes {
+            self.index.lock().insert(key, &meta.subject, meta.purposes.iter().cloned());
+        }
+        self.stats.lock().allowed_ops += 1;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Write)
+                .key(key)
+                .subject(&meta.subject)
+                .purpose(&ctx.purpose)
+                .detail(&format!("HMSET {} fields", fields.len())),
+        );
+        self.flush_audit_if_strict()
+    }
+
+    /// Update fields of an existing record, re-using its stored metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdprError::MissingMetadata`] if the key has no metadata
+    /// and the policy enforces purpose limitation.
+    pub fn update_record(
+        &self,
+        ctx: &AccessContext,
+        key: &str,
+        fields: &BTreeMap<String, Bytes>,
+    ) -> Result<()> {
+        let now = self.now_ms();
+        let meta = self.require_metadata(key)?;
+        if let Some(meta) = &meta {
+            self.check_access(ctx, &meta.subject, key)?;
+            self.check_purpose(ctx, key, meta)?;
+        }
+        self.kv.hset_multi(key, fields)?;
+        // hset clears no TTL, but SET-based metadata writes do; restore the
+        // deadline on the data key if the metadata carries one.
+        if let Some(meta) = &meta {
+            if let Some(at) = meta.expires_at_ms {
+                self.kv.expire_at(key, at)?;
+            }
+        }
+        self.stats.lock().allowed_ops += 1;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Write)
+                .key(key)
+                .subject(meta.as_ref().map(|m| m.subject.as_str()).unwrap_or(""))
+                .purpose(&ctx.purpose)
+                .detail(&format!("HMSET {} fields (update)", fields.len())),
+        );
+        self.flush_audit_if_strict()
+    }
+
+    fn require_metadata(&self, key: &str) -> Result<Option<PersonalMetadata>> {
+        match self.load_metadata(key)? {
+            Some(meta) => Ok(Some(meta)),
+            None if self.policy.enforce_purpose_limitation => {
+                Err(GdprError::MissingMetadata { key: key.to_string() })
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Read the string value stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns access/purpose violations, missing-metadata errors (when the
+    /// policy demands metadata) and storage errors.
+    pub fn get(&self, ctx: &AccessContext, key: &str) -> Result<Option<Bytes>> {
+        let now = self.now_ms();
+        let meta = match self.kv.exists(key)? {
+            true => self.require_metadata(key)?,
+            false => None,
+        };
+        if let Some(meta) = &meta {
+            self.check_access(ctx, &meta.subject, key)?;
+            self.check_purpose(ctx, key, meta)?;
+        }
+        let value = self.kv.get(key)?;
+        self.stats.lock().allowed_ops += 1;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Read)
+                .key(key)
+                .subject(meta.as_ref().map(|m| m.subject.as_str()).unwrap_or(""))
+                .purpose(&ctx.purpose)
+                .detail(&format!("GET {} bytes", value.as_ref().map_or(0, Vec::len))),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(value)
+    }
+
+    /// Read a multi-field record.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::get`].
+    pub fn get_record(
+        &self,
+        ctx: &AccessContext,
+        key: &str,
+    ) -> Result<Option<BTreeMap<String, Bytes>>> {
+        let now = self.now_ms();
+        let meta = match self.kv.exists(key)? {
+            true => self.require_metadata(key)?,
+            false => None,
+        };
+        if let Some(meta) = &meta {
+            self.check_access(ctx, &meta.subject, key)?;
+            self.check_purpose(ctx, key, meta)?;
+        }
+        let record = self.kv.hgetall(key)?;
+        self.stats.lock().allowed_ops += 1;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Read)
+                .key(key)
+                .subject(meta.as_ref().map(|m| m.subject.as_str()).unwrap_or(""))
+                .purpose(&ctx.purpose)
+                .detail("HGETALL"),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(record)
+    }
+
+    /// Read the GDPR metadata of a key (itself an audited read).
+    ///
+    /// # Errors
+    ///
+    /// Returns corruption or storage errors.
+    pub fn metadata(&self, ctx: &AccessContext, key: &str) -> Result<Option<PersonalMetadata>> {
+        let now = self.now_ms();
+        let meta = self.load_metadata(key)?;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Read)
+                .key(key)
+                .subject(meta.as_ref().map(|m| m.subject.as_str()).unwrap_or(""))
+                .purpose(&ctx.purpose)
+                .detail("metadata read"),
+        );
+        Ok(meta)
+    }
+
+    /// Delete one key (and its metadata). Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns access violations and storage errors.
+    pub fn delete(&self, ctx: &AccessContext, key: &str) -> Result<bool> {
+        let now = self.now_ms();
+        let meta = self.load_metadata(key)?;
+        if let Some(meta) = &meta {
+            self.check_access(ctx, &meta.subject, key)?;
+        }
+        let existed = self.kv.delete(key)?;
+        self.kv.delete(&Self::meta_key(key))?;
+        if self.policy.maintain_indexes {
+            self.index.lock().remove(key);
+        }
+        if existed && self.policy.scrub_aof_on_erasure {
+            self.kv.rewrite_aof()?;
+        }
+        self.stats.lock().allowed_ops += 1;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Delete)
+                .key(key)
+                .subject(meta.as_ref().map(|m| m.subject.as_str()).unwrap_or(""))
+                .purpose(&ctx.purpose)
+                .detail(if existed { "DEL (existed)" } else { "DEL (missing)" }),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(existed)
+    }
+
+    /// Ordered scan of up to `count` *data* keys starting at `start`
+    /// (metadata shadow keys are filtered out).
+    ///
+    /// # Errors
+    ///
+    /// Returns storage errors.
+    pub fn scan(&self, ctx: &AccessContext, start: &str, count: usize) -> Result<Vec<String>> {
+        let now = self.now_ms();
+        // Over-fetch to compensate for filtered shadow keys.
+        let raw = self.kv.scan(start, count + count / 2 + 8)?;
+        let keys: Vec<String> =
+            raw.into_iter().filter(|k| !Self::is_meta_key(k)).take(count).collect();
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Read)
+                .purpose(&ctx.purpose)
+                .detail(&format!("SCAN {} keys", keys.len())),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(keys)
+    }
+
+    /// Number of data keys currently stored (excluding metadata shadows).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let total = self.kv.len();
+        let metas = self.kv.keys(&format!("{META_PREFIX}*")).map(|v| v.len()).unwrap_or(0);
+        total.saturating_sub(metas)
+    }
+
+    /// Whether the store holds no data keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run the engine's background duties (expiry cycle, batched fsyncs)
+    /// and clean up the compliance layer after any erased keys. Returns the
+    /// engine cycle outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and audit errors.
+    pub fn tick(&self) -> Result<CycleOutcome> {
+        let outcome = self.kv.tick()?;
+        let now = self.now_ms();
+        let mut erased_data_keys = 0u64;
+        for key in &outcome.removed {
+            if Self::is_meta_key(key) {
+                continue;
+            }
+            erased_data_keys += 1;
+            if self.policy.maintain_indexes {
+                self.index.lock().remove(key);
+            }
+            // Make sure the shadow record goes too, even if its own TTL
+            // cycle has not caught it yet.
+            self.kv.delete(&Self::meta_key(key))?;
+            self.emit_audit(
+                AuditRecord::new(now, "retention-engine", Operation::Delete)
+                    .key(key)
+                    .detail("erased: retention period elapsed"),
+            );
+        }
+        if erased_data_keys > 0 {
+            self.stats.lock().erased_by_retention += erased_data_keys;
+            if self.policy.scrub_aof_on_erasure {
+                self.kv.rewrite_aof()?;
+            }
+        }
+        // Give the periodic audit policy a chance to flush even when no
+        // records were emitted this tick.
+        self.audit.lock().flush().map_err(GdprError::from)?;
+        Ok(outcome)
+    }
+
+    pub(crate) fn flush_audit_if_strict(&self) -> Result<()> {
+        if self.policy.audit_flush.is_real_time() {
+            self.audit.lock().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the in-memory metadata indexes from the shadow records
+    /// (after recovery from the AOF, for example).
+    ///
+    /// # Errors
+    ///
+    /// Returns corruption errors from undecodable shadow records.
+    pub fn rebuild_index(&self) -> Result<()> {
+        if !self.policy.maintain_indexes {
+            return Ok(());
+        }
+        let mut index = self.index.lock();
+        index.clear();
+        for meta_key in self.kv.keys(&format!("{META_PREFIX}*"))? {
+            let data_key = meta_key.trim_start_matches(META_PREFIX).to_string();
+            if let Some(bytes) = self.kv.get(&meta_key)? {
+                match PersonalMetadata::decode(&bytes) {
+                    Some(meta) => {
+                        index.insert(&data_key, &meta.subject, meta.purposes.iter().cloned());
+                    }
+                    None => {
+                        return Err(GdprError::CorruptMetadata {
+                            key: data_key,
+                            detail: "rebuild".to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-region inventory of stored personal data (Article 46 reporting).
+    ///
+    /// # Errors
+    ///
+    /// Returns storage or corruption errors.
+    pub fn location_inventory(&self) -> Result<LocationInventory> {
+        let mut inventory = LocationInventory::new();
+        for meta_key in self.kv.keys(&format!("{META_PREFIX}*"))? {
+            if let Some(bytes) = self.kv.get(&meta_key)? {
+                if let Some(meta) = PersonalMetadata::decode(&bytes) {
+                    inventory.add(meta.location);
+                }
+            }
+        }
+        Ok(inventory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::Region;
+    use kvstore::clock::SimClock;
+
+    fn ctx() -> AccessContext {
+        AccessContext::new("app", "billing")
+    }
+
+    fn meta() -> PersonalMetadata {
+        PersonalMetadata::new("alice").with_purpose("billing").with_location(Region::Eu)
+    }
+
+    fn permissive_store() -> GdprStore {
+        // Strict policy but with a grant installed for the test actor.
+        let store = GdprStore::open_in_memory(CompliancePolicy::strict()).unwrap();
+        store.grant(Grant::new("app", "billing"));
+        store
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip_under_strict_policy() {
+        let store = permissive_store();
+        store.put(&ctx(), "user:alice:email", b"a@b.c".to_vec(), meta()).unwrap();
+        assert_eq!(store.get(&ctx(), "user:alice:email").unwrap(), Some(b"a@b.c".to_vec()));
+        assert_eq!(store.len(), 1);
+        assert!(store.delete(&ctx(), "user:alice:email").unwrap());
+        assert_eq!(store.get(&ctx(), "user:alice:email").unwrap(), None);
+        assert!(store.is_empty());
+        let stats = store.stats();
+        assert!(stats.allowed_ops >= 3);
+        assert_eq!(stats.denied_ops, 0);
+    }
+
+    #[test]
+    fn unmodified_policy_skips_all_checks() {
+        let store = GdprStore::open_in_memory(CompliancePolicy::unmodified()).unwrap();
+        // No grants installed, no metadata checks, no audit.
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        assert_eq!(store.get(&ctx(), "k").unwrap(), Some(b"v".to_vec()));
+        assert!(store.audit_trail().unwrap().is_empty());
+        assert_eq!(store.stats().audit_records, 0);
+    }
+
+    #[test]
+    fn access_control_denies_unknown_actor() {
+        let store = GdprStore::open_in_memory(CompliancePolicy::strict()).unwrap();
+        let err = store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap_err();
+        assert!(matches!(err, GdprError::AccessDenied { .. }));
+        assert_eq!(store.stats().denied_ops, 1);
+        // The denial itself is evidence in the trail.
+        let trail = store.audit_trail().unwrap();
+        assert!(trail.iter().any(|l| l.contains("denied")));
+    }
+
+    #[test]
+    fn purpose_limitation_blocks_non_whitelisted_reads() {
+        let store = permissive_store();
+        store.grant(Grant::new("app", "marketing"));
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        let marketing = AccessContext::new("app", "marketing");
+        let err = store.get(&marketing, "k").unwrap_err();
+        assert!(matches!(err, GdprError::PurposeViolation { .. }));
+    }
+
+    #[test]
+    fn objection_blocks_previously_allowed_purpose() {
+        let store = permissive_store();
+        store.grant(Grant::new("app", "analytics"));
+        let m = meta().with_purpose("analytics").with_objection("analytics");
+        store.put(&ctx(), "k", b"v".to_vec(), m).unwrap();
+        let analytics = AccessContext::new("app", "analytics");
+        assert!(store.get(&analytics, "k").is_err());
+    }
+
+    #[test]
+    fn location_policy_blocks_non_eu_placement() {
+        let store = permissive_store();
+        let err = store
+            .put(&ctx(), "k", b"v".to_vec(), meta().with_location(Region::Us))
+            .unwrap_err();
+        assert!(matches!(err, GdprError::LocationViolation { .. }));
+    }
+
+    #[test]
+    fn writer_purpose_must_be_whitelisted() {
+        let store = permissive_store();
+        // Metadata whitelists only "analytics" but the writer claims "billing".
+        let m = PersonalMetadata::new("alice").with_purpose("analytics");
+        let err = store.put(&ctx(), "k", b"v".to_vec(), m).unwrap_err();
+        assert!(matches!(err, GdprError::PurposeViolation { .. }));
+    }
+
+    #[test]
+    fn relative_ttl_is_resolved_against_the_clock() {
+        let clock = SimClock::new(1_000_000);
+        let store = GdprStore::open(
+            CompliancePolicy::strict(),
+            StoreConfig::in_memory().aof_in_memory().clock(clock.clone()),
+            Box::new(MemorySink::new()),
+        )
+        .unwrap();
+        store.grant(Grant::new("app", "billing"));
+        store.put(&ctx(), "k", b"v".to_vec(), meta().with_ttl_millis(5_000)).unwrap();
+        let stored = store.load_metadata("k").unwrap().unwrap();
+        assert_eq!(stored.expires_at_ms, Some(1_005_000));
+        assert_eq!(stored.created_at_ms, 1_000_000);
+        // After the TTL the engine erases both key and shadow.
+        clock.advance_millis(6_000);
+        store.tick().unwrap();
+        assert_eq!(store.get(&ctx(), "k").unwrap(), None);
+        assert!(store.load_metadata("k").unwrap().is_none());
+        assert!(store.stats().erased_by_retention >= 1);
+    }
+
+    #[test]
+    fn records_roundtrip_and_update() {
+        let store = permissive_store();
+        let mut fields = BTreeMap::new();
+        fields.insert("field0".to_string(), b"v0".to_vec());
+        fields.insert("field1".to_string(), b"v1".to_vec());
+        store.put_record(&ctx(), "user:alice:profile", &fields, meta()).unwrap();
+        let read = store.get_record(&ctx(), "user:alice:profile").unwrap().unwrap();
+        assert_eq!(read.len(), 2);
+
+        let mut update = BTreeMap::new();
+        update.insert("field1".to_string(), b"updated".to_vec());
+        store.update_record(&ctx(), "user:alice:profile", &update).unwrap();
+        let read = store.get_record(&ctx(), "user:alice:profile").unwrap().unwrap();
+        assert_eq!(read["field1"], b"updated".to_vec());
+        assert_eq!(read["field0"], b"v0".to_vec());
+    }
+
+    #[test]
+    fn update_without_metadata_is_rejected_under_strict_policy() {
+        let store = permissive_store();
+        let mut fields = BTreeMap::new();
+        fields.insert("f".to_string(), b"v".to_vec());
+        let err = store.update_record(&ctx(), "never-created", &fields).unwrap_err();
+        assert!(matches!(err, GdprError::MissingMetadata { .. }));
+    }
+
+    #[test]
+    fn scan_excludes_metadata_shadow_keys() {
+        let store = permissive_store();
+        for i in 0..5 {
+            store.put(&ctx(), &format!("user:{i}"), b"v".to_vec(), meta()).unwrap();
+        }
+        let keys = store.scan(&ctx(), "", 100).unwrap();
+        assert_eq!(keys.len(), 5);
+        assert!(keys.iter().all(|k| !GdprStore::is_meta_key(k)));
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn audit_trail_records_reads_and_writes_with_chain() {
+        let store = permissive_store();
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        store.get(&ctx(), "k").unwrap();
+        let trail = store.audit_trail().unwrap();
+        assert!(trail.len() >= 3, "grant + write + read, got {}", trail.len());
+        assert!(store.audit_chain_tip().is_some());
+        // Verify the chain end to end.
+        let parsed = audit::reader::parse_trail(&trail.join("\n")).unwrap();
+        audit::reader::verify_trail(&parsed).unwrap();
+    }
+
+    #[test]
+    fn metadata_accessor_and_inventory() {
+        let store = permissive_store();
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        let m = store.metadata(&ctx(), "k").unwrap().unwrap();
+        assert_eq!(m.subject, "alice");
+        let inventory = store.location_inventory().unwrap();
+        assert_eq!(inventory.count(Region::Eu), 1);
+        assert_eq!(inventory.total(), 1);
+    }
+
+    #[test]
+    fn revoke_closes_access() {
+        let store = permissive_store();
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        assert_eq!(store.revoke("app", "billing"), 1);
+        assert!(store.get(&ctx(), "k").is_err());
+    }
+
+    #[test]
+    fn rebuild_index_recovers_postings() {
+        let store = permissive_store();
+        store.put(&ctx(), "user:alice:email", b"v".to_vec(), meta()).unwrap();
+        store.index.lock().clear();
+        assert!(store.index.lock().keys_of_subject("alice").is_empty());
+        store.rebuild_index().unwrap();
+        assert_eq!(store.index.lock().keys_of_subject("alice"), vec!["user:alice:email"]);
+    }
+}

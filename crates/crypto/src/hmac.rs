@@ -1,0 +1,146 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by [`crate::kdf`] for key derivation and by the audit subsystem to
+//! authenticate exported breach-notification bundles.
+
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Incremental HMAC-SHA-256.
+///
+/// # Example
+///
+/// ```
+/// use gdpr_crypto::hmac::HmacSha256;
+///
+/// let tag = HmacSha256::mac(b"secret key", b"message");
+/// assert!(HmacSha256::verify(b"secret key", b"message", &tag));
+/// assert!(!HmacSha256::verify(b"secret key", b"tampered", &tag));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key_pad: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Create a MAC instance keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        // Keys longer than the block size are hashed first.
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_key_pad = [0u8; BLOCK_LEN];
+        let mut outer_key_pad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key_pad[i] = key_block[i] ^ 0x36;
+            outer_key_pad[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&inner_key_pad);
+        HmacSha256 { inner, outer_key_pad }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key_pad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC.
+    #[must_use]
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verify a tag in constant time.
+    #[must_use]
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        crate::constant_time_eq(&Self::mac(key, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2: "Jefe" / "what do ya want for nothing?".
+    #[test]
+    fn rfc4231_case2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 20 bytes of 0xaa, 50 bytes of 0xdd.
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            to_hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // Key longer than the 64-byte block must be pre-hashed; a correct
+        // implementation gives the same result for the key and for nothing
+        // else (sanity: differs from the short-key MAC).
+        let long_key = vec![0x42u8; 100];
+        let short_key = vec![0x42u8; 10];
+        assert_ne!(HmacSha256::mac(&long_key, b"m"), HmacSha256::mac(&short_key, b"m"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"k");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"k", b"hello world"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_tag() {
+        let tag = HmacSha256::mac(b"k", b"data");
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"data", &bad));
+        assert!(!HmacSha256::verify(b"k", b"data", &tag[..31]));
+    }
+}

@@ -1,0 +1,148 @@
+//! Key derivation: HKDF-SHA-256 (RFC 5869) and a PBKDF2-style passphrase
+//! stretcher.
+//!
+//! The LUKS-simulation device derives its per-device data key from a master
+//! passphrase exactly the way LUKS derives a volume key from a user key:
+//! an expensive passphrase KDF, then cheap per-purpose subkeys via HKDF.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: produce a pseudorandom key from input keying material.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: derive `len` bytes of output keying material bound to
+/// `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32`, the RFC 5869 limit.
+#[must_use]
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output length limit exceeded");
+    let mut okm = Vec::with_capacity(len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&previous);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        previous = block.to_vec();
+        okm.extend_from_slice(&block);
+        counter += 1;
+    }
+    okm.truncate(len);
+    okm
+}
+
+/// One-shot HKDF (extract + expand).
+#[must_use]
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, len)
+}
+
+/// Derive a 256-bit key suitable for [`crate::aead::ChaCha20Poly1305`].
+#[must_use]
+pub fn derive_key(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let okm = hkdf(salt, ikm, info, 32);
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&okm);
+    key
+}
+
+/// PBKDF2-HMAC-SHA-256 with a configurable iteration count.
+///
+/// LUKS stretches the user passphrase before unlocking the volume key; this
+/// is the analogous operation for the encrypted device simulation. The
+/// default iteration count used by the storage layer is deliberately small
+/// (benchmarking, not security).
+#[must_use]
+pub fn pbkdf2(password: &[u8], salt: &[u8], iterations: u32, len: usize) -> Vec<u8> {
+    assert!(iterations > 0, "PBKDF2 requires at least one iteration");
+    let mut out = Vec::with_capacity(len);
+    let mut block_index = 1u32;
+    while out.len() < len {
+        // U1 = HMAC(password, salt || INT(block_index))
+        let mut mac = HmacSha256::new(password);
+        mac.update(salt);
+        mac.update(&block_index.to_be_bytes());
+        let mut u = mac.finalize();
+        let mut t = u;
+        for _ in 1..iterations {
+            u = HmacSha256::mac(password, &u);
+            for (tb, ub) in t.iter_mut().zip(u.iter()) {
+                *tb ^= ub;
+            }
+        }
+        out.extend_from_slice(&t);
+        block_index += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    /// RFC 5869 test case 1.
+    #[test]
+    fn hkdf_rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn hkdf_expand_lengths() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(hkdf_expand(&prk, b"info", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn hkdf_different_info_different_keys() {
+        assert_ne!(derive_key(b"s", b"ikm", b"aof"), derive_key(b"s", b"ikm", b"snapshot"));
+    }
+
+    /// RFC 7914 §11 / common PBKDF2-HMAC-SHA256 vector:
+    /// P="passwd", S="salt", c=1, dkLen=64.
+    #[test]
+    fn pbkdf2_known_vector() {
+        let dk = pbkdf2(b"passwd", b"salt", 1, 64);
+        assert_eq!(
+            to_hex(&dk),
+            "55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc\
+             49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783"
+        );
+    }
+
+    #[test]
+    fn pbkdf2_iterations_change_output() {
+        assert_ne!(pbkdf2(b"pw", b"salt", 1, 32), pbkdf2(b"pw", b"salt", 2, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn pbkdf2_zero_iterations_panics() {
+        let _ = pbkdf2(b"pw", b"salt", 0, 32);
+    }
+}

@@ -1,0 +1,169 @@
+//! From-scratch cryptographic primitives for the GDPR storage study.
+//!
+//! The paper ("Analyzing the Impact of GDPR on Storage Systems", HotStorage
+//! '19) adds encryption to Redis in two places: at rest via LUKS full-disk
+//! encryption, and in transit via a Stunnel TLS proxy. Reproducing those
+//! exact components is not possible in a self-contained Rust workspace, so
+//! this crate provides the primitives needed to *simulate* both: a stream
+//! cipher ([`chacha20::ChaCha20`]), an authenticated-encryption
+//! construction ([`aead::ChaCha20Poly1305`]), a hash
+//! ([`sha256::Sha256`]), a MAC ([`hmac::HmacSha256`]) and a key-derivation
+//! function ([`kdf`]). The persistence layer of the key-value engine uses
+//! the AEAD to encrypt every byte written to disk (the LUKS substitute),
+//! and the network simulator uses it to encrypt every frame on the wire
+//! (the TLS substitute). What matters for the reproduction is that the
+//! *same code path* — CPU work proportional to the number of bytes moved —
+//! is exercised.
+//!
+//! # Security disclaimer
+//!
+//! These implementations are written for benchmarking and educational
+//! purposes. They follow the RFC 8439 / FIPS 180-4 algorithms and pass the
+//! published test vectors, but they are **not** constant-time audited and
+//! must not be used to protect real personal data.
+//!
+//! # Example
+//!
+//! ```
+//! use gdpr_crypto::aead::ChaCha20Poly1305;
+//!
+//! # fn main() -> Result<(), gdpr_crypto::CryptoError> {
+//! let key = [7u8; 32];
+//! let aead = ChaCha20Poly1305::new(&key);
+//! let nonce = [1u8; 12];
+//! let sealed = aead.seal(&nonce, b"record header", b"personal data");
+//! let opened = aead.open(&nonce, b"record header", &sealed)?;
+//! assert_eq!(opened, b"personal data");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod hmac;
+pub mod kdf;
+pub mod keyring;
+pub mod poly1305;
+pub mod sha256;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic primitives in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The authentication tag did not match: the ciphertext (or its
+    /// associated data) was corrupted or tampered with.
+    TagMismatch,
+    /// The ciphertext is too short to even contain an authentication tag.
+    TruncatedCiphertext {
+        /// Number of bytes that were provided.
+        got: usize,
+        /// Minimum number of bytes required.
+        need: usize,
+    },
+    /// A key, nonce or other parameter had an invalid length.
+    InvalidLength {
+        /// What the parameter was.
+        what: &'static str,
+        /// Number of bytes that were provided.
+        got: usize,
+        /// Number of bytes expected.
+        expected: usize,
+    },
+    /// A requested key identifier does not exist in the keyring.
+    UnknownKey(u64),
+    /// The key for this identifier has been destroyed (crypto-erasure).
+    KeyDestroyed(u64),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::TruncatedCiphertext { got, need } => {
+                write!(f, "ciphertext too short: got {got} bytes, need at least {need}")
+            }
+            CryptoError::InvalidLength { what, got, expected } => {
+                write!(f, "invalid {what} length: got {got} bytes, expected {expected}")
+            }
+            CryptoError::UnknownKey(id) => write!(f, "unknown key id {id}"),
+            CryptoError::KeyDestroyed(id) => write!(f, "key id {id} has been destroyed"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+/// Constant-time byte-slice equality.
+///
+/// Compares every byte regardless of where the first difference occurs so
+/// that MAC verification does not leak the position of a mismatch through
+/// timing.
+#[must_use]
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Fill `buf` with random bytes from the thread-local RNG.
+///
+/// Used for nonce generation in the storage and network layers. The quality
+/// requirement here is uniqueness, not unpredictability, since this crate is
+/// a benchmarking substitute for LUKS/TLS.
+pub fn fill_random(buf: &mut [u8]) {
+    use rand::RngCore;
+    rand::thread_rng().fill_bytes(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_time_eq_equal() {
+        assert!(constant_time_eq(b"abcdef", b"abcdef"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn constant_time_eq_unequal() {
+        assert!(!constant_time_eq(b"abcdef", b"abcdeg"));
+        assert!(!constant_time_eq(b"abc", b"abcd"));
+        assert!(!constant_time_eq(b"abc", b""));
+    }
+
+    #[test]
+    fn fill_random_changes_buffer() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        fill_random(&mut a);
+        fill_random(&mut b);
+        // Two 256-bit random draws colliding is astronomically unlikely.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            CryptoError::TagMismatch,
+            CryptoError::TruncatedCiphertext { got: 3, need: 16 },
+            CryptoError::InvalidLength { what: "key", got: 5, expected: 32 },
+            CryptoError::UnknownKey(9),
+            CryptoError::KeyDestroyed(9),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with 26-bit limb arithmetic over 64-bit accumulators, the
+//! classic portable formulation. Combined with ChaCha20 in
+//! [`crate::aead::ChaCha20Poly1305`].
+
+/// Length of the one-time key in bytes.
+pub const KEY_LEN: usize = 32;
+/// Length of the authentication tag in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC.
+///
+/// A Poly1305 key must only ever be used for a single message; the AEAD
+/// construction derives a fresh key per nonce.
+#[derive(Debug, Clone)]
+pub struct Poly1305 {
+    /// The clamped polynomial evaluation point `r`, split into 26-bit limbs.
+    r: [u32; 5],
+    /// The final addend `s`.
+    s: [u32; 4],
+    /// Accumulator limbs.
+    h: [u32; 5],
+    /// Partial block buffer.
+    buffer: [u8; 16],
+    buffer_len: usize,
+}
+
+impl Poly1305 {
+    /// Create an authenticator from a 32-byte one-time key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // r is the first 16 bytes, clamped.
+        let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+        let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+        let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+        let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+
+        let s = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]),
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]),
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
+        ];
+
+        Poly1305 { r, s, h: [0; 5], buffer: [0u8; 16], buffer_len: 0 }
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    #[must_use]
+    pub fn mac(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(data);
+        p.finalize()
+    }
+
+    /// Verify `tag` over `data` in constant time.
+    #[must_use]
+    pub fn verify(key: &[u8; KEY_LEN], data: &[u8], tag: &[u8]) -> bool {
+        crate::constant_time_eq(&Self::mac(key, data), tag)
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffer_len > 0 {
+            let take = (16 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 16 {
+                let block = self.buffer;
+                self.process_block(&block, false);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Process one 16-byte block. `partial` marks the final short block
+    /// (which gets an explicit 0x01 terminator instead of the implicit
+    /// 2^128 bit).
+    fn process_block(&mut self, block: &[u8; 16], partial: bool) {
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+
+        // h += m
+        self.h[0] = self.h[0].wrapping_add(t0 & 0x03ff_ffff);
+        self.h[1] = self.h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
+        self.h[2] = self.h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
+        self.h[3] = self.h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
+        self.h[4] = self.h[4].wrapping_add((t3 >> 8) | hibit);
+
+        // h *= r (schoolbook multiply with modular reduction folded in via
+        // the 5*r trick for the limbs that wrap past 2^130).
+        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
+        let [h0, h1, h2, h3, h4] = self.h.map(u64::from);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+
+        c = d0 >> 26;
+        let h0 = (d0 & 0x03ff_ffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        let h1 = (d1 & 0x03ff_ffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        let h2 = (d2 & 0x03ff_ffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        let h3 = (d3 & 0x03ff_ffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        let h4 = (d4 & 0x03ff_ffff) as u32;
+        d0 = u64::from(h0) + c * 5;
+        c = d0 >> 26;
+        let h0 = (d0 & 0x03ff_ffff) as u32;
+        let h1 = h1 + c as u32;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    /// Finish and return the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buffer_len > 0 {
+            // Pad the final partial block with a 0x01 terminator and zeros.
+            let mut block = [0u8; 16];
+            block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+            block[self.buffer_len] = 1;
+            self.process_block(&block, true);
+        }
+
+        // Full carry.
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        let mut c: u32;
+        c = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += c;
+
+        // Compute h + -p (i.e. h - (2^130 - 5)) to check whether h >= p.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // Select h if h < p, else g.
+        let mask = (g4 >> 31).wrapping_sub(1); // all-ones if g4 >= 0 (h >= p)
+        let h0 = (h0 & !mask) | (g0 & mask);
+        let h1 = (h1 & !mask) | (g1 & mask);
+        let h2 = (h2 & !mask) | (g2 & mask);
+        let h3 = (h3 & !mask) | (g3 & mask);
+        let h4 = (h4 & !mask) | (g4 & mask);
+
+        // Serialize h to 128 bits little-endian.
+        let f0 = (h0 | (h1 << 26)) as u64;
+        let f1 = ((h1 >> 6) | (h2 << 20)) as u64;
+        let f2 = ((h2 >> 12) | (h3 << 14)) as u64;
+        let f3 = ((h3 >> 18) | (h4 << 8)) as u64;
+
+        // Add s with carry across 32-bit words.
+        let mut acc = f0 + u64::from(self.s[0]);
+        let w0 = acc as u32;
+        acc = f1 + u64::from(self.s[1]) + (acc >> 32);
+        let w1 = acc as u32;
+        acc = f2 + u64::from(self.s[2]) + (acc >> 32);
+        let w2 = acc as u32;
+        acc = f3 + u64::from(self.s[3]) + (acc >> 32);
+        let w3 = acc as u32;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..4].copy_from_slice(&w0.to_le_bytes());
+        tag[4..8].copy_from_slice(&w1.to_le_bytes());
+        tag[8..12].copy_from_slice(&w2.to_le_bytes());
+        tag[12..16].copy_from_slice(&w3.to_le_bytes());
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    fn rfc_key() -> [u8; 32] {
+        let hex = "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b";
+        let mut key = [0u8; 32];
+        for i in 0..32 {
+            key[i] = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        key
+    }
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let tag = Poly1305::mac(&rfc_key(), b"Cryptographic Forum Research Group");
+        assert_eq!(to_hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = rfc_key();
+        let tag = Poly1305::mac(&key, b"hello");
+        assert!(Poly1305::verify(&key, b"hello", &tag));
+        assert!(!Poly1305::verify(&key, b"hellp", &tag));
+        let mut bad = tag;
+        bad[15] ^= 0x80;
+        assert!(!Poly1305::verify(&key, b"hello", &bad));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = rfc_key();
+        let data: Vec<u8> = (0..200u8).collect();
+        for split in [0usize, 1, 15, 16, 17, 31, 32, 100, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn empty_message_has_tag_s() {
+        // With no blocks processed, the tag is simply s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xabu8; 16]);
+        let tag = Poly1305::mac(&key, b"");
+        assert_eq!(tag, [0xabu8; 16]);
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        let key = rfc_key();
+        let a = Poly1305::mac(&key, &[7u8; 16]);
+        let b = Poly1305::mac(&key, &[7u8; 32]);
+        assert_ne!(a, b);
+    }
+}

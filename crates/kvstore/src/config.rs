@@ -1,0 +1,198 @@
+//! Engine configuration.
+//!
+//! The paper's experiments are all, at heart, configuration sweeps over the
+//! same engine: AOF on/off, fsync policy, read-logging on/off (the
+//! monitoring retrofit), encryption at rest on/off (LUKS), and the expiry
+//! mode (stock lazy vs strict). [`StoreConfig`] captures exactly those
+//! knobs so the benchmark harness can express each Figure 1 / Figure 2
+//! configuration as a value.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::aof::FsyncPolicy;
+use crate::clock::{Clock, SharedClock, SystemClock};
+use crate::expire::{ActiveExpireConfig, ExpiryMode};
+
+/// Where the append-only file lives.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Persistence {
+    /// No persistence at all (pure cache, the unmodified-Redis baseline for
+    /// workloads that do not enable AOF).
+    #[default]
+    None,
+    /// Append-only file held in memory (isolates CPU/fsync-call cost from
+    /// disk latency; useful for micro-benchmarks and tests).
+    AofInMemory,
+    /// Append-only file on disk at the given path.
+    AofFile(PathBuf),
+}
+
+/// At-rest encryption settings (the LUKS simulation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptionAtRest {
+    /// Passphrase from which the device key is derived.
+    pub passphrase: Vec<u8>,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Persistence mode for the AOF.
+    pub persistence: Persistence,
+    /// Fsync policy applied to the AOF (`appendfsync`).
+    pub fsync: FsyncPolicy,
+    /// Whether read commands are journaled too. Stock Redis only journals
+    /// writes; the paper's GDPR monitoring retrofit journals *every*
+    /// interaction (Article 30).
+    pub log_reads: bool,
+    /// Encrypt everything that reaches the device (LUKS simulation).
+    pub encryption: Option<EncryptionAtRest>,
+    /// Active-expiry behaviour.
+    pub expiry_mode: ExpiryMode,
+    /// Tunables of the probabilistic expiry cycle.
+    pub active_expire: ActiveExpireConfig,
+    /// Trigger an automatic AOF rewrite once the log holds at least this
+    /// many records more than after the previous rewrite (0 disables).
+    pub aof_rewrite_threshold_records: u64,
+    /// Clock used by the engine (system clock by default; benchmarks inject
+    /// a [`crate::clock::SimClock`]).
+    pub clock: SharedClock,
+    /// Seed for the engine's internal RNG (expiry sampling); `None` uses a
+    /// nondeterministic seed.
+    pub rng_seed: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            persistence: Persistence::None,
+            fsync: FsyncPolicy::EverySec,
+            log_reads: false,
+            encryption: None,
+            expiry_mode: ExpiryMode::LazyProbabilistic,
+            active_expire: ActiveExpireConfig::default(),
+            aof_rewrite_threshold_records: 0,
+            clock: Arc::new(SystemClock),
+            rng_seed: None,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A purely in-memory, persistence-free configuration (the unmodified
+    /// baseline).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        StoreConfig::default()
+    }
+
+    /// Configuration matching stock Redis with `appendonly yes` and the
+    /// default `everysec` fsync.
+    #[must_use]
+    pub fn with_aof(path: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            persistence: Persistence::AofFile(path.into()),
+            ..StoreConfig::default()
+        }
+    }
+
+    /// Builder-style: set the fsync policy.
+    #[must_use]
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Builder-style: journal read commands as well (GDPR monitoring).
+    #[must_use]
+    pub fn log_reads(mut self, enabled: bool) -> Self {
+        self.log_reads = enabled;
+        self
+    }
+
+    /// Builder-style: enable at-rest encryption with the given passphrase.
+    #[must_use]
+    pub fn encrypted(mut self, passphrase: &[u8]) -> Self {
+        self.encryption = Some(EncryptionAtRest { passphrase: passphrase.to_vec() });
+        self
+    }
+
+    /// Builder-style: select the expiry mode.
+    #[must_use]
+    pub fn expiry_mode(mut self, mode: ExpiryMode) -> Self {
+        self.expiry_mode = mode;
+        self
+    }
+
+    /// Builder-style: use an in-memory AOF (CPU-cost-only persistence).
+    #[must_use]
+    pub fn aof_in_memory(mut self) -> Self {
+        self.persistence = Persistence::AofInMemory;
+        self
+    }
+
+    /// Builder-style: inject a clock.
+    #[must_use]
+    pub fn clock(mut self, clock: impl Clock + 'static) -> Self {
+        self.clock = Arc::new(clock);
+        self
+    }
+
+    /// Builder-style: seed the internal RNG for deterministic expiry
+    /// sampling.
+    #[must_use]
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = Some(seed);
+        self
+    }
+
+    /// Builder-style: automatic AOF rewrite threshold in records.
+    #[must_use]
+    pub fn aof_rewrite_threshold(mut self, records: u64) -> Self {
+        self.aof_rewrite_threshold_records = records;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    #[test]
+    fn default_matches_stock_redis_defaults() {
+        let c = StoreConfig::default();
+        assert_eq!(c.persistence, Persistence::None);
+        assert_eq!(c.fsync, FsyncPolicy::EverySec);
+        assert!(!c.log_reads);
+        assert!(c.encryption.is_none());
+        assert_eq!(c.expiry_mode, ExpiryMode::LazyProbabilistic);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = StoreConfig::with_aof("/tmp/x.aof")
+            .fsync(FsyncPolicy::Always)
+            .log_reads(true)
+            .encrypted(b"pw")
+            .expiry_mode(ExpiryMode::Strict)
+            .rng_seed(7)
+            .aof_rewrite_threshold(1_000)
+            .clock(SimClock::new(5));
+        assert_eq!(c.persistence, Persistence::AofFile(PathBuf::from("/tmp/x.aof")));
+        assert_eq!(c.fsync, FsyncPolicy::Always);
+        assert!(c.log_reads);
+        assert!(c.encryption.is_some());
+        assert_eq!(c.expiry_mode, ExpiryMode::Strict);
+        assert_eq!(c.rng_seed, Some(7));
+        assert_eq!(c.aof_rewrite_threshold_records, 1_000);
+        assert_eq!(c.clock.now_millis(), 5);
+    }
+
+    #[test]
+    fn in_memory_aof_builder() {
+        let c = StoreConfig::in_memory().aof_in_memory();
+        assert_eq!(c.persistence, Persistence::AofInMemory);
+    }
+}

@@ -1,0 +1,172 @@
+//! The value/object model of the engine.
+//!
+//! Like Redis, every key maps to a typed [`Value`]. The reproduction only
+//! needs the types exercised by YCSB and by the GDPR layer (strings and
+//! hashes carry the data, lists and sets are included for completeness of
+//! the command surface and for the metadata indexes of `gdpr-core`).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Raw byte payload stored under a key or hash field.
+pub type Bytes = Vec<u8>;
+
+/// A typed value stored under a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A binary-safe string (the default YCSB record encoding).
+    Str(Bytes),
+    /// A field → value map (used for multi-field YCSB records and for the
+    /// GDPR per-key metadata shadow records).
+    Hash(BTreeMap<String, Bytes>),
+    /// An ordered list.
+    List(VecDeque<Bytes>),
+    /// An unordered set of unique members.
+    Set(BTreeSet<Bytes>),
+}
+
+impl Value {
+    /// Human-readable type name, mirroring the Redis `TYPE` command.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Hash(_) => "hash",
+            Value::List(_) => "list",
+            Value::Set(_) => "set",
+        }
+    }
+
+    /// Approximate memory footprint in bytes (used by `INFO`-style stats
+    /// and by the GDPR export size accounting).
+    #[must_use]
+    pub fn approximate_size(&self) -> usize {
+        match self {
+            Value::Str(b) => b.len(),
+            Value::Hash(map) => map.iter().map(|(k, v)| k.len() + v.len()).sum(),
+            Value::List(items) => items.iter().map(Vec::len).sum(),
+            Value::Set(members) => members.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Number of elements: 1 for a string, the cardinality otherwise.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Value::Str(_) => 1,
+            Value::Hash(map) => map.len(),
+            Value::List(items) => items.len(),
+            Value::Set(members) => members.len(),
+        }
+    }
+
+    /// Whether the container value holds no elements (a string is never
+    /// considered empty for this purpose, matching Redis semantics where
+    /// empty aggregates are removed but empty strings may exist).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Value::Str(_) => false,
+            Value::Hash(map) => map.is_empty(),
+            Value::List(items) => items.is_empty(),
+            Value::Set(members) => members.is_empty(),
+        }
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Self {
+        Value::Str(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.as_bytes().to_vec())
+    }
+}
+
+/// A stored object: the value plus bookkeeping the engine needs.
+///
+/// Redis attaches an LRU/LFU field and an encoding to every `robj`; we keep
+/// the pieces that matter for the paper's experiments (access tracking for
+/// the audit path and a version counter used by the AOF rewrite to detect
+/// concurrent mutation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// The stored value.
+    pub value: Value,
+    /// Milliseconds timestamp of the last access (read or write).
+    pub last_access_ms: u64,
+    /// Monotonically increasing per-key version, bumped on every write.
+    pub version: u64,
+}
+
+impl Object {
+    /// Wrap a value into an object created at `now_ms`.
+    #[must_use]
+    pub fn new(value: Value, now_ms: u64) -> Self {
+        Object { value, last_access_ms: now_ms, version: 1 }
+    }
+
+    /// Record a read access.
+    pub fn touch(&mut self, now_ms: u64) {
+        self.last_access_ms = now_ms;
+    }
+
+    /// Record a write: bumps the version and the access time.
+    pub fn mark_written(&mut self, now_ms: u64) {
+        self.last_access_ms = now_ms;
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::from("x").type_name(), "string");
+        assert_eq!(Value::Hash(BTreeMap::new()).type_name(), "hash");
+        assert_eq!(Value::List(VecDeque::new()).type_name(), "list");
+        assert_eq!(Value::Set(BTreeSet::new()).type_name(), "set");
+    }
+
+    #[test]
+    fn approximate_size_counts_payload_bytes() {
+        assert_eq!(Value::from("abcd").approximate_size(), 4);
+        let mut h = BTreeMap::new();
+        h.insert("field".to_string(), b"value".to_vec());
+        assert_eq!(Value::Hash(h).approximate_size(), 10);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        assert_eq!(Value::from("abc").len(), 1);
+        assert!(!Value::from("").is_empty());
+        let mut h = BTreeMap::new();
+        assert!(Value::Hash(h.clone()).is_empty());
+        h.insert("f".into(), vec![1]);
+        let v = Value::Hash(h);
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn object_versioning() {
+        let mut o = Object::new(Value::from("v"), 100);
+        assert_eq!(o.version, 1);
+        o.touch(150);
+        assert_eq!(o.version, 1);
+        assert_eq!(o.last_access_ms, 150);
+        o.mark_written(200);
+        assert_eq!(o.version, 2);
+        assert_eq!(o.last_access_ms, 200);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(vec![1u8, 2]), Value::Str(vec![1, 2]));
+        assert_eq!(Value::from("hi"), Value::Str(b"hi".to_vec()));
+    }
+}

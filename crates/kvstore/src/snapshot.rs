@@ -1,0 +1,151 @@
+//! Point-in-time snapshots (the RDB analogue).
+//!
+//! A snapshot captures every key, its value and its expiration deadline.
+//! The engine uses snapshots for two things: explicit persistence
+//! (`SAVE`-style), and as the surviving-state source for AOF rewrites
+//! (`BGREWRITEAOF` regenerates the log from the live dataset, which is also
+//! the moment deleted personal data finally disappears from persistent
+//! media — the §4.3 discussion of the paper).
+
+use crate::db::Db;
+use crate::serialize::{decode_value, encode_value, put_str, put_u64, Reader};
+use crate::{Result, StoreError};
+
+/// File-format magic for snapshots.
+const MAGIC: &[u8; 8] = b"GDPRKV01";
+
+/// Serialize the whole keyspace (including TTL deadlines) to bytes.
+#[must_use]
+pub fn save_to_bytes(db: &Db) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let entries: Vec<_> = db.iter().collect();
+    put_u64(&mut out, entries.len() as u64);
+    for (key, object) in entries {
+        put_str(&mut out, key);
+        match db.expire_deadline(key) {
+            Some(at) => {
+                out.push(1);
+                put_u64(&mut out, at);
+            }
+            None => out.push(0),
+        }
+        encode_value(&mut out, &object.value);
+    }
+    out
+}
+
+/// Load a snapshot produced by [`save_to_bytes`] into `db`, replacing its
+/// current contents.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] if the snapshot is malformed.
+pub fn load_from_bytes(db: &mut Db, bytes: &[u8]) -> Result<()> {
+    const CTX: &str = "snapshot";
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::Corrupt { context: CTX, detail: "bad magic".to_string() });
+    }
+    let mut reader = Reader::new(&bytes[MAGIC.len()..]);
+    let count = reader.get_u64(CTX)?;
+    db.flush_all();
+    for _ in 0..count {
+        let key = reader.get_str(CTX)?;
+        let has_expiry = reader.get_u8(CTX)? == 1;
+        let deadline = if has_expiry { Some(reader.get_u64(CTX)?) } else { None };
+        let value = decode_value(&mut reader, CTX)?;
+        db.set_value(&key, value);
+        if let Some(at) = deadline {
+            db.expire_at(&key, at);
+        }
+    }
+    if !reader.is_at_end() {
+        return Err(StoreError::Corrupt {
+            context: CTX,
+            detail: format!("{} trailing bytes", reader.remaining()),
+        });
+    }
+    db.reset_dirty();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use std::sync::Arc;
+
+    fn db_with_clock() -> (Db, SimClock) {
+        let clock = SimClock::new(10_000);
+        (Db::new(Arc::new(clock.clone())), clock)
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_ttls() {
+        let (mut db, _) = db_with_clock();
+        db.set("plain", b"value".to_vec());
+        db.set("with-ttl", b"expiring".to_vec());
+        db.expire_at("with-ttl", 99_000);
+        db.hset("hash", "f", b"v".to_vec()).unwrap();
+        db.sadd("set", b"m".to_vec()).unwrap();
+
+        let bytes = save_to_bytes(&db);
+
+        let (mut restored, _) = db_with_clock();
+        load_from_bytes(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.len(), 4);
+        assert_eq!(restored.get("plain").unwrap(), Some(b"value".to_vec()));
+        assert_eq!(restored.expire_deadline("with-ttl"), Some(99_000));
+        assert_eq!(restored.expire_deadline("plain"), None);
+        assert_eq!(restored.hget("hash", "f").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(restored.smembers("set").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn load_replaces_existing_content() {
+        let (mut source, _) = db_with_clock();
+        source.set("only-key", b"v".to_vec());
+        let bytes = save_to_bytes(&source);
+
+        let (mut target, _) = db_with_clock();
+        target.set("stale", b"old".to_vec());
+        load_from_bytes(&mut target, &bytes).unwrap();
+        assert!(!target.exists("stale"));
+        assert!(target.exists("only-key"));
+    }
+
+    #[test]
+    fn empty_db_roundtrip() {
+        let (db, _) = db_with_clock();
+        let bytes = save_to_bytes(&db);
+        let (mut restored, _) = db_with_clock();
+        restored.set("x", b"y".to_vec());
+        load_from_bytes(&mut restored, &bytes).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (mut db, _) = db_with_clock();
+        assert!(load_from_bytes(&mut db, b"NOTMAGIC\0\0\0\0").is_err());
+        assert!(load_from_bytes(&mut db, b"").is_err());
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let (mut db, _) = db_with_clock();
+        db.set("key", b"value".to_vec());
+        let bytes = save_to_bytes(&db);
+        let (mut target, _) = db_with_clock();
+        assert!(load_from_bytes(&mut target, &bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (db, _) = db_with_clock();
+        let mut bytes = save_to_bytes(&db);
+        bytes.push(0xde);
+        let (mut target, _) = db_with_clock();
+        assert!(load_from_bytes(&mut target, &bytes).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Aggregated engine statistics (the `INFO` analogue).
+
+use crate::aof::AofStats;
+use crate::db::DbStats;
+use crate::device::DeviceStats;
+
+/// A point-in-time view of engine activity, combining keyspace, AOF and
+/// device counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total commands executed through the store façade.
+    pub commands_processed: u64,
+    /// Read commands executed.
+    pub reads: u64,
+    /// Write commands executed.
+    pub writes: u64,
+    /// Number of expiry cycles run.
+    pub expire_cycles: u64,
+    /// Keys removed by expiry cycles.
+    pub keys_expired_by_cycles: u64,
+    /// Automatic AOF rewrites triggered by the record threshold.
+    pub auto_rewrites: u64,
+    /// Keyspace counters.
+    pub db: DbStats,
+    /// AOF counters (zeroed when persistence is disabled).
+    pub aof: AofStats,
+    /// Device counters (zeroed when persistence is disabled).
+    pub device: DeviceStats,
+}
+
+impl EngineStats {
+    /// Keyspace hit ratio in `[0, 1]`; `None` when no lookups happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.db.keyspace_hits + self.db.keyspace_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.db.keyspace_hits as f64 / total as f64)
+        }
+    }
+
+    /// Average fsyncs per command — a quick way to see which compliance
+    /// point (`always` vs `everysec`) a run was operating at.
+    #[must_use]
+    pub fn fsyncs_per_command(&self) -> f64 {
+        if self.commands_processed == 0 {
+            0.0
+        } else {
+            self.aof.fsyncs as f64 / self.commands_processed as f64
+        }
+    }
+
+    /// A compact multi-line rendering in the spirit of `INFO`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "# Stats\n\
+             commands_processed:{}\nreads:{}\nwrites:{}\n\
+             keyspace_hits:{}\nkeyspace_misses:{}\n\
+             expired_keys:{}\ndeleted_keys:{}\n\
+             expire_cycles:{}\nkeys_expired_by_cycles:{}\n\
+             aof_records:{}\naof_fsyncs:{}\naof_rewrites:{}\nauto_rewrites:{}\n\
+             device_bytes_written:{}\ndevice_bytes_on_device:{}\ndevice_syncs:{}\n",
+            self.commands_processed,
+            self.reads,
+            self.writes,
+            self.db.keyspace_hits,
+            self.db.keyspace_misses,
+            self.db.expired_keys,
+            self.db.deleted_keys,
+            self.expire_cycles,
+            self.keys_expired_by_cycles,
+            self.aof.records_appended,
+            self.aof.fsyncs,
+            self.aof.rewrites,
+            self.auto_rewrites,
+            self.device.bytes_written,
+            self.device.bytes_on_device,
+            self.device.syncs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_edge_cases() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.hit_ratio(), None);
+        s.db.keyspace_hits = 3;
+        s.db.keyspace_misses = 1;
+        assert_eq!(s.hit_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn fsyncs_per_command() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.fsyncs_per_command(), 0.0);
+        s.commands_processed = 10;
+        s.aof.fsyncs = 10;
+        assert!((s.fsyncs_per_command() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn render_contains_every_counter_name() {
+        let text = EngineStats::default().render();
+        for field in [
+            "commands_processed",
+            "keyspace_hits",
+            "expired_keys",
+            "aof_fsyncs",
+            "device_bytes_written",
+        ] {
+            assert!(text.contains(field), "missing {field}");
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! The engine façade: [`KvStore`] ties the keyspace, the AOF, the device
+//! layer and the expiry machinery together behind a thread-safe handle.
+//!
+//! Execution model (mirroring Redis):
+//!
+//! 1. every operation is a [`Command`];
+//! 2. the command is executed against the in-memory [`Db`];
+//! 3. if it is a write — or *any* command when read-logging is enabled
+//!    (the GDPR monitoring retrofit) — it is appended to the AOF, whose
+//!    fsync policy decides when the bytes become durable;
+//! 4. time-driven work (active expiry, `everysec` fsync, auto-rewrite) runs
+//!    from [`KvStore::tick`], which a server loop or benchmark calls
+//!    periodically — 10 Hz matches Redis' `serverCron`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aof::{AofLog, AofStats};
+use crate::clock::{SharedClock, UnixMillis};
+use crate::commands::{Command, Reply};
+use crate::config::{Persistence, StoreConfig};
+use crate::db::Db;
+use crate::device::{DeviceStats, EncryptedFileDevice, MemoryDevice, PlainFileDevice, StorageDevice};
+use crate::expire::{run_expire_cycle, CycleOutcome};
+use crate::object::Bytes;
+use crate::snapshot;
+use crate::stats::EngineStats;
+use crate::Result;
+
+struct Inner {
+    db: Db,
+    aof: Option<AofLog>,
+    config: StoreConfig,
+    rng: StdRng,
+    stats_commands: u64,
+    stats_reads: u64,
+    stats_writes: u64,
+    expire_cycles: u64,
+    keys_expired_by_cycles: u64,
+    auto_rewrites: u64,
+    records_since_rewrite: u64,
+    last_tick_ms: UnixMillis,
+}
+
+/// A thread-safe handle to the storage engine.
+///
+/// Cloning the handle is cheap and shares the same underlying state.
+#[derive(Clone)]
+pub struct KvStore {
+    inner: Arc<Mutex<Inner>>,
+    clock: SharedClock,
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("KvStore")
+            .field("keys", &inner.db.len())
+            .field("aof", &inner.aof.is_some())
+            .finish()
+    }
+}
+
+fn build_device(config: &StoreConfig) -> Result<Option<Box<dyn StorageDevice>>> {
+    let base: Box<dyn StorageDevice> = match &config.persistence {
+        Persistence::None => return Ok(None),
+        Persistence::AofInMemory => Box::new(MemoryDevice::new()),
+        Persistence::AofFile(path) => Box::new(PlainFileDevice::open(path)?),
+    };
+    if let Some(enc) = &config.encryption {
+        let wrapped: Box<dyn StorageDevice> = match &config.persistence {
+            Persistence::AofInMemory => {
+                Box::new(EncryptedFileDevice::new(MemoryDevice::new(), &enc.passphrase)?)
+            }
+            Persistence::AofFile(path) => {
+                Box::new(EncryptedFileDevice::new(PlainFileDevice::open(path)?, &enc.passphrase)?)
+            }
+            Persistence::None => unreachable!("handled above"),
+        };
+        drop(base);
+        Ok(Some(wrapped))
+    } else {
+        Ok(Some(base))
+    }
+}
+
+impl KvStore {
+    /// Open an engine with the given configuration, replaying any existing
+    /// append-only file.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration, I/O, decryption or corruption errors
+    /// encountered while opening or replaying persistence.
+    pub fn open(config: StoreConfig) -> Result<Self> {
+        let clock = Arc::clone(&config.clock);
+        let mut db = Db::new(Arc::clone(&clock));
+
+        let aof = match build_device(&config)? {
+            Some(device) => {
+                let mut log = AofLog::new(device, config.fsync, Arc::clone(&clock));
+                // Recover state by replaying journaled write commands.
+                for record in log.load()? {
+                    let cmd = Command::decode(&record)?;
+                    if cmd.is_write() {
+                        cmd.execute(&mut db)?;
+                    }
+                }
+                db.reset_dirty();
+                Some(log)
+            }
+            None => None,
+        };
+
+        let rng = match config.rng_seed {
+            Some(seed) => StdRng::seed_from_u64(seed),
+            None => StdRng::from_entropy(),
+        };
+
+        let now = clock.now_millis();
+        let inner = Inner {
+            db,
+            aof,
+            config,
+            rng,
+            stats_commands: 0,
+            stats_reads: 0,
+            stats_writes: 0,
+            expire_cycles: 0,
+            keys_expired_by_cycles: 0,
+            auto_rewrites: 0,
+            records_since_rewrite: 0,
+            last_tick_ms: now,
+        };
+        Ok(KvStore { inner: Arc::new(Mutex::new(inner)), clock })
+    }
+
+    /// The clock this engine reads time from.
+    #[must_use]
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    // ----- command execution ------------------------------------------------
+
+    /// Execute a command, journaling it according to the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution and persistence errors.
+    pub fn execute(&self, command: Command) -> Result<Reply> {
+        let mut inner = self.inner.lock();
+        let is_write = command.is_write();
+        let reply = command.execute(&mut inner.db)?;
+
+        inner.stats_commands += 1;
+        if is_write {
+            inner.stats_writes += 1;
+        } else {
+            inner.stats_reads += 1;
+        }
+
+        let must_journal = inner.aof.is_some() && (is_write || inner.config.log_reads);
+        if must_journal {
+            let encoded = command.encode();
+            if let Some(aof) = inner.aof.as_mut() {
+                aof.append(&encoded)?;
+            }
+            inner.records_since_rewrite += 1;
+            self.maybe_auto_rewrite(&mut inner)?;
+        }
+        Ok(reply)
+    }
+
+    fn maybe_auto_rewrite(&self, inner: &mut Inner) -> Result<()> {
+        let threshold = inner.config.aof_rewrite_threshold_records;
+        if threshold > 0 && inner.records_since_rewrite >= threshold {
+            Self::rewrite_locked(inner)?;
+            inner.auto_rewrites += 1;
+        }
+        Ok(())
+    }
+
+    // ----- convenience wrappers ----------------------------------------------
+
+    /// Set a string key.
+    pub fn set(&self, key: &str, value: Bytes) -> Result<()> {
+        self.execute(Command::Set { key: key.to_string(), value }).map(|_| ())
+    }
+
+    /// Read a string key.
+    pub fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        Ok(self.execute(Command::Get { key: key.to_string() })?.into_bytes())
+    }
+
+    /// Delete a key; returns whether it existed.
+    pub fn delete(&self, key: &str) -> Result<bool> {
+        Ok(self.execute(Command::Del { key: key.to_string() })? == Reply::Int(1))
+    }
+
+    /// Whether the key exists.
+    pub fn exists(&self, key: &str) -> Result<bool> {
+        Ok(self.execute(Command::Exists { key: key.to_string() })? == Reply::Int(1))
+    }
+
+    /// Set a TTL relative to now.
+    pub fn expire_in(&self, key: &str, ttl: std::time::Duration) -> Result<bool> {
+        Ok(self
+            .execute(Command::Expire { key: key.to_string(), ttl_ms: ttl.as_millis() as u64 })?
+            == Reply::Int(1))
+    }
+
+    /// Set an absolute expiration deadline in Unix milliseconds.
+    pub fn expire_at(&self, key: &str, at_ms: UnixMillis) -> Result<bool> {
+        Ok(self.execute(Command::ExpireAt { key: key.to_string(), at_ms })? == Reply::Int(1))
+    }
+
+    /// Remaining TTL, if the key exists and has one.
+    pub fn ttl(&self, key: &str) -> Result<Option<std::time::Duration>> {
+        Ok(match self.execute(Command::Ttl { key: key.to_string() })? {
+            Reply::Int(ms) => Some(std::time::Duration::from_millis(ms as u64)),
+            _ => None,
+        })
+    }
+
+    /// Set a hash field.
+    pub fn hset(&self, key: &str, field: &str, value: Bytes) -> Result<()> {
+        self.execute(Command::HSet {
+            key: key.to_string(),
+            field: field.to_string(),
+            value,
+        })
+        .map(|_| ())
+    }
+
+    /// Set several hash fields at once.
+    pub fn hset_multi(
+        &self,
+        key: &str,
+        fields: &std::collections::BTreeMap<String, Bytes>,
+    ) -> Result<()> {
+        self.execute(Command::HSetMulti { key: key.to_string(), fields: fields.clone() })
+            .map(|_| ())
+    }
+
+    /// Read a hash field.
+    pub fn hget(&self, key: &str, field: &str) -> Result<Option<Bytes>> {
+        Ok(self
+            .execute(Command::HGet { key: key.to_string(), field: field.to_string() })?
+            .into_bytes())
+    }
+
+    /// Read a whole hash.
+    pub fn hgetall(&self, key: &str) -> Result<Option<std::collections::BTreeMap<String, Bytes>>> {
+        Ok(match self.execute(Command::HGetAll { key: key.to_string() })? {
+            Reply::Map(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Keys matching a glob pattern.
+    pub fn keys(&self, pattern: &str) -> Result<Vec<String>> {
+        Ok(match self.execute(Command::Keys { pattern: pattern.to_string() })? {
+            Reply::StringArray(keys) => keys,
+            _ => Vec::new(),
+        })
+    }
+
+    /// Ordered scan of up to `count` keys starting at `start`.
+    pub fn scan(&self, start: &str, count: usize) -> Result<Vec<String>> {
+        Ok(match self.execute(Command::Scan { start: start.to_string(), count: count as u64 })? {
+            Reply::StringArray(keys) => keys,
+            _ => Vec::new(),
+        })
+    }
+
+    /// Number of keys in the keyspace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().db.len()
+    }
+
+    /// Whether the keyspace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of keys whose TTL deadline has passed but which have not been
+    /// physically erased yet (Figure 2's quantity).
+    #[must_use]
+    pub fn pending_expired(&self) -> usize {
+        self.inner.lock().db.pending_expired_len()
+    }
+
+    // ----- time-driven work ---------------------------------------------------
+
+    /// Run one iteration of the engine's background duties: an expiry cycle
+    /// (per the configured mode) and, under `everysec`, a possible fsync.
+    /// Returns the expiry-cycle outcome so callers (e.g. the GDPR layer)
+    /// can audit the erased keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence errors from the fsync or from journaling the
+    /// expiry deletions.
+    pub fn tick(&self) -> Result<CycleOutcome> {
+        let mut inner = self.inner.lock();
+        let mode = inner.config.expiry_mode;
+        let expire_cfg = inner.config.active_expire;
+        let outcome = {
+            let Inner { db, rng, .. } = &mut *inner;
+            run_expire_cycle(db, mode, &expire_cfg, rng)
+        };
+        inner.expire_cycles += 1;
+        inner.keys_expired_by_cycles += outcome.removed.len() as u64;
+
+        // Propagate expiry deletions into the AOF so that replaying it
+        // cannot resurrect erased personal data.
+        if inner.aof.is_some() && !outcome.removed.is_empty() {
+            let encoded: Vec<Vec<u8>> = outcome
+                .removed
+                .iter()
+                .map(|key| Command::Del { key: clone_key(key) }.encode())
+                .collect();
+            if let Some(aof) = inner.aof.as_mut() {
+                for record in &encoded {
+                    aof.append(record)?;
+                }
+            }
+        }
+
+        if let Some(aof) = inner.aof.as_mut() {
+            aof.maybe_fsync()?;
+        }
+        inner.last_tick_ms = self.clock.now_millis();
+        Ok(outcome)
+    }
+
+    /// Rewrite (compact) the append-only file from the live dataset —
+    /// `BGREWRITEAOF`. Returns the number of records dropped, i.e. how much
+    /// stale (including deleted-but-persisting) data was purged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence errors. Returns `Ok(0)` when persistence is
+    /// disabled.
+    pub fn rewrite_aof(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        Self::rewrite_locked(&mut inner)
+    }
+
+    fn rewrite_locked(inner: &mut Inner) -> Result<u64> {
+        let Inner { db, aof, .. } = inner;
+        let Some(aof) = aof.as_mut() else { return Ok(0) };
+        // Regenerate the minimal command stream from the live dataset.
+        let mut commands: Vec<Command> = Vec::with_capacity(db.len() * 2);
+        for (key, object) in db.iter() {
+            match &object.value {
+                crate::object::Value::Str(b) => {
+                    commands.push(Command::Set { key: key.clone(), value: b.clone() });
+                }
+                crate::object::Value::Hash(map) => {
+                    commands.push(Command::HSetMulti { key: key.clone(), fields: map.clone() });
+                }
+                crate::object::Value::List(items) => {
+                    // Lists are journaled as a hash of index → element;
+                    // adequate for recovery purposes in this engine.
+                    let fields = items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (format!("{i:020}"), v.clone()))
+                        .collect();
+                    commands.push(Command::HSetMulti { key: key.clone(), fields });
+                }
+                crate::object::Value::Set(members) => {
+                    for member in members {
+                        commands.push(Command::SAdd { key: key.clone(), member: member.clone() });
+                    }
+                }
+            }
+            if let Some(at) = db.expire_deadline(key) {
+                commands.push(Command::ExpireAt { key: key.clone(), at_ms: at });
+            }
+        }
+        let records: Vec<Vec<u8>> = commands.iter().map(Command::encode).collect();
+        let dropped = aof.rewrite(records.iter().map(Vec::as_slice))?;
+        inner.records_since_rewrite = 0;
+        inner.db.reset_dirty();
+        Ok(dropped)
+    }
+
+    /// Force an AOF fsync regardless of policy.
+    pub fn fsync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(aof) = inner.aof.as_mut() {
+            aof.fsync()?;
+        }
+        Ok(())
+    }
+
+    // ----- snapshots -----------------------------------------------------------
+
+    /// Serialize the current keyspace to a snapshot byte blob.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        snapshot::save_to_bytes(&self.inner.lock().db)
+    }
+
+    /// Replace the keyspace with the contents of a snapshot blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns corruption errors from decoding.
+    pub fn restore_snapshot(&self, bytes: &[u8]) -> Result<()> {
+        snapshot::load_from_bytes(&mut self.inner.lock().db, bytes)
+    }
+
+    // ----- introspection --------------------------------------------------------
+
+    /// A point-in-time statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let inner = self.inner.lock();
+        EngineStats {
+            commands_processed: inner.stats_commands,
+            reads: inner.stats_reads,
+            writes: inner.stats_writes,
+            expire_cycles: inner.expire_cycles,
+            keys_expired_by_cycles: inner.keys_expired_by_cycles,
+            auto_rewrites: inner.auto_rewrites,
+            db: inner.db.stats(),
+            aof: inner.aof.as_ref().map(AofLog::stats).unwrap_or_default(),
+            device: inner
+                .aof
+                .as_ref()
+                .map(|_| DeviceStats::default())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// AOF statistics, if persistence is enabled.
+    #[must_use]
+    pub fn aof_stats(&self) -> Option<AofStats> {
+        self.inner.lock().aof.as_ref().map(AofLog::stats)
+    }
+
+    /// Bytes currently occupied by the AOF on its device.
+    #[must_use]
+    pub fn aof_len(&self) -> u64 {
+        self.inner.lock().aof.as_ref().map_or(0, AofLog::device_len)
+    }
+}
+
+fn clone_key(key: &str) -> String {
+    key.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::expire::ExpiryMode;
+    use std::time::Duration;
+
+    #[test]
+    fn basic_set_get_delete() {
+        let store = KvStore::open(StoreConfig::in_memory()).unwrap();
+        store.set("k", b"v".to_vec()).unwrap();
+        assert_eq!(store.get("k").unwrap(), Some(b"v".to_vec()));
+        assert!(store.exists("k").unwrap());
+        assert!(store.delete("k").unwrap());
+        assert!(!store.exists("k").unwrap());
+        assert_eq!(store.len(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let store = KvStore::open(StoreConfig::in_memory()).unwrap();
+        let other = store.clone();
+        store.set("shared", b"1".to_vec()).unwrap();
+        assert_eq!(other.get("shared").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn ttl_and_expiry_via_tick() {
+        let clock = SimClock::new(0);
+        let store = KvStore::open(
+            StoreConfig::in_memory().clock(clock.clone()).expiry_mode(ExpiryMode::Strict),
+        )
+        .unwrap();
+        store.set("k", b"v".to_vec()).unwrap();
+        store.expire_in("k", Duration::from_millis(500)).unwrap();
+        assert!(store.ttl("k").unwrap().is_some());
+        clock.advance_millis(600);
+        assert_eq!(store.pending_expired(), 1);
+        let outcome = store.tick().unwrap();
+        assert_eq!(outcome.removed, vec!["k".to_string()]);
+        assert_eq!(store.pending_expired(), 0);
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn aof_replay_recovers_state() {
+        let dir = std::env::temp_dir().join(format!("kvstore-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.aof");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = KvStore::open(StoreConfig::with_aof(&path)).unwrap();
+            store.set("persistent", b"yes".to_vec()).unwrap();
+            store.set("deleted", b"no".to_vec()).unwrap();
+            store.delete("deleted").unwrap();
+            store.hset("user", "email", b"a@b.c".to_vec()).unwrap();
+            store.fsync().unwrap();
+        }
+        let reopened = KvStore::open(StoreConfig::with_aof(&path)).unwrap();
+        assert_eq!(reopened.get("persistent").unwrap(), Some(b"yes".to_vec()));
+        assert_eq!(reopened.get("deleted").unwrap(), None);
+        assert_eq!(reopened.hget("user", "email").unwrap(), Some(b"a@b.c".to_vec()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn encrypted_aof_replay_recovers_state() {
+        let dir = std::env::temp_dir().join(format!("kvstore-store-enc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("enc.aof");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = KvStore::open(StoreConfig::with_aof(&path).encrypted(b"vault pw")).unwrap();
+            store.set("secret", b"pii".to_vec()).unwrap();
+            store.fsync().unwrap();
+        }
+        // Plaintext must not be on disk.
+        let raw = std::fs::read(&path).unwrap();
+        assert!(!raw.windows(3).any(|w| w == b"pii"));
+        let reopened = KvStore::open(StoreConfig::with_aof(&path).encrypted(b"vault pw")).unwrap();
+        assert_eq!(reopened.get("secret").unwrap(), Some(b"pii".to_vec()));
+        // Wrong passphrase fails.
+        assert!(KvStore::open(StoreConfig::with_aof(&path).encrypted(b"wrong")).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_logging_journals_reads() {
+        let store = KvStore::open(StoreConfig::in_memory().aof_in_memory().log_reads(true)).unwrap();
+        store.set("k", b"v".to_vec()).unwrap();
+        store.get("k").unwrap();
+        store.get("k").unwrap();
+        let stats = store.aof_stats().unwrap();
+        assert_eq!(stats.records_appended, 3, "1 write + 2 reads journaled");
+
+        let plain = KvStore::open(StoreConfig::in_memory().aof_in_memory()).unwrap();
+        plain.set("k", b"v".to_vec()).unwrap();
+        plain.get("k").unwrap();
+        assert_eq!(plain.aof_stats().unwrap().records_appended, 1, "reads not journaled by default");
+    }
+
+    #[test]
+    fn rewrite_compacts_overwrites_and_deletes() {
+        let store = KvStore::open(StoreConfig::in_memory().aof_in_memory()).unwrap();
+        for i in 0..50 {
+            store.set("hot", vec![i as u8]).unwrap();
+        }
+        store.set("cold", b"keep".to_vec()).unwrap();
+        store.set("gone", b"delete me".to_vec()).unwrap();
+        store.delete("gone").unwrap();
+        let before = store.aof_stats().unwrap().records_appended;
+        assert!(before >= 53);
+        let dropped = store.rewrite_aof().unwrap();
+        assert!(dropped > 0);
+        // After rewrite the log replays to exactly the live dataset.
+        let snapshot_before = store.snapshot();
+        let replayed = KvStore::open(StoreConfig::in_memory()).unwrap();
+        replayed.restore_snapshot(&snapshot_before).unwrap();
+        assert_eq!(replayed.get("hot").unwrap(), Some(vec![49]));
+        assert_eq!(replayed.get("cold").unwrap(), Some(b"keep".to_vec()));
+        assert_eq!(replayed.get("gone").unwrap(), None);
+    }
+
+    #[test]
+    fn auto_rewrite_triggers_at_threshold() {
+        let store = KvStore::open(
+            StoreConfig::in_memory().aof_in_memory().aof_rewrite_threshold(10),
+        )
+        .unwrap();
+        for i in 0..25 {
+            store.set("k", vec![i as u8]).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.auto_rewrites >= 2, "expected at least 2 auto rewrites, got {}", stats.auto_rewrites);
+    }
+
+    #[test]
+    fn expiry_deletions_are_journaled() {
+        let clock = SimClock::new(0);
+        let store = KvStore::open(
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .clock(clock.clone())
+                .expiry_mode(ExpiryMode::Strict),
+        )
+        .unwrap();
+        store.set("temp", b"v".to_vec()).unwrap();
+        store.expire_in("temp", Duration::from_millis(10)).unwrap();
+        let before = store.aof_stats().unwrap().records_appended;
+        clock.advance_millis(20);
+        store.tick().unwrap();
+        let after = store.aof_stats().unwrap().records_appended;
+        assert_eq!(after, before + 1, "expiry must journal a DEL");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_via_store() {
+        let store = KvStore::open(StoreConfig::in_memory()).unwrap();
+        store.set("a", b"1".to_vec()).unwrap();
+        store.hset("h", "f", b"2".to_vec()).unwrap();
+        let blob = store.snapshot();
+        let restored = KvStore::open(StoreConfig::in_memory()).unwrap();
+        restored.restore_snapshot(&blob).unwrap();
+        assert_eq!(restored.get("a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(restored.hget("h", "f").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn stats_track_reads_writes_and_hits() {
+        let store = KvStore::open(StoreConfig::in_memory()).unwrap();
+        store.set("k", b"v".to_vec()).unwrap();
+        store.get("k").unwrap();
+        store.get("missing").unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.commands_processed, 3);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.db.keyspace_hits, 1);
+        assert_eq!(stats.db.keyspace_misses, 1);
+        assert!(stats.hit_ratio().unwrap() > 0.49);
+        assert!(!stats.render().is_empty());
+    }
+
+    #[test]
+    fn scan_and_keys_via_store() {
+        let store = KvStore::open(StoreConfig::in_memory()).unwrap();
+        for i in 0..5 {
+            store.set(&format!("user{i}"), b"v".to_vec()).unwrap();
+        }
+        assert_eq!(store.keys("user*").unwrap().len(), 5);
+        assert_eq!(store.scan("user2", 2).unwrap(), vec!["user2", "user3"]);
+    }
+}

@@ -1,0 +1,215 @@
+//! A simple bandwidth / latency link model.
+//!
+//! The paper's TLS measurement is explained by a bandwidth collapse: the
+//! Stunnel proxies reduced the effective link from 44 Gb/s to 4.9 Gb/s.
+//! [`Link`] models a link as `latency + bytes / bandwidth` per message. By
+//! default it only *accounts* the virtual transfer time (so benchmarks can
+//! report it and compute modelled throughput); with
+//! [`LinkConfig::impose_delay`] it also busy-waits, turning the model into
+//! real elapsed time for end-to-end runs.
+
+use std::time::{Duration, Instant};
+
+/// Configuration of a simulated link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Usable bandwidth in gigabits per second.
+    pub bandwidth_gbps: f64,
+    /// One-way latency added to every message.
+    pub latency: Duration,
+    /// Fixed per-message framing overhead in bytes (Ethernet/IP/TCP-ish).
+    pub per_message_overhead: usize,
+    /// If true, transfers actually wait out the modelled time; if false
+    /// they only account it.
+    pub impose_delay: bool,
+}
+
+impl LinkConfig {
+    /// The paper's unencrypted link: 44 Gb/s, negligible latency.
+    #[must_use]
+    pub fn plain_44gbps() -> Self {
+        LinkConfig {
+            bandwidth_gbps: 44.0,
+            latency: Duration::from_micros(30),
+            per_message_overhead: 66,
+            impose_delay: false,
+        }
+    }
+
+    /// The paper's TLS-proxied link: 4.9 Gb/s effective bandwidth and extra
+    /// per-hop latency from the two Stunnel processes.
+    #[must_use]
+    pub fn tls_proxied_4_9gbps() -> Self {
+        LinkConfig {
+            bandwidth_gbps: 4.9,
+            latency: Duration::from_micros(90),
+            per_message_overhead: 66 + 29, // TLS record header + MAC
+            impose_delay: false,
+        }
+    }
+
+    /// Builder-style: make transfers actually wait out the modelled time.
+    #[must_use]
+    pub fn imposing_delay(mut self) -> Self {
+        self.impose_delay = true;
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::plain_44gbps()
+    }
+}
+
+/// Accumulated link activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages transferred.
+    pub messages: u64,
+    /// Payload bytes transferred (excluding per-message overhead).
+    pub payload_bytes: u64,
+    /// Total modelled transfer time in nanoseconds (latency + serialization).
+    pub modelled_nanos: u128,
+}
+
+impl LinkStats {
+    /// Modelled transfer time as a [`Duration`].
+    #[must_use]
+    pub fn modelled_time(&self) -> Duration {
+        Duration::from_nanos(self.modelled_nanos.min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Modelled goodput in megabytes per second over the modelled time.
+    #[must_use]
+    pub fn modelled_goodput_mb_s(&self) -> f64 {
+        let secs = self.modelled_nanos as f64 / 1e9;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / 1e6 / secs
+        }
+    }
+}
+
+/// A unidirectional simulated link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Create a link with the given configuration.
+    #[must_use]
+    pub fn new(config: LinkConfig) -> Self {
+        Link { config, stats: LinkStats::default() }
+    }
+
+    /// The link configuration.
+    #[must_use]
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Modelled time to move `payload_bytes` across the link.
+    #[must_use]
+    pub fn transfer_time(&self, payload_bytes: usize) -> Duration {
+        let total_bits = (payload_bytes + self.config.per_message_overhead) as f64 * 8.0;
+        let serialization_secs = total_bits / (self.config.bandwidth_gbps * 1e9);
+        self.config.latency + Duration::from_secs_f64(serialization_secs)
+    }
+
+    /// Account (and, if configured, impose) the transfer of one message.
+    /// Returns the modelled transfer time.
+    pub fn transfer(&mut self, payload_bytes: usize) -> Duration {
+        let t = self.transfer_time(payload_bytes);
+        self.stats.messages += 1;
+        self.stats.payload_bytes += payload_bytes as u64;
+        self.stats.modelled_nanos += t.as_nanos();
+        if self.config.impose_delay {
+            let start = Instant::now();
+            while start.elapsed() < t {
+                std::hint::spin_loop();
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slower_link_takes_longer() {
+        let fast = Link::new(LinkConfig::plain_44gbps());
+        let slow = Link::new(LinkConfig::tls_proxied_4_9gbps());
+        let payload = 64 * 1024;
+        assert!(slow.transfer_time(payload) > fast.transfer_time(payload));
+    }
+
+    #[test]
+    fn transfer_time_scales_roughly_with_size() {
+        let link = Link::new(LinkConfig {
+            bandwidth_gbps: 1.0,
+            latency: Duration::ZERO,
+            per_message_overhead: 0,
+            impose_delay: false,
+        });
+        let one_kb = link.transfer_time(1_000);
+        let ten_kb = link.transfer_time(10_000);
+        let ratio = ten_kb.as_secs_f64() / one_kb.as_secs_f64();
+        assert!((9.0..11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut link = Link::new(LinkConfig::tls_proxied_4_9gbps());
+        link.transfer(1_000);
+        link.transfer(2_000);
+        let stats = link.stats();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.payload_bytes, 3_000);
+        assert!(stats.modelled_nanos > 0);
+        assert!(stats.modelled_time() > Duration::ZERO);
+        assert!(stats.modelled_goodput_mb_s() > 0.0);
+    }
+
+    #[test]
+    fn goodput_reflects_bandwidth_difference() {
+        let mut fast = Link::new(LinkConfig::plain_44gbps());
+        let mut slow = Link::new(LinkConfig::tls_proxied_4_9gbps());
+        for _ in 0..100 {
+            fast.transfer(100_000);
+            slow.transfer(100_000);
+        }
+        assert!(fast.stats().modelled_goodput_mb_s() > slow.stats().modelled_goodput_mb_s() * 2.0);
+    }
+
+    #[test]
+    fn imposed_delay_actually_elapses() {
+        let mut link = Link::new(
+            LinkConfig {
+                bandwidth_gbps: 0.001, // pathologically slow so the wait is measurable
+                latency: Duration::from_millis(1),
+                per_message_overhead: 0,
+                impose_delay: true,
+            },
+        );
+        let start = Instant::now();
+        link.transfer(1_000);
+        assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn empty_stats_goodput_is_zero() {
+        assert_eq!(LinkStats::default().modelled_goodput_mb_s(), 0.0);
+    }
+}

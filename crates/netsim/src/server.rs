@@ -1,0 +1,347 @@
+//! A RESP front-end over the storage engine.
+//!
+//! [`RespKvServer`] is the "Redis server" of the reproduction: it accepts
+//! decoded RESP frames, maps them onto the engine's typed commands,
+//! executes them and produces RESP replies. The client in
+//! [`crate::client`] drives it through the simulated link, which is how the
+//! YCSB harness exercises the full networked data path for Figure 1's
+//! encrypted configuration.
+
+use std::collections::BTreeMap;
+
+use kvstore::commands::{Command, Reply};
+use kvstore::store::KvStore;
+use resp::command::WireCommand;
+use resp::Frame;
+
+/// Counters describing server activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests handled (including errors).
+    pub requests: u64,
+    /// Requests that produced an error reply.
+    pub errors: u64,
+}
+
+/// A RESP-speaking server wrapping a [`KvStore`].
+#[derive(Debug, Clone)]
+pub struct RespKvServer {
+    store: KvStore,
+    stats: std::sync::Arc<parking_lot::Mutex<ServerStats>>,
+}
+
+impl RespKvServer {
+    /// Wrap an already-opened engine.
+    #[must_use]
+    pub fn new(store: KvStore) -> Self {
+        RespKvServer { store, stats: std::sync::Arc::new(parking_lot::Mutex::new(ServerStats::default())) }
+    }
+
+    /// The wrapped engine (e.g. for the benchmark driver to call `tick`).
+    #[must_use]
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Server activity counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// Handle one decoded request frame and produce the reply frame.
+    pub fn handle_frame(&self, frame: &Frame) -> Frame {
+        let mut stats = self.stats.lock();
+        stats.requests += 1;
+        drop(stats);
+        let reply = match WireCommand::from_frame(frame) {
+            Ok(cmd) => self.dispatch(&cmd),
+            Err(e) => Frame::Error(format!("ERR {e}")),
+        };
+        if matches!(reply, Frame::Error(_)) {
+            self.stats.lock().errors += 1;
+        }
+        reply
+    }
+
+    fn dispatch(&self, cmd: &WireCommand) -> Frame {
+        match self.translate(cmd) {
+            Ok(Some(command)) => match self.store.execute(command) {
+                Ok(reply) => reply_to_frame(reply),
+                Err(e) => Frame::Error(format!("ERR {e}")),
+            },
+            Ok(None) => Frame::Simple("PONG".to_string()),
+            Err(message) => Frame::Error(message),
+        }
+    }
+
+    /// Translate a wire command into an engine command. `Ok(None)` means
+    /// the command is handled at the protocol level (currently only PING).
+    fn translate(&self, cmd: &WireCommand) -> std::result::Result<Option<Command>, String> {
+        let arity_err = |need: usize| {
+            Err(format!("ERR wrong number of arguments for '{}' ({} given, {need} needed)", cmd.name, cmd.arity()))
+        };
+        let s = |i: usize| cmd.arg_str(i).map(str::to_string).map_err(|e| format!("ERR {e}"));
+        let b = |i: usize| cmd.arg_bytes(i).map(<[u8]>::to_vec).map_err(|e| format!("ERR {e}"));
+        let n = |i: usize| cmd.arg_u64(i).map_err(|e| format!("ERR {e}"));
+
+        let command = match cmd.name.as_str() {
+            "PING" => return Ok(None),
+            "SET" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::Set { key: s(0)?, value: b(1)? }
+            }
+            "GET" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::Get { key: s(0)? }
+            }
+            "DEL" | "UNLINK" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::Del { key: s(0)? }
+            }
+            "EXISTS" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::Exists { key: s(0)? }
+            }
+            "PEXPIRE" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::Expire { key: s(0)?, ttl_ms: n(1)? }
+            }
+            "EXPIRE" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::Expire { key: s(0)?, ttl_ms: n(1)? * 1_000 }
+            }
+            "PEXPIREAT" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::ExpireAt { key: s(0)?, at_ms: n(1)? }
+            }
+            "PTTL" | "TTL" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::Ttl { key: s(0)? }
+            }
+            "PERSIST" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::Persist { key: s(0)? }
+            }
+            "HSET" => {
+                if cmd.arity() != 3 {
+                    return arity_err(3);
+                }
+                Command::HSet { key: s(0)?, field: s(1)?, value: b(2)? }
+            }
+            "HMSET" => {
+                if cmd.arity() < 3 || cmd.arity() % 2 == 0 {
+                    return arity_err(3);
+                }
+                let key = s(0)?;
+                let mut fields = BTreeMap::new();
+                let mut i = 1;
+                while i + 1 < cmd.arity() + 1 && i + 1 <= cmd.arity() {
+                    fields.insert(s(i)?, b(i + 1)?);
+                    i += 2;
+                }
+                Command::HSetMulti { key, fields }
+            }
+            "HGET" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::HGet { key: s(0)?, field: s(1)? }
+            }
+            "HGETALL" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::HGetAll { key: s(0)? }
+            }
+            "HDEL" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::HDel { key: s(0)?, field: s(1)? }
+            }
+            "SADD" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::SAdd { key: s(0)?, member: b(1)? }
+            }
+            "SREM" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::SRem { key: s(0)?, member: b(1)? }
+            }
+            "SMEMBERS" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::SMembers { key: s(0)? }
+            }
+            "KEYS" => {
+                if cmd.arity() != 1 {
+                    return arity_err(1);
+                }
+                Command::Keys { pattern: s(0)? }
+            }
+            "SCAN" => {
+                if cmd.arity() != 2 {
+                    return arity_err(2);
+                }
+                Command::Scan { start: s(0)?, count: n(1)? }
+            }
+            "DBSIZE" => Command::DbSize,
+            "FLUSHALL" | "FLUSHDB" => Command::FlushAll,
+            other => return Err(format!("ERR unknown command '{other}'")),
+        };
+        Ok(Some(command))
+    }
+}
+
+/// Convert an engine reply into a RESP frame.
+#[must_use]
+pub fn reply_to_frame(reply: Reply) -> Frame {
+    match reply {
+        Reply::Ok => Frame::Simple("OK".to_string()),
+        Reply::Nil => Frame::Null,
+        Reply::Int(i) => Frame::Integer(i),
+        Reply::Bytes(b) => Frame::Bulk(b),
+        Reply::Array(items) => Frame::Array(items.into_iter().map(Frame::Bulk).collect()),
+        Reply::StringArray(keys) => {
+            Frame::Array(keys.into_iter().map(|k| Frame::Bulk(k.into_bytes())).collect())
+        }
+        Reply::Map(map) => {
+            let mut items = Vec::with_capacity(map.len() * 2);
+            for (field, value) in map {
+                items.push(Frame::Bulk(field.into_bytes()));
+                items.push(Frame::Bulk(value));
+            }
+            Frame::Array(items)
+        }
+        _ => Frame::Error("ERR unsupported reply".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::config::StoreConfig;
+
+    fn server() -> RespKvServer {
+        RespKvServer::new(KvStore::open(StoreConfig::in_memory()).unwrap())
+    }
+
+    #[test]
+    fn ping_pong() {
+        let s = server();
+        assert_eq!(s.handle_frame(&Frame::command(["PING"])), Frame::Simple("PONG".into()));
+    }
+
+    #[test]
+    fn set_get_del_over_resp() {
+        let s = server();
+        assert_eq!(
+            s.handle_frame(&Frame::command(["SET", "user:1", "alice"])),
+            Frame::Simple("OK".into())
+        );
+        assert_eq!(
+            s.handle_frame(&Frame::command(["GET", "user:1"])),
+            Frame::Bulk(b"alice".to_vec())
+        );
+        assert_eq!(s.handle_frame(&Frame::command(["DEL", "user:1"])), Frame::Integer(1));
+        assert_eq!(s.handle_frame(&Frame::command(["GET", "user:1"])), Frame::Null);
+        assert_eq!(s.stats().requests, 4);
+        assert_eq!(s.stats().errors, 0);
+    }
+
+    #[test]
+    fn hash_commands_over_resp() {
+        let s = server();
+        s.handle_frame(&Frame::command(["HMSET", "u", "f0", "a", "f1", "b"]));
+        assert_eq!(s.handle_frame(&Frame::command(["HGET", "u", "f1"])), Frame::Bulk(b"b".to_vec()));
+        match s.handle_frame(&Frame::command(["HGETALL", "u"])) {
+            Frame::Array(items) => assert_eq!(items.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.handle_frame(&Frame::command(["HDEL", "u", "f0"])), Frame::Integer(1));
+    }
+
+    #[test]
+    fn ttl_commands_over_resp() {
+        let s = server();
+        s.handle_frame(&Frame::command(["SET", "k", "v"]));
+        assert_eq!(s.handle_frame(&Frame::command(["PEXPIRE", "k", "5000"])), Frame::Integer(1));
+        match s.handle_frame(&Frame::command(["PTTL", "k"])) {
+            Frame::Integer(ms) => assert!(ms > 0 && ms <= 5_000),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.handle_frame(&Frame::command(["PERSIST", "k"])), Frame::Integer(1));
+        assert_eq!(s.handle_frame(&Frame::command(["EXPIRE", "k", "10"])), Frame::Integer(1));
+    }
+
+    #[test]
+    fn scan_keys_dbsize_flush() {
+        let s = server();
+        for i in 0..4 {
+            s.handle_frame(&Frame::command(["SET", &format!("key{i}"), "v"]));
+        }
+        assert_eq!(s.handle_frame(&Frame::command(["DBSIZE"])), Frame::Integer(4));
+        match s.handle_frame(&Frame::command(["SCAN", "key1", "2"])) {
+            Frame::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.handle_frame(&Frame::command(["KEYS", "key*"])) {
+            Frame::Array(items) => assert_eq!(items.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.handle_frame(&Frame::command(["FLUSHALL"])), Frame::Integer(4));
+        assert_eq!(s.handle_frame(&Frame::command(["DBSIZE"])), Frame::Integer(0));
+    }
+
+    #[test]
+    fn errors_for_unknown_commands_and_bad_arity() {
+        let s = server();
+        assert!(matches!(s.handle_frame(&Frame::command(["BOGUS"])), Frame::Error(_)));
+        assert!(matches!(s.handle_frame(&Frame::command(["GET"])), Frame::Error(_)));
+        assert!(matches!(s.handle_frame(&Frame::command(["SET", "only-key"])), Frame::Error(_)));
+        assert!(matches!(s.handle_frame(&Frame::Integer(3)), Frame::Error(_)));
+        assert_eq!(s.stats().errors, 4);
+    }
+
+    #[test]
+    fn wrongtype_error_propagates_as_resp_error() {
+        let s = server();
+        s.handle_frame(&Frame::command(["HSET", "h", "f", "v"]));
+        assert!(matches!(s.handle_frame(&Frame::command(["GET", "h"])), Frame::Error(_)));
+    }
+
+    #[test]
+    fn set_commands_over_resp() {
+        let s = server();
+        assert_eq!(s.handle_frame(&Frame::command(["SADD", "tags", "red"])), Frame::Integer(1));
+        assert_eq!(s.handle_frame(&Frame::command(["SADD", "tags", "red"])), Frame::Integer(0));
+        match s.handle_frame(&Frame::command(["SMEMBERS", "tags"])) {
+            Frame::Array(items) => assert_eq!(items, vec![Frame::Bulk(b"red".to_vec())]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.handle_frame(&Frame::command(["SREM", "tags", "red"])), Frame::Integer(1));
+    }
+}

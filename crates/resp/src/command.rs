@@ -1,0 +1,157 @@
+//! Command framing on top of RESP arrays.
+//!
+//! Redis clients send every command as an array of bulk strings
+//! (`*3\r\n$3\r\nSET\r\n…`). [`WireCommand`] is that representation with
+//! the command name normalised to upper case; the `netsim` server maps it
+//! onto the engine's typed command set.
+
+use crate::{Frame, RespError};
+
+/// A client command as it appears on the wire: a name and raw arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCommand {
+    /// Upper-cased command name (`SET`, `GET`, `HGETALL`, …).
+    pub name: String,
+    /// Raw arguments, in order, excluding the name.
+    pub args: Vec<Vec<u8>>,
+}
+
+impl WireCommand {
+    /// Build a command from name and arguments.
+    pub fn new(name: &str, args: Vec<Vec<u8>>) -> Self {
+        WireCommand { name: name.to_ascii_uppercase(), args }
+    }
+
+    /// Parse a decoded RESP frame into a command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RespError::InvalidCommand`] if the frame is not a
+    /// non-empty array of bulk strings.
+    pub fn from_frame(frame: &Frame) -> Result<Self, RespError> {
+        let Frame::Array(items) = frame else {
+            return Err(RespError::InvalidCommand("command must be an array".to_string()));
+        };
+        if items.is_empty() {
+            return Err(RespError::InvalidCommand("empty command array".to_string()));
+        }
+        let mut parts = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                Frame::Bulk(b) => parts.push(b.clone()),
+                Frame::Simple(s) => parts.push(s.clone().into_bytes()),
+                other => {
+                    return Err(RespError::InvalidCommand(format!(
+                        "command arguments must be bulk strings, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let name_bytes = parts.remove(0);
+        let name = String::from_utf8(name_bytes).map_err(|_| {
+            RespError::InvalidCommand("command name is not valid utf-8".to_string())
+        })?;
+        Ok(WireCommand { name: name.to_ascii_uppercase(), args: parts })
+    }
+
+    /// Encode the command back into a RESP array frame.
+    #[must_use]
+    pub fn to_frame(&self) -> Frame {
+        let mut items = Vec::with_capacity(self.args.len() + 1);
+        items.push(Frame::Bulk(self.name.clone().into_bytes()));
+        items.extend(self.args.iter().cloned().map(Frame::Bulk));
+        Frame::Array(items)
+    }
+
+    /// Number of arguments (excluding the command name).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Argument `i` interpreted as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RespError::InvalidCommand`] if the argument is missing or
+    /// not valid UTF-8.
+    pub fn arg_str(&self, i: usize) -> Result<&str, RespError> {
+        let bytes = self
+            .args
+            .get(i)
+            .ok_or_else(|| RespError::InvalidCommand(format!("{} missing argument {i}", self.name)))?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| RespError::InvalidCommand(format!("{} argument {i} is not utf-8", self.name)))
+    }
+
+    /// Argument `i` interpreted as an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RespError::InvalidCommand`] if the argument is missing or
+    /// not a number.
+    pub fn arg_u64(&self, i: usize) -> Result<u64, RespError> {
+        self.arg_str(i)?
+            .parse::<u64>()
+            .map_err(|_| RespError::InvalidCommand(format!("{} argument {i} is not an integer", self.name)))
+    }
+
+    /// Raw bytes of argument `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RespError::InvalidCommand`] if the argument is missing.
+    pub fn arg_bytes(&self, i: usize) -> Result<&[u8], RespError> {
+        self.args
+            .get(i)
+            .map(Vec::as_slice)
+            .ok_or_else(|| RespError::InvalidCommand(format!("{} missing argument {i}", self.name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_command() {
+        let frame = Frame::command(["set", "key", "value"]);
+        let cmd = WireCommand::from_frame(&frame).unwrap();
+        assert_eq!(cmd.name, "SET");
+        assert_eq!(cmd.arity(), 2);
+        assert_eq!(cmd.arg_str(0).unwrap(), "key");
+        assert_eq!(cmd.arg_bytes(1).unwrap(), b"value");
+    }
+
+    #[test]
+    fn roundtrip_to_frame() {
+        let cmd = WireCommand::new("hset", vec![b"h".to_vec(), b"f".to_vec(), b"v".to_vec()]);
+        let frame = cmd.to_frame();
+        let parsed = WireCommand::from_frame(&frame).unwrap();
+        assert_eq!(parsed, cmd);
+        assert_eq!(parsed.name, "HSET");
+    }
+
+    #[test]
+    fn numeric_arguments() {
+        let cmd = WireCommand::new("PEXPIRE", vec![b"k".to_vec(), b"5000".to_vec()]);
+        assert_eq!(cmd.arg_u64(1).unwrap(), 5000);
+        assert!(cmd.arg_u64(0).is_err(), "non-numeric argument");
+        assert!(cmd.arg_u64(5).is_err(), "missing argument");
+    }
+
+    #[test]
+    fn rejects_non_array_and_empty() {
+        assert!(WireCommand::from_frame(&Frame::Integer(1)).is_err());
+        assert!(WireCommand::from_frame(&Frame::Array(vec![])).is_err());
+        assert!(WireCommand::from_frame(&Frame::Array(vec![Frame::Integer(3)])).is_err());
+    }
+
+    #[test]
+    fn simple_string_arguments_accepted() {
+        let frame = Frame::Array(vec![Frame::Simple("PING".into())]);
+        let cmd = WireCommand::from_frame(&frame).unwrap();
+        assert_eq!(cmd.name, "PING");
+        assert_eq!(cmd.arity(), 0);
+    }
+}

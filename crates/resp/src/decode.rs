@@ -1,0 +1,221 @@
+//! Incremental RESP2 decoding.
+//!
+//! [`Decoder`] accumulates bytes as they arrive from a transport and yields
+//! complete [`Frame`]s as soon as they are available — the shape a
+//! streaming network server needs, and the reason the decoder keeps its own
+//! buffer rather than requiring the whole message up front.
+
+use bytes::{Buf, BytesMut};
+
+use crate::{Frame, RespError};
+
+/// Result alias for decoding operations.
+pub type Result<T> = std::result::Result<T, RespError>;
+
+/// An incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: BytesMut,
+}
+
+impl Decoder {
+    /// Create an empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Decoder { buf: BytesMut::new() }
+    }
+
+    /// Append newly received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete frame. Returns `Ok(None)` if more
+    /// bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RespError::Protocol`] on malformed input. The buffer is
+    /// left untouched after an error (the connection should be dropped).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        let mut pos = 0usize;
+        match parse_frame(&self.buf, &mut pos)? {
+            Some(frame) => {
+                self.buf.advance(pos);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Decode a single frame from a complete buffer.
+///
+/// # Errors
+///
+/// Returns [`RespError::Protocol`] if the buffer does not contain exactly
+/// one well-formed frame.
+pub fn decode_one(data: &[u8]) -> Result<Frame> {
+    let mut pos = 0usize;
+    match parse_frame(data, &mut pos)? {
+        Some(frame) if pos == data.len() => Ok(frame),
+        Some(_) => Err(RespError::Protocol(format!("{} trailing bytes", data.len() - pos))),
+        None => Err(RespError::Protocol("incomplete frame".to_string())),
+    }
+}
+
+/// Find the next CRLF starting at `from`; returns the index of the `\r`.
+fn find_crlf(data: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i + 1 < data.len() {
+        if data[i] == b'\r' && data[i + 1] == b'\n' {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_line<'a>(data: &'a [u8], pos: &mut usize) -> Result<Option<&'a [u8]>> {
+    match find_crlf(data, *pos) {
+        Some(end) => {
+            let line = &data[*pos..end];
+            *pos = end + 2;
+            Ok(Some(line))
+        }
+        None => Ok(None),
+    }
+}
+
+fn parse_int(line: &[u8]) -> Result<i64> {
+    std::str::from_utf8(line)
+        .ok()
+        .and_then(|s| s.parse::<i64>().ok())
+        .ok_or_else(|| RespError::Protocol(format!("invalid integer {:?}", String::from_utf8_lossy(line))))
+}
+
+fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
+    if *pos >= data.len() {
+        return Ok(None);
+    }
+    let type_byte = data[*pos];
+    *pos += 1;
+    match type_byte {
+        b'+' => Ok(parse_line(data, pos)?.map(|l| Frame::Simple(String::from_utf8_lossy(l).into_owned()))),
+        b'-' => Ok(parse_line(data, pos)?.map(|l| Frame::Error(String::from_utf8_lossy(l).into_owned()))),
+        b':' => match parse_line(data, pos)? {
+            Some(line) => Ok(Some(Frame::Integer(parse_int(line)?))),
+            None => Ok(None),
+        },
+        b'$' => {
+            let Some(line) = parse_line(data, pos)? else { return Ok(None) };
+            let len = parse_int(line)?;
+            if len < 0 {
+                return Ok(Some(Frame::Null));
+            }
+            let len = len as usize;
+            if data.len() < *pos + len + 2 {
+                return Ok(None);
+            }
+            let payload = data[*pos..*pos + len].to_vec();
+            if &data[*pos + len..*pos + len + 2] != b"\r\n" {
+                return Err(RespError::Protocol("bulk string missing terminator".to_string()));
+            }
+            *pos += len + 2;
+            Ok(Some(Frame::Bulk(payload)))
+        }
+        b'*' => {
+            let Some(line) = parse_line(data, pos)? else { return Ok(None) };
+            let count = parse_int(line)?;
+            if count < 0 {
+                return Ok(Some(Frame::Null));
+            }
+            let mut items = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                match parse_frame(data, pos)? {
+                    Some(frame) => items.push(frame),
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(Frame::Array(items)))
+        }
+        other => Err(RespError::Protocol(format!("unknown type byte 0x{other:02x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_frame;
+
+    #[test]
+    fn roundtrip_all_frame_kinds() {
+        let frames = vec![
+            Frame::Simple("OK".into()),
+            Frame::Error("ERR nope".into()),
+            Frame::Integer(-12345),
+            Frame::bulk("binary\r\nsafe"),
+            Frame::Null,
+            Frame::Array(vec![Frame::Integer(1), Frame::bulk("two"), Frame::Null]),
+            Frame::Array(vec![]),
+        ];
+        for frame in frames {
+            assert_eq!(decode_one(&encode_frame(&frame)).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_decoding_across_chunks() {
+        let frame = Frame::command(["SET", "key", "a longer value to split"]);
+        let bytes = encode_frame(&frame);
+        let mut decoder = Decoder::new();
+        for chunk in bytes.chunks(3) {
+            decoder.feed(chunk);
+        }
+        assert_eq!(decoder.next_frame().unwrap(), Some(frame));
+        assert_eq!(decoder.next_frame().unwrap(), None);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_buffer() {
+        let mut decoder = Decoder::new();
+        decoder.feed(b"+OK\r\n:7\r\n$2\r\nhi\r\n");
+        assert_eq!(decoder.next_frame().unwrap(), Some(Frame::Simple("OK".into())));
+        assert_eq!(decoder.next_frame().unwrap(), Some(Frame::Integer(7)));
+        assert_eq!(decoder.next_frame().unwrap(), Some(Frame::bulk("hi")));
+        assert_eq!(decoder.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn partial_frame_returns_none_until_complete() {
+        let mut decoder = Decoder::new();
+        decoder.feed(b"$10\r\nhello");
+        assert_eq!(decoder.next_frame().unwrap(), None);
+        decoder.feed(b"world\r\n");
+        assert_eq!(decoder.next_frame().unwrap(), Some(Frame::bulk("helloworld")));
+    }
+
+    #[test]
+    fn protocol_errors() {
+        assert!(decode_one(b"!bogus\r\n").is_err());
+        assert!(decode_one(b":notanumber\r\n").is_err());
+        assert!(decode_one(b"$3\r\nabcX\r").is_err());
+        // Trailing garbage after a complete frame.
+        assert!(decode_one(b"+OK\r\nextra").is_err());
+        // Incomplete input to decode_one is an error (unlike the Decoder).
+        assert!(decode_one(b"$10\r\nhel").is_err());
+    }
+
+    #[test]
+    fn null_array_decodes_to_null() {
+        assert_eq!(decode_one(b"*-1\r\n").unwrap(), Frame::Null);
+        assert_eq!(decode_one(b"$-1\r\n").unwrap(), Frame::Null);
+    }
+}

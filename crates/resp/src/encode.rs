@@ -1,0 +1,102 @@
+//! RESP2 encoding.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::Frame;
+
+/// Encode one frame to a standalone byte vector.
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(frame.wire_len());
+    encode_into(frame, &mut buf);
+    buf.to_vec()
+}
+
+/// Encode one frame, appending to an existing buffer (used by the server
+/// loop to batch replies).
+pub fn encode_into(frame: &Frame, buf: &mut BytesMut) {
+    match frame {
+        Frame::Simple(s) => {
+            buf.put_u8(b'+');
+            buf.put_slice(s.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Error(s) => {
+            buf.put_u8(b'-');
+            buf.put_slice(s.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Integer(i) => {
+            buf.put_u8(b':');
+            buf.put_slice(i.to_string().as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Bulk(data) => {
+            buf.put_u8(b'$');
+            buf.put_slice(data.len().to_string().as_bytes());
+            buf.put_slice(b"\r\n");
+            buf.put_slice(data);
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Null => buf.put_slice(b"$-1\r\n"),
+        Frame::Array(items) => {
+            buf.put_u8(b'*');
+            buf.put_slice(items.len().to_string().as_bytes());
+            buf.put_slice(b"\r\n");
+            for item in items {
+                encode_into(item, buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_and_error() {
+        assert_eq!(encode_frame(&Frame::Simple("OK".into())), b"+OK\r\n");
+        assert_eq!(encode_frame(&Frame::Error("ERR boom".into())), b"-ERR boom\r\n");
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(encode_frame(&Frame::Integer(42)), b":42\r\n");
+        assert_eq!(encode_frame(&Frame::Integer(-7)), b":-7\r\n");
+    }
+
+    #[test]
+    fn bulk_and_null() {
+        assert_eq!(encode_frame(&Frame::bulk("hello")), b"$5\r\nhello\r\n");
+        assert_eq!(encode_frame(&Frame::bulk("")), b"$0\r\n\r\n");
+        assert_eq!(encode_frame(&Frame::Null), b"$-1\r\n");
+    }
+
+    #[test]
+    fn binary_safe_bulk() {
+        let data = vec![0u8, 13, 10, 255];
+        let encoded = encode_frame(&Frame::Bulk(data.clone()));
+        assert_eq!(&encoded[..4], b"$4\r\n");
+        assert_eq!(&encoded[4..8], &data[..]);
+    }
+
+    #[test]
+    fn nested_array() {
+        let frame = Frame::Array(vec![
+            Frame::Integer(1),
+            Frame::Array(vec![Frame::bulk("x")]),
+            Frame::Null,
+        ]);
+        assert_eq!(encode_frame(&frame), b"*3\r\n:1\r\n*1\r\n$1\r\nx\r\n$-1\r\n");
+    }
+
+    #[test]
+    fn command_encoding_matches_redis_wire_format() {
+        let cmd = Frame::command(["SET", "key", "value"]);
+        assert_eq!(
+            encode_frame(&cmd),
+            b"*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$5\r\nvalue\r\n"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! The benchmark driver: applies a workload to any store through the
+//! [`KvInterface`] adapter trait and measures it.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::{LatencyHistogram, RunReport};
+use crate::workload::{CoreWorkload, WorkloadOp, WorkloadSpec};
+use crate::{Result, WorkloadError};
+
+/// The operations a store must support to run YCSB. Adapters for the
+/// embedded engine, the GDPR layer and the simulated network client
+/// implement this next to the benchmark harness.
+pub trait KvInterface {
+    /// Insert a new record with the given fields.
+    fn insert(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()>;
+
+    /// Read a record; returns `None` if it does not exist.
+    fn read(&mut self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>>;
+
+    /// Overwrite the given fields of an existing record.
+    fn update(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()>;
+
+    /// Read up to `count` records in key order starting at `start_key`.
+    fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>>;
+
+    /// Hook called periodically (roughly every [`Driver::tick_every`]
+    /// operations) so the store can run background duties (expiry cycles,
+    /// batched fsyncs). Default: nothing.
+    fn tick(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Drives a [`CoreWorkload`] against a [`KvInterface`].
+#[derive(Debug)]
+pub struct Driver {
+    workload: CoreWorkload,
+    rng: StdRng,
+    /// Call the adapter's `tick` every this many operations (0 = never).
+    pub tick_every: u64,
+}
+
+impl Driver {
+    /// Create a driver for a workload specification with a fixed RNG seed
+    /// (so two configurations see the same request stream).
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        Driver { workload: CoreWorkload::new(spec), rng: StdRng::seed_from_u64(seed), tick_every: 100 }
+    }
+
+    /// The workload specification being driven.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        self.workload.spec()
+    }
+
+    /// Run the load phase: insert every record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adapter errors.
+    pub fn run_load<S: KvInterface + ?Sized>(&mut self, store: &mut S) -> Result<RunReport> {
+        let record_count = self.workload.spec().record_count;
+        let mut latency = LatencyHistogram::new();
+        let mut errors = 0u64;
+        let started = Instant::now();
+        for i in 0..record_count {
+            let op = self.workload.load_op(&mut self.rng, i);
+            let op_start = Instant::now();
+            let result = match &op {
+                WorkloadOp::Insert { key, fields } => store.insert(key, fields),
+                _ => unreachable!("load phase only inserts"),
+            };
+            latency.record(op_start.elapsed());
+            if result.is_err() {
+                errors += 1;
+            }
+            self.maybe_tick(store, i)?;
+        }
+        Ok(RunReport {
+            phase: format!("Load-{}", self.workload.spec().name),
+            operations: record_count,
+            errors,
+            elapsed: started.elapsed(),
+            latency,
+        })
+    }
+
+    /// Run the transaction phase: `operation_count` operations drawn from
+    /// the workload mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adapter errors raised by `tick`; per-operation errors are
+    /// counted in the report instead of aborting the run (as YCSB does).
+    pub fn run_transactions<S: KvInterface + ?Sized>(&mut self, store: &mut S) -> Result<RunReport> {
+        let operation_count = self.workload.spec().operation_count;
+        let mut latency = LatencyHistogram::new();
+        let mut errors = 0u64;
+        let started = Instant::now();
+        for i in 0..operation_count {
+            let op = self.workload.next_op(&mut self.rng);
+            let op_start = Instant::now();
+            let outcome = self.apply(store, &op);
+            latency.record(op_start.elapsed());
+            if outcome.is_err() {
+                errors += 1;
+            }
+            self.maybe_tick(store, i)?;
+        }
+        Ok(RunReport {
+            phase: self.workload.spec().name.clone(),
+            operations: operation_count,
+            errors,
+            elapsed: started.elapsed(),
+            latency,
+        })
+    }
+
+    fn apply<S: KvInterface + ?Sized>(&self, store: &mut S, op: &WorkloadOp) -> Result<()> {
+        match op {
+            WorkloadOp::Read { key } => store.read(key).map(|_| ()),
+            WorkloadOp::Update { key, fields } => store.update(key, fields),
+            WorkloadOp::Insert { key, fields } => store.insert(key, fields),
+            WorkloadOp::Scan { start_key, count } => store.scan(start_key, *count).map(|_| ()),
+            WorkloadOp::ReadModifyWrite { key, fields } => {
+                store.read(key)?;
+                store.update(key, fields)
+            }
+        }
+    }
+
+    fn maybe_tick<S: KvInterface + ?Sized>(&self, store: &mut S, op_index: u64) -> Result<()> {
+        if self.tick_every > 0 && op_index % self.tick_every == 0 {
+            store.tick()?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// A trivial in-memory adapter, used for the crate's own tests and as the
+/// reference implementation of [`KvInterface`] semantics.
+#[derive(Debug, Default)]
+pub struct MemoryKv {
+    records: std::collections::BTreeMap<String, BTreeMap<String, Vec<u8>>>,
+    /// Number of `tick` calls observed (exposed for tests).
+    pub ticks: u64,
+    /// If set, every n-th operation fails (for error-accounting tests).
+    pub fail_every: Option<u64>,
+    ops: u64,
+}
+
+impl MemoryKv {
+    /// Create an empty adapter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn maybe_fail(&mut self) -> Result<()> {
+        self.ops += 1;
+        if let Some(n) = self.fail_every {
+            if n > 0 && self.ops % n == 0 {
+                return Err(WorkloadError::new("injected failure"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl KvInterface for MemoryKv {
+    fn insert(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        self.maybe_fail()?;
+        self.records.insert(key.to_string(), fields.clone());
+        Ok(())
+    }
+
+    fn read(&mut self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
+        self.maybe_fail()?;
+        Ok(self.records.get(key).cloned())
+    }
+
+    fn update(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        self.maybe_fail()?;
+        let entry = self.records.entry(key.to_string()).or_default();
+        for (f, v) in fields {
+            entry.insert(f.clone(), v.clone());
+        }
+        Ok(())
+    }
+
+    fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>> {
+        self.maybe_fail()?;
+        Ok(self.records.range(start_key.to_string()..).take(count).map(|(k, _)| k.clone()).collect())
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        self.ticks += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    #[test]
+    fn load_phase_populates_every_record() {
+        let mut driver = Driver::new(WorkloadSpec::workload_a(200, 100), 1);
+        let mut store = MemoryKv::new();
+        let report = driver.run_load(&mut store).unwrap();
+        assert_eq!(report.operations, 200);
+        assert_eq!(report.errors, 0);
+        assert_eq!(store.len(), 200);
+        assert!(report.phase.starts_with("Load-"));
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn transaction_phase_runs_the_requested_ops() {
+        let mut driver = Driver::new(WorkloadSpec::workload_a(100, 500), 2);
+        let mut store = MemoryKv::new();
+        driver.run_load(&mut store).unwrap();
+        let report = driver.run_transactions(&mut store).unwrap();
+        assert_eq!(report.operations, 500);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.phase, "A");
+    }
+
+    #[test]
+    fn workload_d_and_e_grow_the_store() {
+        for name in ["D", "E"] {
+            let mut driver = Driver::new(WorkloadSpec::by_name(name, 100, 1_000), 3);
+            let mut store = MemoryKv::new();
+            driver.run_load(&mut store).unwrap();
+            driver.run_transactions(&mut store).unwrap();
+            assert!(store.len() > 100, "workload {name} should insert new records");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_request_stream() {
+        let spec = WorkloadSpec::workload_a(50, 200);
+        let mut d1 = Driver::new(spec.clone(), 9);
+        let mut d2 = Driver::new(spec, 9);
+        let mut s1 = MemoryKv::new();
+        let mut s2 = MemoryKv::new();
+        d1.run_load(&mut s1).unwrap();
+        d2.run_load(&mut s2).unwrap();
+        d1.run_transactions(&mut s1).unwrap();
+        d2.run_transactions(&mut s2).unwrap();
+        assert_eq!(s1.records, s2.records, "identical seeds must produce identical state");
+    }
+
+    #[test]
+    fn errors_are_counted_not_fatal() {
+        let mut driver = Driver::new(WorkloadSpec::workload_a(100, 200), 4);
+        let mut store = MemoryKv::new();
+        driver.run_load(&mut store).unwrap();
+        store.fail_every = Some(10);
+        let report = driver.run_transactions(&mut store).unwrap();
+        assert!(report.errors > 0);
+        assert_eq!(report.operations, 200);
+    }
+
+    #[test]
+    fn tick_is_called_periodically() {
+        let mut driver = Driver::new(WorkloadSpec::workload_c(50, 300), 5);
+        driver.tick_every = 50;
+        let mut store = MemoryKv::new();
+        driver.run_load(&mut store).unwrap();
+        let ticks_after_load = store.ticks;
+        assert!(ticks_after_load >= 1);
+        driver.run_transactions(&mut store).unwrap();
+        assert!(store.ticks > ticks_after_load);
+    }
+
+    #[test]
+    fn memory_kv_scan_is_ordered() {
+        let mut kv = MemoryKv::new();
+        for i in [3, 1, 2] {
+            kv.insert(&format!("user{i}"), &BTreeMap::new()).unwrap();
+        }
+        assert_eq!(kv.scan("user1", 2).unwrap(), vec!["user1", "user2"]);
+        assert!(!kv.is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! Key-choosing distributions, following the original YCSB generators.
+//!
+//! The numbers these produce are *item indices*; the workload layer maps
+//! them to record keys. The zipfian generator uses the Gray et al.
+//! rejection-free method exactly as YCSB does, so the skew of the request
+//! stream matches the published benchmark.
+
+use rand::Rng;
+
+/// A source of item indices in `[0, item_count)` (or `[min, max]` where
+/// noted).
+pub trait NumberGenerator: Send {
+    /// Draw the next value.
+    fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+
+/// Uniformly random over `[min, max]` inclusive.
+#[derive(Debug, Clone)]
+pub struct UniformGenerator {
+    min: u64,
+    max: u64,
+}
+
+impl UniformGenerator {
+    /// Uniform over `[min, max]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn new(min: u64, max: u64) -> Self {
+        assert!(min <= max, "uniform generator requires min <= max");
+        UniformGenerator { min, max }
+    }
+}
+
+impl NumberGenerator for UniformGenerator {
+    fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// A simple monotonically increasing counter (used for insert key order).
+#[derive(Debug, Clone)]
+pub struct CounterGenerator {
+    next: u64,
+}
+
+impl CounterGenerator {
+    /// Start counting at `start`.
+    #[must_use]
+    pub fn new(start: u64) -> Self {
+        CounterGenerator { next: start }
+    }
+
+    /// The value the next call will return.
+    #[must_use]
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+
+    /// The most recently returned value (`start - 1` if none yet).
+    #[must_use]
+    pub fn last(&self) -> u64 {
+        self.next.saturating_sub(1)
+    }
+}
+
+impl NumberGenerator for CounterGenerator {
+    fn next_value<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The YCSB zipfian constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// Zipfian-distributed values over `[0, items)`: item 0 is the most
+/// popular, following the Gray et al. "Quickly generating billion-record
+/// synthetic databases" algorithm used by YCSB.
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    items: u64,
+    base: u64,
+    theta: f64,
+    zeta2theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+/// Compute the zeta sum `sum_{i=1}^{n} 1 / i^theta`.
+#[must_use]
+pub fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl ZipfianGenerator {
+    /// Zipfian over `[0, items)` with the standard YCSB constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    #[must_use]
+    pub fn new(items: u64) -> Self {
+        Self::with_constant(items, ZIPFIAN_CONSTANT)
+    }
+
+    /// Zipfian over `[0, items)` with an explicit skew constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or the constant is not in `(0, 1)`.
+    #[must_use]
+    pub fn with_constant(items: u64, constant: f64) -> Self {
+        assert!(items > 0, "zipfian generator requires at least one item");
+        assert!(constant > 0.0 && constant < 1.0, "zipfian constant must be in (0,1)");
+        let theta = constant;
+        let zeta2theta = zeta(2, theta);
+        let zetan = zeta(items, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        ZipfianGenerator { items, base: 0, theta, zeta2theta, alpha, zetan, eta }
+    }
+
+    /// Number of items in the distribution's support.
+    #[must_use]
+    pub fn item_count(&self) -> u64 {
+        self.items
+    }
+
+    /// Grow the support to `items` (used by the latest-distribution wrapper
+    /// as inserts happen), recomputing the normalisation constant
+    /// incrementally.
+    pub fn grow(&mut self, items: u64) {
+        if items <= self.items {
+            return;
+        }
+        // Incrementally extend zeta(n) rather than recomputing from scratch.
+        for i in (self.items + 1)..=items {
+            self.zetan += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.items = items;
+        self.eta = (1.0 - (2.0 / self.items as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2theta / self.zetan);
+    }
+}
+
+impl NumberGenerator for ZipfianGenerator {
+    fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return self.base;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return self.base + 1;
+        }
+        let value = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        self.base + value.min(self.items - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a hash, as used by YCSB to scatter zipfian-popular items
+/// across the keyspace.
+#[must_use]
+pub fn fnv1a_64(value: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Zipfian popularity scattered uniformly over the keyspace: the *i*-th
+/// most popular item is not item *i* but `fnv(i) % items`.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfianGenerator {
+    items: u64,
+    zipfian: ZipfianGenerator,
+}
+
+impl ScrambledZipfianGenerator {
+    /// Scrambled zipfian over `[0, items)`.
+    #[must_use]
+    pub fn new(items: u64) -> Self {
+        ScrambledZipfianGenerator { items, zipfian: ZipfianGenerator::new(items) }
+    }
+}
+
+impl NumberGenerator for ScrambledZipfianGenerator {
+    fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let raw = self.zipfian.next_value(rng);
+        fnv1a_64(raw) % self.items
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// "Latest" distribution: recently inserted records are the most popular
+/// (workload D's read pattern).
+#[derive(Debug, Clone)]
+pub struct SkewedLatestGenerator {
+    zipfian: ZipfianGenerator,
+    max: u64,
+}
+
+impl SkewedLatestGenerator {
+    /// Create a latest-skewed generator whose hottest item is `max`.
+    #[must_use]
+    pub fn new(max: u64) -> Self {
+        SkewedLatestGenerator { zipfian: ZipfianGenerator::new(max.max(1)), max }
+    }
+
+    /// Inform the generator that the newest item index is now `max`.
+    pub fn observe_insert(&mut self, max: u64) {
+        self.max = max;
+        self.zipfian.grow(max.max(1));
+    }
+}
+
+impl NumberGenerator for SkewedLatestGenerator {
+    fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let offset = self.zipfian.next_value(rng);
+        self.max.saturating_sub(offset)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Hotspot distribution: `hot_opn_fraction` of operations go to the first
+/// `hot_set_fraction` of the items.
+#[derive(Debug, Clone)]
+pub struct HotspotGenerator {
+    items: u64,
+    hot_items: u64,
+    hot_opn_fraction: f64,
+}
+
+impl HotspotGenerator {
+    /// Create a hotspot generator over `[0, items)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are outside `[0, 1]` or `items == 0`.
+    #[must_use]
+    pub fn new(items: u64, hot_set_fraction: f64, hot_opn_fraction: f64) -> Self {
+        assert!(items > 0);
+        assert!((0.0..=1.0).contains(&hot_set_fraction));
+        assert!((0.0..=1.0).contains(&hot_opn_fraction));
+        let hot_items = ((items as f64 * hot_set_fraction) as u64).max(1);
+        HotspotGenerator { items, hot_items, hot_opn_fraction }
+    }
+}
+
+impl NumberGenerator for HotspotGenerator {
+    fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        if rng.gen::<f64>() < self.hot_opn_fraction {
+            rng.gen_range(0..self.hot_items)
+        } else {
+            rng.gen_range(self.hot_items..self.items.max(self.hot_items + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers_it() {
+        let mut g = UniformGenerator::new(10, 19);
+        let mut rng = rng();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1_000 {
+            let v = g.next_value(&mut rng);
+            assert!((10..=19).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 10, "all values in a small range should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn uniform_rejects_inverted_range() {
+        let _ = UniformGenerator::new(5, 4);
+    }
+
+    #[test]
+    fn counter_is_sequential() {
+        let mut g = CounterGenerator::new(100);
+        let mut rng = rng();
+        assert_eq!(g.peek(), 100);
+        assert_eq!(g.next_value(&mut rng), 100);
+        assert_eq!(g.next_value(&mut rng), 101);
+        assert_eq!(g.last(), 101);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_towards_item_zero() {
+        let mut g = ZipfianGenerator::new(1_000);
+        let mut rng = rng();
+        let mut zero_hits = 0u32;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if g.next_value(&mut rng) == 0 {
+                zero_hits += 1;
+            }
+        }
+        // With theta=0.99 over 1000 items, item 0 gets ~1/zeta(1000) ≈ 13 %.
+        let fraction = f64::from(zero_hits) / f64::from(samples);
+        assert!(fraction > 0.08, "item 0 fraction {fraction} too low");
+        assert!(fraction < 0.25, "item 0 fraction {fraction} too high");
+    }
+
+    #[test]
+    fn zipfian_values_in_range() {
+        let mut g = ZipfianGenerator::new(50);
+        let mut rng = rng();
+        for _ in 0..10_000 {
+            assert!(g.next_value(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn zipfian_grow_extends_support() {
+        let mut g = ZipfianGenerator::new(10);
+        let reference = ZipfianGenerator::new(100);
+        g.grow(100);
+        assert_eq!(g.item_count(), 100);
+        assert!((g.zetan - reference.zetan).abs() < 1e-9, "incremental zeta must match direct zeta");
+        // Growing to a smaller size is a no-op.
+        g.grow(5);
+        assert_eq!(g.item_count(), 100);
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_popularity() {
+        let mut g = ScrambledZipfianGenerator::new(1_000);
+        let mut rng = rng();
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..20_000 {
+            counts[g.next_value(&mut rng) as usize] += 1;
+        }
+        // The most popular item should NOT be item 0 specifically (it is
+        // hashed somewhere), but some item should clearly dominate.
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 1_000, "scrambled zipfian should still be skewed (max={max})");
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero > 300, "popularity should be spread over many items");
+    }
+
+    #[test]
+    fn latest_favours_recent_items() {
+        let mut g = SkewedLatestGenerator::new(999);
+        let mut rng = rng();
+        let mut recent = 0u32;
+        for _ in 0..10_000 {
+            let v = g.next_value(&mut rng);
+            assert!(v <= 999);
+            if v >= 900 {
+                recent += 1;
+            }
+        }
+        assert!(recent > 5_000, "latest distribution should hit the newest 10% most of the time");
+        g.observe_insert(1_999);
+        for _ in 0..1_000 {
+            assert!(g.next_value(&mut rng) <= 1_999);
+        }
+    }
+
+    #[test]
+    fn hotspot_respects_fractions() {
+        let mut g = HotspotGenerator::new(1_000, 0.1, 0.9);
+        let mut rng = rng();
+        let mut hot = 0u32;
+        for _ in 0..10_000 {
+            if g.next_value(&mut rng) < 100 {
+                hot += 1;
+            }
+        }
+        let fraction = f64::from(hot) / 10_000.0;
+        assert!((0.85..=0.95).contains(&fraction), "hot fraction {fraction}");
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a_64(12345), fnv1a_64(12345));
+        assert_ne!(fnv1a_64(1), fnv1a_64(2));
+    }
+
+    #[test]
+    fn zeta_matches_manual_sum() {
+        let manual: f64 = (1..=5u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        assert!((zeta(5, 0.99) - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,554 @@
+//! The YCSB core workload and the standard A–F presets.
+//!
+//! A workload is a specification: how many records, how many operations,
+//! the operation mix, the request distribution and the record shape. The
+//! [`CoreWorkload`] state machine turns that specification into a stream of
+//! [`WorkloadOp`]s which the driver applies to a store adapter.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::generator::{
+    CounterGenerator, HotspotGenerator, NumberGenerator, ScrambledZipfianGenerator,
+    SkewedLatestGenerator, UniformGenerator,
+};
+
+/// How request keys are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestDistribution {
+    /// Every record equally likely.
+    Uniform,
+    /// Scrambled zipfian (YCSB default for A/B/C/E/F).
+    Zipfian,
+    /// Most recently inserted records are hottest (workload D).
+    Latest,
+    /// A hot set receives most operations.
+    Hotspot,
+}
+
+/// The kinds of operation a workload can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationType {
+    /// Read one record.
+    Read,
+    /// Overwrite one field of an existing record.
+    Update,
+    /// Insert a new record.
+    Insert,
+    /// Read a short ordered range of records.
+    Scan,
+    /// Read a record then write it back (workload F).
+    ReadModifyWrite,
+}
+
+/// One concrete operation produced by the workload generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Read the record stored under `key`.
+    Read {
+        /// Record key.
+        key: String,
+    },
+    /// Overwrite `fields` of the record under `key`.
+    Update {
+        /// Record key.
+        key: String,
+        /// Field values to write.
+        fields: BTreeMap<String, Vec<u8>>,
+    },
+    /// Insert a new record.
+    Insert {
+        /// Record key.
+        key: String,
+        /// Full set of field values.
+        fields: BTreeMap<String, Vec<u8>>,
+    },
+    /// Scan `count` records starting at `start_key`.
+    Scan {
+        /// First key of the range.
+        start_key: String,
+        /// Number of records to read.
+        count: usize,
+    },
+    /// Read then update the record under `key`.
+    ReadModifyWrite {
+        /// Record key.
+        key: String,
+        /// Field values to write after the read.
+        fields: BTreeMap<String, Vec<u8>>,
+    },
+}
+
+impl WorkloadOp {
+    /// The operation type of this concrete op.
+    #[must_use]
+    pub fn op_type(&self) -> OperationType {
+        match self {
+            WorkloadOp::Read { .. } => OperationType::Read,
+            WorkloadOp::Update { .. } => OperationType::Update,
+            WorkloadOp::Insert { .. } => OperationType::Insert,
+            WorkloadOp::Scan { .. } => OperationType::Scan,
+            WorkloadOp::ReadModifyWrite { .. } => OperationType::ReadModifyWrite,
+        }
+    }
+}
+
+/// Specification of a workload (the `workloads/workload?` property files of
+/// the original YCSB).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human-readable name ("A", "B", … or custom).
+    pub name: String,
+    /// Number of records loaded before the transaction phase.
+    pub record_count: u64,
+    /// Number of operations in the transaction phase.
+    pub operation_count: u64,
+    /// Number of fields per record (YCSB default 10).
+    pub field_count: usize,
+    /// Bytes per field (YCSB default 100).
+    pub field_length: usize,
+    /// Proportion of reads.
+    pub read_proportion: f64,
+    /// Proportion of updates.
+    pub update_proportion: f64,
+    /// Proportion of inserts.
+    pub insert_proportion: f64,
+    /// Proportion of scans.
+    pub scan_proportion: f64,
+    /// Proportion of read-modify-writes.
+    pub read_modify_write_proportion: f64,
+    /// Request key distribution.
+    pub request_distribution: RequestDistribution,
+    /// Maximum scan length (scan lengths are uniform in `[1, max]`).
+    pub max_scan_length: usize,
+    /// Whether updates write all fields (false = one random field, the
+    /// YCSB default).
+    pub write_all_fields: bool,
+}
+
+impl WorkloadSpec {
+    /// YCSB workload A: update heavy (50/50 read/update), zipfian.
+    #[must_use]
+    pub fn workload_a(record_count: u64, operation_count: u64) -> Self {
+        WorkloadSpec {
+            name: "A".into(),
+            read_proportion: 0.5,
+            update_proportion: 0.5,
+            ..Self::base(record_count, operation_count)
+        }
+    }
+
+    /// YCSB workload B: read mostly (95/5), zipfian.
+    #[must_use]
+    pub fn workload_b(record_count: u64, operation_count: u64) -> Self {
+        WorkloadSpec {
+            name: "B".into(),
+            read_proportion: 0.95,
+            update_proportion: 0.05,
+            ..Self::base(record_count, operation_count)
+        }
+    }
+
+    /// YCSB workload C: read only, zipfian.
+    #[must_use]
+    pub fn workload_c(record_count: u64, operation_count: u64) -> Self {
+        WorkloadSpec {
+            name: "C".into(),
+            read_proportion: 1.0,
+            ..Self::base(record_count, operation_count)
+        }
+    }
+
+    /// YCSB workload D: read latest (95 % reads, 5 % inserts, latest
+    /// distribution).
+    #[must_use]
+    pub fn workload_d(record_count: u64, operation_count: u64) -> Self {
+        WorkloadSpec {
+            name: "D".into(),
+            read_proportion: 0.95,
+            insert_proportion: 0.05,
+            request_distribution: RequestDistribution::Latest,
+            ..Self::base(record_count, operation_count)
+        }
+    }
+
+    /// YCSB workload E: short ranges (95 % scans, 5 % inserts).
+    #[must_use]
+    pub fn workload_e(record_count: u64, operation_count: u64) -> Self {
+        WorkloadSpec {
+            name: "E".into(),
+            scan_proportion: 0.95,
+            insert_proportion: 0.05,
+            max_scan_length: 100,
+            ..Self::base(record_count, operation_count)
+        }
+    }
+
+    /// YCSB workload F: read-modify-write (50 % reads, 50 % RMW).
+    #[must_use]
+    pub fn workload_f(record_count: u64, operation_count: u64) -> Self {
+        WorkloadSpec {
+            name: "F".into(),
+            read_proportion: 0.5,
+            read_modify_write_proportion: 0.5,
+            ..Self::base(record_count, operation_count)
+        }
+    }
+
+    /// The preset for a single-letter workload name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on names other than `A`–`F`.
+    #[must_use]
+    pub fn by_name(name: &str, record_count: u64, operation_count: u64) -> Self {
+        match name.to_ascii_uppercase().as_str() {
+            "A" => Self::workload_a(record_count, operation_count),
+            "B" => Self::workload_b(record_count, operation_count),
+            "C" => Self::workload_c(record_count, operation_count),
+            "D" => Self::workload_d(record_count, operation_count),
+            "E" => Self::workload_e(record_count, operation_count),
+            "F" => Self::workload_f(record_count, operation_count),
+            other => panic!("unknown YCSB workload {other:?}"),
+        }
+    }
+
+    fn base(record_count: u64, operation_count: u64) -> Self {
+        WorkloadSpec {
+            name: "custom".into(),
+            record_count,
+            operation_count,
+            field_count: 10,
+            field_length: 100,
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            insert_proportion: 0.0,
+            scan_proportion: 0.0,
+            read_modify_write_proportion: 0.0,
+            request_distribution: RequestDistribution::Zipfian,
+            max_scan_length: 100,
+            write_all_fields: false,
+        }
+    }
+
+    /// Approximate size of one full record in bytes.
+    #[must_use]
+    pub fn record_size(&self) -> usize {
+        self.field_count * self.field_length
+    }
+}
+
+/// The workload state machine: owns the key-choosing generators and hands
+/// out concrete operations.
+#[derive(Debug)]
+pub struct CoreWorkload {
+    spec: WorkloadSpec,
+    key_sequence: CounterGenerator,
+    request_chooser: RequestChooser,
+    field_chooser: UniformGenerator,
+    scan_length: UniformGenerator,
+    inserted: u64,
+}
+
+#[derive(Debug)]
+enum RequestChooser {
+    Uniform(UniformGenerator),
+    Zipfian(ScrambledZipfianGenerator),
+    Latest(SkewedLatestGenerator),
+    Hotspot(HotspotGenerator),
+}
+
+impl CoreWorkload {
+    /// Build the state machine for a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation proportions do not sum to (approximately) 1
+    /// for a transaction phase, or if `record_count` is zero.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec) -> Self {
+        assert!(spec.record_count > 0, "record_count must be positive");
+        let total = spec.read_proportion
+            + spec.update_proportion
+            + spec.insert_proportion
+            + spec.scan_proportion
+            + spec.read_modify_write_proportion;
+        assert!((total - 1.0).abs() < 1e-6, "operation proportions must sum to 1 (got {total})");
+
+        let request_chooser = match spec.request_distribution {
+            RequestDistribution::Uniform => {
+                RequestChooser::Uniform(UniformGenerator::new(0, spec.record_count - 1))
+            }
+            RequestDistribution::Zipfian => {
+                // Size the distribution for records that will be inserted
+                // during the run too, as YCSB does.
+                let expected_new = (spec.operation_count as f64 * spec.insert_proportion * 2.0) as u64;
+                RequestChooser::Zipfian(ScrambledZipfianGenerator::new(
+                    spec.record_count + expected_new.max(1),
+                ))
+            }
+            RequestDistribution::Latest => {
+                RequestChooser::Latest(SkewedLatestGenerator::new(spec.record_count - 1))
+            }
+            RequestDistribution::Hotspot => {
+                RequestChooser::Hotspot(HotspotGenerator::new(spec.record_count, 0.2, 0.8))
+            }
+        };
+
+        CoreWorkload {
+            key_sequence: CounterGenerator::new(spec.record_count),
+            field_chooser: UniformGenerator::new(0, spec.field_count.saturating_sub(1) as u64),
+            scan_length: UniformGenerator::new(1, spec.max_scan_length.max(1) as u64),
+            request_chooser,
+            inserted: spec.record_count,
+            spec,
+        }
+    }
+
+    /// The specification this workload was built from.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The key for record index `i` (`user` plus a zero-padded number, so
+    /// lexicographic scan order matches insertion order).
+    #[must_use]
+    pub fn key_for(&self, index: u64) -> String {
+        format!("user{index:012}")
+    }
+
+    /// Generate the full field map for a new record.
+    pub fn build_record<R: Rng + ?Sized>(&self, rng: &mut R) -> BTreeMap<String, Vec<u8>> {
+        (0..self.spec.field_count)
+            .map(|i| (format!("field{i}"), random_field(rng, self.spec.field_length)))
+            .collect()
+    }
+
+    /// Generate the fields written by an update (one random field, or all
+    /// of them if `write_all_fields` is set).
+    pub fn build_update<R: Rng + ?Sized>(&mut self, rng: &mut R) -> BTreeMap<String, Vec<u8>> {
+        if self.spec.write_all_fields {
+            self.build_record(rng)
+        } else {
+            let field = self.field_chooser.next_value(rng);
+            let mut map = BTreeMap::new();
+            map.insert(format!("field{field}"), random_field(rng, self.spec.field_length));
+            map
+        }
+    }
+
+    /// The sequence of operations for the load phase: one insert per record.
+    pub fn load_op<R: Rng + ?Sized>(&self, rng: &mut R, index: u64) -> WorkloadOp {
+        WorkloadOp::Insert { key: self.key_for(index), fields: self.build_record(rng) }
+    }
+
+    /// Choose an existing record respecting the request distribution.
+    fn choose_existing_key<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
+        let index = loop {
+            let candidate = match &mut self.request_chooser {
+                RequestChooser::Uniform(g) => g.next_value(rng),
+                RequestChooser::Zipfian(g) => g.next_value(rng),
+                RequestChooser::Latest(g) => g.next_value(rng),
+                RequestChooser::Hotspot(g) => g.next_value(rng),
+            };
+            // The zipfian chooser is sized past the current insert point;
+            // fold overshoot back into the existing keyspace as YCSB does.
+            if candidate < self.inserted {
+                break candidate;
+            }
+            break candidate % self.inserted;
+        };
+        self.key_for(index)
+    }
+
+    /// Produce the next transaction-phase operation.
+    pub fn next_op<R: Rng + ?Sized>(&mut self, rng: &mut R) -> WorkloadOp {
+        let spec = &self.spec;
+        let roll: f64 = rng.gen();
+        let mut threshold = spec.read_proportion;
+        if roll < threshold {
+            return WorkloadOp::Read { key: self.choose_existing_key(rng) };
+        }
+        threshold += spec.update_proportion;
+        if roll < threshold {
+            let key = self.choose_existing_key(rng);
+            let fields = self.build_update(rng);
+            return WorkloadOp::Update { key, fields };
+        }
+        threshold += spec.insert_proportion;
+        if roll < threshold {
+            let index = self.key_sequence.next_value(rng);
+            self.inserted = index + 1;
+            if let RequestChooser::Latest(g) = &mut self.request_chooser {
+                g.observe_insert(index);
+            }
+            return WorkloadOp::Insert { key: self.key_for(index), fields: self.build_record(rng) };
+        }
+        threshold += spec.scan_proportion;
+        if roll < threshold {
+            let start_key = self.choose_existing_key(rng);
+            let count = self.scan_length.next_value(rng) as usize;
+            return WorkloadOp::Scan { start_key, count };
+        }
+        let key = self.choose_existing_key(rng);
+        let fields = self.build_update(rng);
+        WorkloadOp::ReadModifyWrite { key, fields }
+    }
+}
+
+/// Random printable field value of the given length.
+fn random_field<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    (0..len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn presets_have_the_published_mixes() {
+        let a = WorkloadSpec::workload_a(100, 100);
+        assert_eq!((a.read_proportion, a.update_proportion), (0.5, 0.5));
+        let b = WorkloadSpec::workload_b(100, 100);
+        assert_eq!((b.read_proportion, b.update_proportion), (0.95, 0.05));
+        let c = WorkloadSpec::workload_c(100, 100);
+        assert_eq!(c.read_proportion, 1.0);
+        let d = WorkloadSpec::workload_d(100, 100);
+        assert_eq!(d.request_distribution, RequestDistribution::Latest);
+        let e = WorkloadSpec::workload_e(100, 100);
+        assert_eq!((e.scan_proportion, e.insert_proportion), (0.95, 0.05));
+        let f = WorkloadSpec::workload_f(100, 100);
+        assert_eq!(f.read_modify_write_proportion, 0.5);
+        assert_eq!(WorkloadSpec::by_name("e", 10, 10).name, "E");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown YCSB workload")]
+    fn unknown_preset_panics() {
+        let _ = WorkloadSpec::by_name("Z", 1, 1);
+    }
+
+    #[test]
+    fn record_shape_follows_spec() {
+        let spec = WorkloadSpec::workload_a(10, 10);
+        let wl = CoreWorkload::new(spec);
+        let record = wl.build_record(&mut rng());
+        assert_eq!(record.len(), 10);
+        assert!(record.contains_key("field0"));
+        assert!(record.contains_key("field9"));
+        assert!(record.values().all(|v| v.len() == 100));
+        assert_eq!(wl.spec().record_size(), 1_000);
+    }
+
+    #[test]
+    fn keys_are_zero_padded_and_ordered() {
+        let wl = CoreWorkload::new(WorkloadSpec::workload_c(10, 10));
+        assert_eq!(wl.key_for(7), "user000000000007");
+        assert!(wl.key_for(9) < wl.key_for(10));
+        assert!(wl.key_for(99) < wl.key_for(100));
+    }
+
+    #[test]
+    fn load_phase_inserts_every_record() {
+        let wl = CoreWorkload::new(WorkloadSpec::workload_a(5, 5));
+        let mut rng = rng();
+        for i in 0..5 {
+            match wl.load_op(&mut rng, i) {
+                WorkloadOp::Insert { key, fields } => {
+                    assert_eq!(key, wl.key_for(i));
+                    assert_eq!(fields.len(), 10);
+                }
+                other => panic!("load phase must insert, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn operation_mix_approximates_proportions() {
+        let mut wl = CoreWorkload::new(WorkloadSpec::workload_a(1_000, 10_000));
+        let mut rng = rng();
+        let mut counts: HashMap<OperationType, u32> = HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(wl.next_op(&mut rng).op_type()).or_default() += 1;
+        }
+        let reads = f64::from(*counts.get(&OperationType::Read).unwrap_or(&0));
+        let updates = f64::from(*counts.get(&OperationType::Update).unwrap_or(&0));
+        assert!((0.45..0.55).contains(&(reads / 10_000.0)), "reads {reads}");
+        assert!((0.45..0.55).contains(&(updates / 10_000.0)), "updates {updates}");
+        assert_eq!(*counts.get(&OperationType::Scan).unwrap_or(&0), 0);
+    }
+
+    #[test]
+    fn workload_e_produces_scans_with_bounded_length() {
+        let mut wl = CoreWorkload::new(WorkloadSpec::workload_e(1_000, 1_000));
+        let mut rng = rng();
+        let mut scans = 0;
+        for _ in 0..1_000 {
+            if let WorkloadOp::Scan { count, .. } = wl.next_op(&mut rng) {
+                scans += 1;
+                assert!((1..=100).contains(&count));
+            }
+        }
+        assert!(scans > 900, "workload E should be ~95% scans, got {scans}");
+    }
+
+    #[test]
+    fn workload_d_inserts_grow_the_keyspace() {
+        let mut wl = CoreWorkload::new(WorkloadSpec::workload_d(100, 1_000));
+        let mut rng = rng();
+        let mut inserted_keys = Vec::new();
+        for _ in 0..1_000 {
+            if let WorkloadOp::Insert { key, .. } = wl.next_op(&mut rng) {
+                inserted_keys.push(key);
+            }
+        }
+        assert!(!inserted_keys.is_empty());
+        // New keys continue the sequence after the loaded range.
+        assert!(inserted_keys[0] >= wl.key_for(100));
+        // All referenced keys stay within what exists.
+        for _ in 0..1_000 {
+            if let WorkloadOp::Read { key } = wl.next_op(&mut rng) {
+                assert!(key <= wl.key_for(wl.inserted));
+            }
+        }
+    }
+
+    #[test]
+    fn updates_touch_one_field_by_default_and_all_when_asked() {
+        let mut one = CoreWorkload::new(WorkloadSpec::workload_a(10, 10));
+        let mut rng = rng();
+        assert_eq!(one.build_update(&mut rng).len(), 1);
+        let mut spec = WorkloadSpec::workload_a(10, 10);
+        spec.write_all_fields = true;
+        let mut all = CoreWorkload::new(spec);
+        assert_eq!(all.build_update(&mut rng).len(), 10);
+    }
+
+    #[test]
+    fn workload_f_emits_read_modify_writes() {
+        let mut wl = CoreWorkload::new(WorkloadSpec::workload_f(100, 1_000));
+        let mut rng = rng();
+        let rmw = (0..1_000)
+            .filter(|_| matches!(wl.next_op(&mut rng), WorkloadOp::ReadModifyWrite { .. }))
+            .count();
+        assert!((400..600).contains(&rmw), "rmw count {rmw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "proportions must sum to 1")]
+    fn invalid_proportions_panic() {
+        let mut spec = WorkloadSpec::workload_a(10, 10);
+        spec.read_proportion = 0.9;
+        let _ = CoreWorkload::new(spec);
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the GDPR-compliant storage workspace.
+//!
+//! This crate only re-exports the workspace members so that the
+//! top-level `examples/` and `tests/` directories can exercise the whole
+//! system through a single dependency. The real functionality lives in:
+//!
+//! * [`gdpr_core`] — the GDPR compliance layer (the paper's contribution)
+//! * [`kvstore`] — the Redis-like storage engine substrate
+//! * [`ycsb`] — the YCSB-style workload generator
+//! * [`audit`], [`gdpr_crypto`], [`netsim`], [`resp`] — supporting substrates
+
+pub use audit;
+pub use gdpr_core;
+pub use gdpr_crypto;
+pub use kvstore;
+pub use netsim;
+pub use resp;
+pub use ycsb;

@@ -1,0 +1,100 @@
+//! Integration tests of the networked data path: RESP encoding, the
+//! TLS-style secure channel, the bandwidth model and the server front-end
+//! working together over the storage engine.
+
+use gdpr_storage::kvstore::config::StoreConfig;
+use gdpr_storage::kvstore::store::KvStore;
+use gdpr_storage::netsim::client::RemoteClient;
+use gdpr_storage::netsim::link::LinkConfig;
+use gdpr_storage::netsim::server::RespKvServer;
+use gdpr_storage::resp::Frame;
+use gdpr_storage::ycsb::client::Driver;
+use gdpr_storage::ycsb::workload::WorkloadSpec;
+
+fn server() -> RespKvServer {
+    RespKvServer::new(KvStore::open(StoreConfig::in_memory()).unwrap())
+}
+
+#[test]
+fn plain_and_secure_clients_agree_on_semantics() {
+    let mut plain = RemoteClient::connect_plain(server(), LinkConfig::plain_44gbps());
+    let mut secure = RemoteClient::connect_secure(server(), LinkConfig::tls_proxied_4_9gbps(), b"s");
+
+    for client in [&mut plain, &mut secure] {
+        client.set("user:1", b"alice").unwrap();
+        client.set("user:2", b"bob").unwrap();
+        assert_eq!(client.get("user:1").unwrap(), Some(b"alice".to_vec()));
+        assert_eq!(client.get("user:3").unwrap(), None);
+        assert_eq!(client.scan("user:", 10).unwrap().len(), 2);
+        assert!(client.delete("user:2").unwrap());
+        assert_eq!(client.scan("user:", 10).unwrap().len(), 1);
+        assert!(client.pexpire("user:1", 60_000).unwrap());
+    }
+
+    // Same operations, but the secure channel moved more bytes per message.
+    assert!(secure.link_stats().0.payload_bytes > plain.link_stats().0.payload_bytes);
+}
+
+#[test]
+fn raw_resp_frames_roundtrip_through_the_whole_stack() {
+    let mut client = RemoteClient::connect_secure(server(), LinkConfig::plain_44gbps(), b"secret");
+    let reply = client.roundtrip(&Frame::command(["SET", "k", "v"])).unwrap();
+    assert_eq!(reply, Frame::Simple("OK".into()));
+    let reply = client.roundtrip(&Frame::command(["GET", "k"])).unwrap();
+    assert_eq!(reply, Frame::Bulk(b"v".to_vec()));
+    // A server-side error frame surfaces as an error on the client.
+    assert!(client.roundtrip(&Frame::command(["NOPE"])).is_err());
+    // Protocol statistics reflect the traffic.
+    assert_eq!(client.requests(), 3);
+    assert_eq!(client.server().stats().requests, 3);
+    assert_eq!(client.server().stats().errors, 1);
+}
+
+#[test]
+fn ycsb_workloads_run_cleanly_over_the_simulated_network() {
+    struct Adapter(RemoteClient);
+    impl gdpr_storage::ycsb::client::KvInterface for Adapter {
+        fn insert(&mut self, key: &str, fields: &std::collections::BTreeMap<String, Vec<u8>>) -> gdpr_storage::ycsb::Result<()> {
+            let blob: Vec<u8> = fields.values().flatten().copied().collect();
+            self.0.set(key, &blob).map_err(gdpr_storage::ycsb::WorkloadError::new)
+        }
+        fn read(&mut self, key: &str) -> gdpr_storage::ycsb::Result<Option<std::collections::BTreeMap<String, Vec<u8>>>> {
+            Ok(self.0.get(key).map_err(gdpr_storage::ycsb::WorkloadError::new)?.map(|v| {
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("blob".to_string(), v);
+                m
+            }))
+        }
+        fn update(&mut self, key: &str, fields: &std::collections::BTreeMap<String, Vec<u8>>) -> gdpr_storage::ycsb::Result<()> {
+            self.insert(key, fields)
+        }
+        fn scan(&mut self, start_key: &str, count: usize) -> gdpr_storage::ycsb::Result<Vec<String>> {
+            self.0.scan(start_key, count).map_err(gdpr_storage::ycsb::WorkloadError::new)
+        }
+    }
+
+    for workload in ["A", "B", "C", "D", "E", "F"] {
+        let client = RemoteClient::connect_secure(server(), LinkConfig::tls_proxied_4_9gbps(), b"ycsb");
+        let mut adapter = Adapter(client);
+        let mut driver = Driver::new(WorkloadSpec::by_name(workload, 100, 200), 99);
+        let load = driver.run_load(&mut adapter).unwrap();
+        assert_eq!(load.errors, 0, "workload {workload} load phase");
+        let run = driver.run_transactions(&mut adapter).unwrap();
+        assert_eq!(run.errors, 0, "workload {workload} run phase");
+        assert!(run.throughput() > 0.0);
+    }
+}
+
+#[test]
+fn bandwidth_model_orders_the_links_correctly() {
+    let mut fast = RemoteClient::connect_plain(server(), LinkConfig::plain_44gbps());
+    let mut slow = RemoteClient::connect_plain(server(), LinkConfig::tls_proxied_4_9gbps());
+    for i in 0..200 {
+        let payload = vec![0u8; 4096];
+        fast.set(&format!("k{i}"), &payload).unwrap();
+        slow.set(&format!("k{i}"), &payload).unwrap();
+    }
+    let fast_time = fast.link_stats().0.modelled_time();
+    let slow_time = slow.link_stats().0.modelled_time();
+    assert!(slow_time > fast_time, "4.9 Gb/s must model slower than 44 Gb/s ({slow_time:?} vs {fast_time:?})");
+}

@@ -56,7 +56,10 @@ impl ChainState {
     /// Start a fresh chain.
     #[must_use]
     pub fn new() -> Self {
-        ChainState { tip: genesis_digest(), length: 0 }
+        ChainState {
+            tip: genesis_digest(),
+            length: 0,
+        }
     }
 
     /// Resume a chain from a known tip (e.g. after reopening a trail file).
@@ -103,7 +106,9 @@ pub fn verify_chain(records: &[ChainedRecord]) -> Result<ChainDigest> {
     for chained in records {
         let digest = chain_digest(&expected, &chained.record);
         if digest != chained.digest {
-            return Err(AuditError::ChainBroken { at_sequence: chained.record.sequence });
+            return Err(AuditError::ChainBroken {
+                at_sequence: chained.record.sequence,
+            });
         }
         expected = digest;
     }

@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn error_display() {
         let errs = [
-            AuditError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+            AuditError::Io(std::io::Error::other("x")),
             AuditError::Corrupt("bad".into()),
             AuditError::ChainBroken { at_sequence: 9 },
         ];

@@ -77,7 +77,10 @@ impl AuditLog {
     /// Activity counters (includes current buffer occupancy).
     #[must_use]
     pub fn stats(&self) -> AuditLogStats {
-        AuditLogStats { buffered: self.buffer.len(), ..self.stats }
+        AuditLogStats {
+            buffered: self.buffer.len(),
+            ..self.stats
+        }
     }
 
     /// Counters of the underlying sink.
@@ -166,12 +169,15 @@ impl Drop for AuditLog {
 #[must_use]
 pub fn parse_chained_line(line: &str) -> Option<ChainedRecord> {
     match line.rsplit_once('#') {
-        Some((record_part, digest)) if digest.len() == 64 => {
-            AuditRecord::from_line(record_part)
-                .map(|record| ChainedRecord { record, digest: digest.to_string() })
-        }
-        _ => AuditRecord::from_line(line)
-            .map(|record| ChainedRecord { record, digest: String::new() }),
+        Some((record_part, digest)) if digest.len() == 64 => AuditRecord::from_line(record_part)
+            .map(|record| ChainedRecord {
+                record,
+                digest: digest.to_string(),
+            }),
+        _ => AuditRecord::from_line(line).map(|record| ChainedRecord {
+            record,
+            digest: String::new(),
+        }),
     }
 }
 
@@ -283,7 +289,9 @@ mod tests {
     use crate::sink::MemorySink;
 
     fn rec(ts: u64) -> AuditRecord {
-        AuditRecord::new(ts, "tester", Operation::Read).key("k").outcome(Outcome::Allowed)
+        AuditRecord::new(ts, "tester", Operation::Read)
+            .key("k")
+            .outcome(Outcome::Allowed)
     }
 
     #[test]
@@ -363,7 +371,11 @@ mod tests {
             log.record(rec(ts)).unwrap();
         }
         let tip = log.chain_tip().unwrap();
-        let chained: Vec<_> = view.lines().iter().map(|l| parse_chained_line(l).unwrap()).collect();
+        let chained: Vec<_> = view
+            .lines()
+            .iter()
+            .map(|l| parse_chained_line(l).unwrap())
+            .collect();
         let verified_tip = crate::chain::verify_chain(&chained).unwrap();
         assert_eq!(verified_tip, tip);
     }
@@ -391,7 +403,11 @@ mod tests {
         log.set_policy(FlushPolicy::Synchronous);
         assert!(log.policy().is_real_time());
         log.record(rec(2)).unwrap();
-        assert_eq!(view.lines().len(), 2, "flush drains earlier buffered records too");
+        assert_eq!(
+            view.lines().len(),
+            2,
+            "flush drains earlier buffered records too"
+        );
     }
 
     #[test]
@@ -406,7 +422,11 @@ mod tests {
         log.shutdown();
         assert_eq!(view.lines().len(), 100);
         // Chain verifies across the async path too.
-        let chained: Vec<_> = view.lines().iter().map(|l| parse_chained_line(l).unwrap()).collect();
+        let chained: Vec<_> = view
+            .lines()
+            .iter()
+            .map(|l| parse_chained_line(l).unwrap())
+            .collect();
         assert!(crate::chain::verify_chain(&chained).is_ok());
     }
 }

@@ -84,8 +84,14 @@ mod tests {
 
     #[test]
     fn default_is_the_papers_relaxed_point() {
-        assert_eq!(FlushPolicy::default(), FlushPolicy::Periodic { interval_ms: 1_000 });
-        assert_eq!(FlushPolicy::every_second().max_loss_window_ms(), Some(1_000));
+        assert_eq!(
+            FlushPolicy::default(),
+            FlushPolicy::Periodic { interval_ms: 1_000 }
+        );
+        assert_eq!(
+            FlushPolicy::every_second().max_loss_window_ms(),
+            Some(1_000)
+        );
     }
 
     #[test]
@@ -99,7 +105,10 @@ mod tests {
     #[test]
     fn loss_windows() {
         assert_eq!(FlushPolicy::Synchronous.max_loss_window_ms(), Some(0));
-        assert_eq!((FlushPolicy::Batched { max_records: 5 }).max_loss_window_ms(), None);
+        assert_eq!(
+            (FlushPolicy::Batched { max_records: 5 }).max_loss_window_ms(),
+            None
+        );
         assert_eq!(FlushPolicy::Manual.max_loss_window_ms(), None);
     }
 

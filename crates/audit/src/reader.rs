@@ -25,7 +25,10 @@ pub fn parse_trail(text: &str) -> Result<Vec<ChainedRecord>> {
         match parse_chained_line(line) {
             Some(chained) => out.push(chained),
             None => {
-                return Err(AuditError::Corrupt(format!("line {} is malformed: {line:?}", idx + 1)))
+                return Err(AuditError::Corrupt(format!(
+                    "line {} is malformed: {line:?}",
+                    idx + 1
+                )))
             }
         }
     }
@@ -185,7 +188,11 @@ impl TrailQuery {
     /// trail order.
     #[must_use]
     pub fn select<'a>(&self, trail: &'a [ChainedRecord]) -> Vec<&'a AuditRecord> {
-        trail.iter().map(|c| &c.record).filter(|r| self.matches(r)).collect()
+        trail
+            .iter()
+            .map(|c| &c.record)
+            .filter(|r| self.matches(r))
+            .collect()
     }
 }
 
@@ -201,13 +208,19 @@ mod tests {
         let view = sink.share();
         let mut log = AuditLog::new(Box::new(sink), FlushPolicy::Synchronous);
         let records = vec![
-            AuditRecord::new(100, "app", Operation::Write).key("user:1").subject("alice"),
-            AuditRecord::new(200, "app", Operation::Read).key("user:1").subject("alice"),
+            AuditRecord::new(100, "app", Operation::Write)
+                .key("user:1")
+                .subject("alice"),
+            AuditRecord::new(200, "app", Operation::Read)
+                .key("user:1")
+                .subject("alice"),
             AuditRecord::new(300, "intruder", Operation::Read)
                 .key("user:2")
                 .subject("bob")
                 .outcome(Outcome::Denied),
-            AuditRecord::new(400, "engine", Operation::Delete).key("user:1").subject("alice"),
+            AuditRecord::new(400, "engine", Operation::Delete)
+                .key("user:1")
+                .subject("alice"),
         ];
         for r in records {
             log.record(r).unwrap();
@@ -262,7 +275,13 @@ mod tests {
     #[test]
     fn query_by_operation_key_and_actor() {
         let trail = parse_trail(&build_trail()).unwrap();
-        assert_eq!(TrailQuery::any().operation(Operation::Delete).select(&trail).len(), 1);
+        assert_eq!(
+            TrailQuery::any()
+                .operation(Operation::Delete)
+                .select(&trail)
+                .len(),
+            1
+        );
         assert_eq!(TrailQuery::any().key("user:1").select(&trail).len(), 3);
         assert_eq!(TrailQuery::any().actor("engine").select(&trail).len(), 1);
         assert_eq!(TrailQuery::any().select(&trail).len(), 4);
@@ -275,7 +294,10 @@ mod tests {
         let second = build_trail();
         let combined = format!("{first}\n{second}");
         let trail = parse_trail(&combined).unwrap();
-        assert!(verify_trail(&trail).is_err(), "a naive verification sees a broken chain");
+        assert!(
+            verify_trail(&trail).is_err(),
+            "a naive verification sees a broken chain"
+        );
         assert_eq!(verify_trail_segments(&trail).unwrap(), 2);
         // Tampering inside either segment is still detected.
         let tampered = combined.replace("bob", "mallory");

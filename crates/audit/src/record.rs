@@ -185,7 +185,9 @@ impl AuditRecord {
     #[must_use]
     pub fn to_line(&self) -> String {
         fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('|', "\\p").replace('\n', "\\n")
+            s.replace('\\', "\\\\")
+                .replace('|', "\\p")
+                .replace('\n', "\\n")
         }
         format!(
             "{}|{}|{}|{}|{}|{}|{}|{}|{}",
@@ -208,7 +210,9 @@ impl AuditRecord {
     #[must_use]
     pub fn from_line(line: &str) -> Option<Self> {
         fn unesc(s: &str) -> String {
-            s.replace("\\n", "\n").replace("\\p", "|").replace("\\\\", "\\")
+            s.replace("\\n", "\n")
+                .replace("\\p", "|")
+                .replace("\\\\", "\\")
         }
         let parts: Vec<&str> = line.split('|').collect();
         if parts.len() != 9 {

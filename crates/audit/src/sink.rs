@@ -80,7 +80,10 @@ impl MemorySink {
     /// A handle to the same underlying line buffer.
     #[must_use]
     pub fn share(&self) -> MemorySink {
-        MemorySink { lines: Arc::clone(&self.lines), stats: SinkStats::default() }
+        MemorySink {
+            lines: Arc::clone(&self.lines),
+            stats: SinkStats::default(),
+        }
     }
 
     /// A copy of every line written so far.
@@ -125,7 +128,11 @@ impl FileSink {
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(FileSink { path, file, stats: SinkStats::default() })
+        Ok(FileSink {
+            path,
+            file,
+            stats: SinkStats::default(),
+        })
     }
 
     /// Path of the trail file.

@@ -9,7 +9,10 @@ use gdpr_core::acl::{AccessController, Grant};
 fn controller_with(grants: usize) -> AccessController {
     let mut acl = AccessController::new();
     for i in 0..grants {
-        acl.grant(Grant::new(&format!("service-{}", i % 50), &format!("purpose-{}", i % 20)));
+        acl.grant(Grant::new(
+            &format!("service-{}", i % 50),
+            &format!("purpose-{}", i % 20),
+        ));
     }
     // The grant the benchmark will look for.
     acl.grant(Grant::new("hot-service", "billing"));
@@ -18,17 +21,28 @@ fn controller_with(grants: usize) -> AccessController {
 
 fn bench_acl(c: &mut Criterion) {
     let mut group = c.benchmark_group("acl");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for &grants in &[10usize, 1_000, 10_000] {
-        group.bench_with_input(BenchmarkId::new("check_allowed", grants), &grants, |b, &grants| {
-            let mut acl = controller_with(grants);
-            b.iter(|| acl.check("hot-service", "billing", "alice", 0));
-        });
-        group.bench_with_input(BenchmarkId::new("check_denied", grants), &grants, |b, &grants| {
-            let mut acl = controller_with(grants);
-            b.iter(|| acl.check("unknown-service", "exfiltration", "alice", 0));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("check_allowed", grants),
+            &grants,
+            |b, &grants| {
+                let acl = controller_with(grants);
+                b.iter(|| acl.check("hot-service", "billing", "alice", 0));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("check_denied", grants),
+            &grants,
+            |b, &grants| {
+                let acl = controller_with(grants);
+                b.iter(|| acl.check("unknown-service", "exfiltration", "alice", 0));
+            },
+        );
     }
     group.finish();
 }

@@ -14,15 +14,23 @@ use kvstore::device::{MemoryDevice, PlainFileDevice};
 
 fn bench_aof_fsync(c: &mut Criterion) {
     let mut group = c.benchmark_group("aof_fsync");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let record = vec![0xa5u8; 128];
 
-    for policy in [FsyncPolicy::Never, FsyncPolicy::EverySec, FsyncPolicy::Always] {
+    for policy in [
+        FsyncPolicy::Never,
+        FsyncPolicy::EverySec,
+        FsyncPolicy::Always,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("memory-device", policy.as_str()),
             &policy,
             |b, &policy| {
-                let mut log = AofLog::new(Box::new(MemoryDevice::new()), policy, Arc::new(SystemClock));
+                let mut log =
+                    AofLog::new(Box::new(MemoryDevice::new()), policy, Arc::new(SystemClock));
                 b.iter(|| log.append(&record).unwrap());
             },
         );
@@ -30,7 +38,11 @@ fn bench_aof_fsync(c: &mut Criterion) {
 
     let dir = std::env::temp_dir().join(format!("aof-fsync-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    for policy in [FsyncPolicy::Never, FsyncPolicy::EverySec, FsyncPolicy::Always] {
+    for policy in [
+        FsyncPolicy::Never,
+        FsyncPolicy::EverySec,
+        FsyncPolicy::Always,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("file-device", policy.as_str()),
             &policy,

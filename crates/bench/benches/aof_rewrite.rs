@@ -26,7 +26,10 @@ fn store_with_history(live: usize, stale: usize) -> KvStore {
 
 fn bench_rewrite(c: &mut Criterion) {
     let mut group = c.benchmark_group("aof_rewrite");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for &(live, stale) in &[(1_000usize, 1_000usize), (1_000, 10_000), (10_000, 10_000)] {
         group.bench_with_input(

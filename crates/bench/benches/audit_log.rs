@@ -19,7 +19,10 @@ fn record(ts: u64) -> AuditRecord {
 
 fn bench_audit(c: &mut Criterion) {
     let mut group = c.benchmark_group("audit_log");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     let policies = [
         ("sync", FlushPolicy::Synchronous),
@@ -28,34 +31,45 @@ fn bench_audit(c: &mut Criterion) {
     ];
 
     for (label, policy) in policies {
-        group.bench_with_input(BenchmarkId::new("memory-sink", label), &policy, |b, &policy| {
-            let mut log = AuditLog::new(Box::new(MemorySink::new()), policy);
-            let mut ts = 0u64;
-            b.iter(|| {
-                ts += 1;
-                log.record(record(ts)).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("memory-sink", label),
+            &policy,
+            |b, &policy| {
+                let mut log = AuditLog::new(Box::new(MemorySink::new()), policy);
+                let mut ts = 0u64;
+                b.iter(|| {
+                    ts += 1;
+                    log.record(record(ts)).unwrap()
+                });
+            },
+        );
     }
 
     let dir = std::env::temp_dir().join(format!("audit-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     for (label, policy) in policies {
-        group.bench_with_input(BenchmarkId::new("file-sink", label), &policy, |b, &policy| {
-            let path = dir.join(format!("{label}.trail"));
-            let _ = std::fs::remove_file(&path);
-            let mut log = AuditLog::new(Box::new(FileSink::open(&path).unwrap()), policy);
-            let mut ts = 0u64;
-            b.iter(|| {
-                ts += 1;
-                log.record(record(ts)).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("file-sink", label),
+            &policy,
+            |b, &policy| {
+                let path = dir.join(format!("{label}.trail"));
+                let _ = std::fs::remove_file(&path);
+                let mut log = AuditLog::new(Box::new(FileSink::open(&path).unwrap()), policy);
+                let mut ts = 0u64;
+                b.iter(|| {
+                    ts += 1;
+                    log.record(record(ts)).unwrap()
+                });
+            },
+        );
     }
 
     // Chaining ablation: with vs without the SHA-256 hash chain.
     group.bench_function("chained", |b| {
-        let mut log = AuditLog::new(Box::new(MemorySink::new()), FlushPolicy::Batched { max_records: 1024 });
+        let mut log = AuditLog::new(
+            Box::new(MemorySink::new()),
+            FlushPolicy::Batched { max_records: 1024 },
+        );
         let mut ts = 0u64;
         b.iter(|| {
             ts += 1;
@@ -63,8 +77,11 @@ fn bench_audit(c: &mut Criterion) {
         });
     });
     group.bench_function("unchained", |b| {
-        let mut log = AuditLog::new(Box::new(MemorySink::new()), FlushPolicy::Batched { max_records: 1024 })
-            .without_chain();
+        let mut log = AuditLog::new(
+            Box::new(MemorySink::new()),
+            FlushPolicy::Batched { max_records: 1024 },
+        )
+        .without_chain();
         let mut ts = 0u64;
         b.iter(|| {
             ts += 1;

@@ -10,7 +10,10 @@ use gdpr_crypto::sha256::Sha256;
 
 fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for size in [128usize, 1_024, 16_384] {
         let data = vec![0x5au8; size];
@@ -21,13 +24,17 @@ fn bench_crypto(c: &mut Criterion) {
             b.iter(|| aead.seal(&[0u8; 12], b"", data));
         });
 
-        group.bench_with_input(BenchmarkId::new("aead_roundtrip", size), &data, |b, data| {
-            let aead = ChaCha20Poly1305::new(&[7u8; 32]);
-            b.iter(|| {
-                let sealed = aead.seal(&[0u8; 12], b"", data);
-                aead.open(&[0u8; 12], b"", &sealed).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("aead_roundtrip", size),
+            &data,
+            |b, data| {
+                let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+                b.iter(|| {
+                    let sealed = aead.seal(&[0u8; 12], b"", data);
+                    aead.open(&[0u8; 12], b"", &sealed).unwrap()
+                });
+            },
+        );
 
         group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
             b.iter(|| Sha256::digest(data));

@@ -27,30 +27,51 @@ fn populated_db(total: usize, expired_fraction: f64) -> (Db, SimClock) {
 
 fn bench_expiry(c: &mut Criterion) {
     let mut group = c.benchmark_group("expiry");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for &total in &[10_000usize, 50_000] {
-        group.bench_with_input(BenchmarkId::new("lazy_cycle", total), &total, |b, &total| {
-            b.iter_batched(
-                || populated_db(total, 0.2),
-                |(mut db, _clock)| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    run_expire_cycle(&mut db, ExpiryMode::LazyProbabilistic, &ActiveExpireConfig::default(), &mut rng)
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lazy_cycle", total),
+            &total,
+            |b, &total| {
+                b.iter_batched(
+                    || populated_db(total, 0.2),
+                    |(mut db, _clock)| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        run_expire_cycle(
+                            &mut db,
+                            ExpiryMode::LazyProbabilistic,
+                            &ActiveExpireConfig::default(),
+                            &mut rng,
+                        )
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
 
-        group.bench_with_input(BenchmarkId::new("strict_sweep", total), &total, |b, &total| {
-            b.iter_batched(
-                || populated_db(total, 0.2),
-                |(mut db, _clock)| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    run_expire_cycle(&mut db, ExpiryMode::Strict, &ActiveExpireConfig::default(), &mut rng)
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("strict_sweep", total),
+            &total,
+            |b, &total| {
+                b.iter_batched(
+                    || populated_db(total, 0.2),
+                    |(mut db, _clock)| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        run_expire_cycle(
+                            &mut db,
+                            ExpiryMode::Strict,
+                            &ActiveExpireConfig::default(),
+                            &mut rng,
+                        )
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
 
     // Full Figure 2 point (simulated) at 2k keys for both policies.

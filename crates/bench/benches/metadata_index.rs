@@ -19,7 +19,10 @@ fn sample_metadata(i: usize) -> PersonalMetadata {
 
 fn bench_metadata(c: &mut Criterion) {
     let mut group = c.benchmark_group("metadata_index");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     group.bench_function("metadata_encode", |b| {
         let meta = sample_metadata(1);
@@ -37,12 +40,20 @@ fn bench_metadata(c: &mut Criterion) {
             |b, &n| {
                 let mut index = MetadataIndex::new();
                 for i in 0..n {
-                    index.insert(&format!("key{i}"), &format!("subject-{}", i % 1_000), ["billing".to_string()]);
+                    index.insert(
+                        &format!("key{i}"),
+                        &format!("subject-{}", i % 1_000),
+                        ["billing".to_string()],
+                    );
                 }
                 let mut i = n;
                 b.iter(|| {
                     i += 1;
-                    index.insert(&format!("key{i}"), &format!("subject-{}", i % 1_000), ["billing".to_string()]);
+                    index.insert(
+                        &format!("key{i}"),
+                        &format!("subject-{}", i % 1_000),
+                        ["billing".to_string()],
+                    );
                 });
             },
         );
@@ -53,7 +64,11 @@ fn bench_metadata(c: &mut Criterion) {
             |b, &n| {
                 let mut index = MetadataIndex::new();
                 for i in 0..n {
-                    index.insert(&format!("key{i}"), &format!("subject-{}", i % 1_000), ["billing".to_string()]);
+                    index.insert(
+                        &format!("key{i}"),
+                        &format!("subject-{}", i % 1_000),
+                        ["billing".to_string()],
+                    );
                 }
                 b.iter(|| index.keys_of_subject("subject-500"));
             },

@@ -27,18 +27,23 @@ fn run_workload_a<S: KvInterface + ?Sized>(adapter: &mut S) {
 
 fn bench_ycsb(c: &mut Criterion) {
     let mut group = c.benchmark_group("ycsb_workload_a");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
 
     group.bench_function("unmodified_embedded", |b| {
         b.iter(|| {
-            let mut adapter = EmbeddedAdapter::new(KvStore::open(StoreConfig::in_memory()).unwrap());
+            let mut adapter =
+                EmbeddedAdapter::new(KvStore::open(StoreConfig::in_memory()).unwrap());
             run_workload_a(&mut adapter);
         });
     });
 
     group.bench_function("aof_everysec_monitoring", |b| {
         b.iter(|| {
-            let store = KvStore::open(StoreConfig::in_memory().aof_in_memory().log_reads(true)).unwrap();
+            let store =
+                KvStore::open(StoreConfig::in_memory().aof_in_memory().log_reads(true)).unwrap();
             let mut adapter = EmbeddedAdapter::new(store);
             run_workload_a(&mut adapter);
         });
@@ -47,7 +52,9 @@ fn bench_ycsb(c: &mut Criterion) {
     group.bench_function("luks_tls_remote", |b| {
         b.iter(|| {
             let store = KvStore::open(
-                StoreConfig::in_memory().aof_in_memory().encrypted(b"bench-passphrase"),
+                StoreConfig::in_memory()
+                    .aof_in_memory()
+                    .encrypted(b"bench-passphrase"),
             )
             .unwrap();
             let client = RemoteClient::connect_secure(

@@ -17,6 +17,7 @@ use kvstore::serialize::{decode_value, encode_value, Reader};
 use kvstore::store::KvStore;
 use netsim::client::RemoteClient;
 use ycsb::client::KvInterface;
+use ycsb::concurrent::SharedKvInterface;
 use ycsb::{Result, WorkloadError};
 
 /// Serialize a YCSB field map into one opaque blob (what travels over the
@@ -62,22 +63,52 @@ impl EmbeddedAdapter {
 
 impl KvInterface for EmbeddedAdapter {
     fn insert(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
-        self.store.hset_multi(key, fields).map_err(WorkloadError::new)
+        SharedKvInterface::insert(self, key, fields)
     }
 
     fn read(&mut self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
-        self.store.hgetall(key).map_err(WorkloadError::new)
+        SharedKvInterface::read(self, key)
     }
 
     fn update(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
-        self.store.hset_multi(key, fields).map_err(WorkloadError::new)
+        SharedKvInterface::update(self, key, fields)
     }
 
     fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>> {
-        self.store.scan(start_key, count).map_err(WorkloadError::new)
+        SharedKvInterface::scan(self, start_key, count)
     }
 
     fn tick(&mut self) -> Result<()> {
+        SharedKvInterface::tick(self)
+    }
+}
+
+/// The engine handle is internally synchronized (sharded locks), so the
+/// same adapter also serves the multi-threaded driver.
+impl SharedKvInterface for EmbeddedAdapter {
+    fn insert(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        self.store
+            .hset_multi(key, fields)
+            .map_err(WorkloadError::new)
+    }
+
+    fn read(&self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
+        self.store.hgetall(key).map_err(WorkloadError::new)
+    }
+
+    fn update(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        self.store
+            .hset_multi(key, fields)
+            .map_err(WorkloadError::new)
+    }
+
+    fn scan(&self, start_key: &str, count: usize) -> Result<Vec<String>> {
+        self.store
+            .scan(start_key, count)
+            .map_err(WorkloadError::new)
+    }
+
+    fn tick(&self) -> Result<()> {
         self.store.tick().map(|_| ()).map_err(WorkloadError::new)
     }
 }
@@ -100,7 +131,11 @@ impl GdprAdapter {
     pub fn new(store: GdprStore) -> Self {
         let ctx = AccessContext::new("ycsb-driver", "benchmarking");
         store.grant(Grant::new("ycsb-driver", "benchmarking"));
-        GdprAdapter { store, ctx, subject_of_key: |key| key.to_string() }
+        GdprAdapter {
+            store,
+            ctx,
+            subject_of_key: |key| key.to_string(),
+        }
     }
 
     /// The wrapped compliance store.
@@ -116,24 +151,54 @@ impl GdprAdapter {
 
 impl KvInterface for GdprAdapter {
     fn insert(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        SharedKvInterface::insert(self, key, fields)
+    }
+
+    fn read(&mut self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
+        SharedKvInterface::read(self, key)
+    }
+
+    fn update(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        SharedKvInterface::update(self, key, fields)
+    }
+
+    fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>> {
+        SharedKvInterface::scan(self, start_key, count)
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        SharedKvInterface::tick(self)
+    }
+}
+
+/// The compliance layer takes `&self` throughout (sharded engine, sharded
+/// index segments, atomic counters), so it serves concurrent clients too.
+impl SharedKvInterface for GdprAdapter {
+    fn insert(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
         self.store
             .put_record(&self.ctx, key, fields, self.metadata_for(key))
             .map_err(WorkloadError::new)
     }
 
-    fn read(&mut self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
-        self.store.get_record(&self.ctx, key).map_err(WorkloadError::new)
+    fn read(&self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
+        self.store
+            .get_record(&self.ctx, key)
+            .map_err(WorkloadError::new)
     }
 
-    fn update(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
-        self.store.update_record(&self.ctx, key, fields).map_err(WorkloadError::new)
+    fn update(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        self.store
+            .update_record(&self.ctx, key, fields)
+            .map_err(WorkloadError::new)
     }
 
-    fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>> {
-        self.store.scan(&self.ctx, start_key, count).map_err(WorkloadError::new)
+    fn scan(&self, start_key: &str, count: usize) -> Result<Vec<String>> {
+        self.store
+            .scan(&self.ctx, start_key, count)
+            .map_err(WorkloadError::new)
     }
 
-    fn tick(&mut self) -> Result<()> {
+    fn tick(&self) -> Result<()> {
         self.store.tick().map(|_| ()).map_err(WorkloadError::new)
     }
 }
@@ -162,7 +227,9 @@ impl RemoteAdapter {
 
 impl KvInterface for RemoteAdapter {
     fn insert(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
-        self.client.set(key, &encode_fields(fields)).map_err(WorkloadError::new)
+        self.client
+            .set(key, &encode_fields(fields))
+            .map_err(WorkloadError::new)
     }
 
     fn read(&mut self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
@@ -179,15 +246,24 @@ impl KvInterface for RemoteAdapter {
         for (f, v) in fields {
             merged.insert(f.clone(), v.clone());
         }
-        self.client.set(key, &encode_fields(&merged)).map_err(WorkloadError::new)
+        self.client
+            .set(key, &encode_fields(&merged))
+            .map_err(WorkloadError::new)
     }
 
     fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>> {
-        self.client.scan(start_key, count).map_err(WorkloadError::new)
+        self.client
+            .scan(start_key, count)
+            .map_err(WorkloadError::new)
     }
 
     fn tick(&mut self) -> Result<()> {
-        self.client.server().store().tick().map(|_| ()).map_err(WorkloadError::new)
+        self.client
+            .server()
+            .store()
+            .tick()
+            .map(|_| ())
+            .map_err(WorkloadError::new)
     }
 }
 
@@ -217,13 +293,16 @@ mod tests {
 
     #[test]
     fn embedded_adapter_supports_all_operations() {
-        let mut adapter = EmbeddedAdapter::new(KvStore::open(StoreConfig::in_memory()).unwrap());
+        let adapter = EmbeddedAdapter::new(KvStore::open(StoreConfig::in_memory()).unwrap());
         adapter.insert("user1", &fields()).unwrap();
         assert_eq!(adapter.read("user1").unwrap().unwrap().len(), 2);
         let mut update = BTreeMap::new();
         update.insert("field0".to_string(), b"new".to_vec());
         adapter.update("user1", &update).unwrap();
-        assert_eq!(adapter.read("user1").unwrap().unwrap()["field0"], b"new".to_vec());
+        assert_eq!(
+            adapter.read("user1").unwrap().unwrap()["field0"],
+            b"new".to_vec()
+        );
         assert_eq!(adapter.scan("user", 10).unwrap(), vec!["user1"]);
         adapter.tick().unwrap();
         assert_eq!(adapter.store().len(), 1);

@@ -31,7 +31,10 @@ fn main() {
     let link = |cfg: LinkConfig| if realistic { cfg.imposing_delay() } else { cfg };
 
     println!("§4.2 reproduction — encryption at rest (LUKS sim) and in transit (TLS sim), YCSB workload A\n");
-    println!("{:<26} {:>14} {:>12}", "configuration", "throughput", "vs baseline");
+    println!(
+        "{:<26} {:>14} {:>12}",
+        "configuration", "throughput", "vs baseline"
+    );
 
     let mut baseline = 0.0f64;
     type Builder = Box<dyn Fn() -> RemoteAdapter>;

@@ -48,7 +48,10 @@ fn main() {
             .iter()
             .find(|c| c.phase == phase && c.config == Fig1Config::Unmodified)?
             .throughput;
-        let other = cells.iter().find(|c| c.phase == phase && c.config == config)?.throughput;
+        let other = cells
+            .iter()
+            .find(|c| c.phase == phase && c.config == config)?
+            .throughput;
         if base > 0.0 {
             Some(other / base)
         } else {
@@ -56,9 +59,18 @@ fn main() {
         }
     };
     println!("\nheadline ratios (workload A, fraction of unmodified throughput):");
-    for config in [Fig1Config::AofEverySec, Fig1Config::AofSync, Fig1Config::LuksTls, Fig1Config::StrictGdpr] {
+    for config in [
+        Fig1Config::AofEverySec,
+        Fig1Config::AofSync,
+        Fig1Config::LuksTls,
+        Fig1Config::StrictGdpr,
+    ] {
         if let Some(r) = ratio("A", config) {
-            println!("  {:<14} {:>6.1}%   (paper: everysec ≈30%, sync ≈5%, luks+tls ≈30%)", config.label(), r * 100.0);
+            println!(
+                "  {:<14} {:>6.1}%   (paper: everysec ≈30%, sync ≈5%, luks+tls ≈30%)",
+                config.label(),
+                r * 100.0
+            );
         }
     }
 

@@ -33,7 +33,10 @@ fn main() {
             first.erase_seconds, first.total_keys, last.erase_seconds, last.total_keys
         );
     }
-    let max_strict = strict.iter().map(|p| p.erase_seconds).fold(0.0f64, f64::max);
+    let max_strict = strict
+        .iter()
+        .map(|p| p.erase_seconds)
+        .fold(0.0f64, f64::max);
     println!(
         "  strict erasure completes within {max_strict:.3}s even at 1M keys (paper: sub-second up to 1M keys)"
     );

@@ -24,7 +24,10 @@ fn main() {
     let dir = scratch_dir("fsync-sweep");
 
     println!("§4.1 reproduction — monitoring log fsync policy sweep (YCSB workload A)\n");
-    println!("{:<18} {:>14} {:>12} {:>10}", "configuration", "throughput", "fsyncs", "vs baseline");
+    println!(
+        "{:<18} {:>14} {:>12} {:>10}",
+        "configuration", "throughput", "fsyncs", "vs baseline"
+    );
 
     let mut baseline = 0.0f64;
     let configs: Vec<(&str, Option<FsyncPolicy>)> = vec![

@@ -1,0 +1,152 @@
+//! Shard-scaling sweep: YCSB-A-style mixed workload against the GDPR
+//! store, varying engine shard count × client thread count, to measure how
+//! far the sharded architecture moves the compliance overhead off the
+//! serial path.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin shard_scaling \
+//!     [records=N] [ops=N] [seed=N] [maxshards=N] [maxthreads=N] [policy=0|1|2]
+//! ```
+//!
+//! `policy` selects 0 = unmodified, 1 = eventual (default), 2 = strict.
+//! Emits a human table and writes a `BENCH_shard_scaling.json` trajectory
+//! point into the current directory.
+
+use bench::adapters::GdprAdapter;
+use bench::arg_value;
+use gdpr_core::policy::CompliancePolicy;
+use gdpr_core::store::GdprStore;
+use kvstore::config::StoreConfig;
+use ycsb::concurrent::ConcurrentDriver;
+use ycsb::stats::RunReport;
+use ycsb::workload::WorkloadSpec;
+
+struct Cell {
+    shards: usize,
+    threads: usize,
+    load: RunReport,
+    run: RunReport,
+}
+
+fn open_adapter(policy: &CompliancePolicy, shards: usize) -> GdprAdapter {
+    let config = StoreConfig::in_memory().aof_in_memory().shards(shards);
+    let store = GdprStore::open(
+        policy.clone(),
+        config,
+        Box::new(audit::sink::NullSink::new()),
+    )
+    .expect("open GDPR store");
+    GdprAdapter::new(store)
+}
+
+fn sweep_axis(max: u64) -> Vec<usize> {
+    let mut axis = Vec::new();
+    let mut v = 1usize;
+    while v as u64 <= max.max(1) {
+        axis.push(v);
+        v *= 2;
+    }
+    axis
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records = arg_value(&args, "records").unwrap_or(8_000);
+    let ops = arg_value(&args, "ops").unwrap_or(24_000);
+    let seed = arg_value(&args, "seed").unwrap_or(42);
+    let max_shards = arg_value(&args, "maxshards").unwrap_or(8);
+    let max_threads = arg_value(&args, "maxthreads").unwrap_or(8);
+    let policy = match arg_value(&args, "policy").unwrap_or(1) {
+        0 => CompliancePolicy::unmodified(),
+        2 => CompliancePolicy::strict(),
+        _ => CompliancePolicy::eventual(),
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "shard_scaling — YCSB-A mix, policy={}, records={records}, ops={ops}, cores={cores}",
+        policy.name
+    );
+    if cores == 1 {
+        println!("  note: single-core host — expect parity, not speedup, across shard counts");
+    }
+
+    let mut cells = Vec::new();
+    for &shards in &sweep_axis(max_shards) {
+        for &threads in &sweep_axis(max_threads) {
+            let adapter = open_adapter(&policy, shards);
+            let driver =
+                ConcurrentDriver::new(WorkloadSpec::workload_a(records, ops), threads, seed);
+            let load = driver.run_load(&adapter).expect("load phase");
+            let run = driver
+                .run_transactions(&adapter)
+                .expect("transaction phase");
+            println!(
+                "  shards={shards:<3} threads={threads:<3}  load {:>10.0} ops/s   run {:>10.0} ops/s   errors {}",
+                load.throughput(),
+                run.throughput(),
+                load.errors + run.errors,
+            );
+            cells.push(Cell {
+                shards,
+                threads,
+                load,
+                run,
+            });
+        }
+    }
+
+    // Scaling headlines: fix the thread count, compare shard counts.
+    let tput = |shards: usize, threads: usize| -> Option<f64> {
+        cells
+            .iter()
+            .find(|c| c.shards == shards && c.threads == threads)
+            .map(|c| c.run.throughput())
+    };
+    if let (Some(one), Some(two)) = (tput(1, 2), tput(2, 2)) {
+        println!("\n2 threads: 2 shards / 1 shard = {:.2}x", two / one);
+    }
+    if let (Some(one), Some(many)) = (tput(1, 4), tput(4, 4)) {
+        println!("4 threads: 4 shards / 1 shard = {:.2}x", many / one);
+    }
+
+    let json = render_json(&policy.name, records, ops, seed, cores, &cells);
+    std::fs::write("BENCH_shard_scaling.json", &json).expect("write BENCH_shard_scaling.json");
+    println!("\nwrote BENCH_shard_scaling.json ({} cells)", cells.len());
+}
+
+fn render_json(
+    policy: &str,
+    records: u64,
+    ops: u64,
+    seed: u64,
+    cores: usize,
+    cells: &[Cell],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"shard_scaling\",\n");
+    out.push_str("  \"workload\": \"A\",\n");
+    out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
+    out.push_str(&format!("  \"records\": {records},\n"));
+    out.push_str(&format!("  \"operations\": {ops},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"threads\": {}, \"load_ops_per_sec\": {:.1}, \"run_ops_per_sec\": {:.1}, \"run_p99_micros\": {}, \"errors\": {}}}{}\n",
+            cell.shards,
+            cell.threads,
+            cell.load.throughput(),
+            cell.run.throughput(),
+            cell.run.latency.percentile_micros(0.99),
+            cell.load.errors + cell.run.errors,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

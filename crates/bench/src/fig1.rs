@@ -87,7 +87,12 @@ pub struct Fig1Params {
 
 impl Default for Fig1Params {
     fn default() -> Self {
-        Fig1Params { record_count: 5_000, operation_count: 10_000, impose_link_delay: false, seed: 42 }
+        Fig1Params {
+            record_count: 5_000,
+            operation_count: 10_000,
+            impose_link_delay: false,
+            seed: 42,
+        }
     }
 }
 
@@ -163,8 +168,8 @@ fn build_adapter(config: Fig1Config, dir: &Path, params: &Fig1Params) -> Box<dyn
         }
         Fig1Config::StrictGdpr => {
             let kv_config = StoreConfig::with_aof(dir.join("strict.aof"));
-            let sink = audit::sink::FileSink::open(dir.join("strict.audit"))
-                .expect("open audit trail");
+            let sink =
+                audit::sink::FileSink::open(dir.join("strict.audit")).expect("open audit trail");
             let store = GdprStore::open(CompliancePolicy::strict(), kv_config, Box::new(sink))
                 .expect("open gdpr store");
             Box::new(GdprAdapter::new(store))
@@ -191,25 +196,45 @@ pub fn run_config(config: Fig1Config, dir: &Path, params: &Fig1Params) -> Vec<Fi
     };
 
     // Load-A then workloads A, B, C, D on the same dataset.
-    let mut driver = Driver::new(WorkloadSpec::workload_a(params.record_count, params.operation_count), params.seed);
+    let mut driver = Driver::new(
+        WorkloadSpec::workload_a(params.record_count, params.operation_count),
+        params.seed,
+    );
     record("Load-A", driver.run_load(adapter.as_mut()).expect("load A"));
     for name in ["A", "B", "C", "D"] {
         let mut driver = Driver::new(
             WorkloadSpec::by_name(name, params.record_count, params.operation_count),
             params.seed,
         );
-        record(name, driver.run_transactions(adapter.as_mut()).expect("run phase"));
+        record(
+            name,
+            driver
+                .run_transactions(adapter.as_mut())
+                .expect("run phase"),
+        );
     }
 
     // Fresh adapter (fresh dataset) for Load-E, E, then F.
     let dir_e = dir.join("phase-e");
     std::fs::create_dir_all(&dir_e).expect("create phase-e dir");
     let mut adapter = build_adapter(config, &dir_e, params);
-    let mut driver = Driver::new(WorkloadSpec::workload_e(params.record_count, params.operation_count), params.seed);
+    let mut driver = Driver::new(
+        WorkloadSpec::workload_e(params.record_count, params.operation_count),
+        params.seed,
+    );
     record("Load-E", driver.run_load(adapter.as_mut()).expect("load E"));
-    record("E", driver.run_transactions(adapter.as_mut()).expect("run E"));
-    let mut driver = Driver::new(WorkloadSpec::workload_f(params.record_count, params.operation_count), params.seed);
-    record("F", driver.run_transactions(adapter.as_mut()).expect("run F"));
+    record(
+        "E",
+        driver.run_transactions(adapter.as_mut()).expect("run E"),
+    );
+    let mut driver = Driver::new(
+        WorkloadSpec::workload_f(params.record_count, params.operation_count),
+        params.seed,
+    );
+    record(
+        "F",
+        driver.run_transactions(adapter.as_mut()).expect("run F"),
+    );
 
     cells
 }
@@ -255,7 +280,10 @@ pub fn render_table(cells: &[Fig1Cell]) -> String {
             .map(|c| c.throughput);
         out.push_str(&format!("{phase:<8}"));
         for config in &configs {
-            match cells.iter().find(|c| c.phase == *phase && c.config == *config) {
+            match cells
+                .iter()
+                .find(|c| c.phase == *phase && c.config == *config)
+            {
                 Some(cell) => {
                     let relative = baseline
                         .filter(|b| *b > 0.0)
@@ -282,7 +310,12 @@ mod tests {
     #[test]
     fn tiny_figure1_run_produces_all_phases_and_sane_ordering() {
         let dir = crate::scratch_dir("fig1-test");
-        let params = Fig1Params { record_count: 200, operation_count: 300, impose_link_delay: false, seed: 1 };
+        let params = Fig1Params {
+            record_count: 200,
+            operation_count: 300,
+            impose_link_delay: false,
+            seed: 1,
+        };
         let cells = run_figure1(
             &[Fig1Config::Unmodified, Fig1Config::AofSync],
             &dir,
@@ -291,8 +324,12 @@ mod tests {
         assert_eq!(cells.len(), FIGURE1_PHASES.len() * 2);
         // Every phase present for every config.
         for phase in FIGURE1_PHASES {
-            assert!(cells.iter().any(|c| c.phase == *phase && c.config == Fig1Config::Unmodified));
-            assert!(cells.iter().any(|c| c.phase == *phase && c.config == Fig1Config::AofSync));
+            assert!(cells
+                .iter()
+                .any(|c| c.phase == *phase && c.config == Fig1Config::Unmodified));
+            assert!(cells
+                .iter()
+                .any(|c| c.phase == *phase && c.config == Fig1Config::AofSync));
         }
         // Synchronous fsync must not be faster than the baseline on the
         // write-heavy load phase.
@@ -304,7 +341,12 @@ mod tests {
             .iter()
             .find(|c| c.phase == "Load-A" && c.config == Fig1Config::AofSync)
             .unwrap();
-        assert!(sync.throughput <= base.throughput * 1.5, "sync {} vs base {}", sync.throughput, base.throughput);
+        assert!(
+            sync.throughput <= base.throughput * 1.5,
+            "sync {} vs base {}",
+            sync.throughput,
+            base.throughput
+        );
         let table = render_table(&cells);
         assert!(table.contains("Load-A"));
         assert!(table.contains("aof-sync"));

@@ -99,7 +99,10 @@ pub fn render_table(lazy: &[Fig2Point], strict: &[Fig2Point]) -> String {
         ));
     }
     // Strict-only sizes (the 1 M point).
-    for point in strict.iter().filter(|p| !lazy.iter().any(|l| l.total_keys == p.total_keys)) {
+    for point in strict
+        .iter()
+        .filter(|p| !lazy.iter().any(|l| l.total_keys == p.total_keys))
+    {
         out.push_str(&format!(
             "{:>10} | {:>16} | {:>17} | {:>18.3} | {:>10}\n",
             point.total_keys, "-", "-", point.erase_seconds, point.erased_keys,

@@ -51,8 +51,12 @@ mod tests {
 
     #[test]
     fn arg_value_parses_overrides() {
-        let args: Vec<String> =
-            vec!["records=1000".into(), "ops=5".into(), "junk".into(), "bad=x".into()];
+        let args: Vec<String> = vec![
+            "records=1000".into(),
+            "ops=5".into(),
+            "junk".into(),
+            "bad=x".into(),
+        ];
         assert_eq!(arg_value(&args, "records"), Some(1000));
         assert_eq!(arg_value(&args, "ops"), Some(5));
         assert_eq!(arg_value(&args, "missing"), None);

@@ -8,6 +8,7 @@
 //! "for predefined duration of time" in §3.1 of the paper asks for.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single permission: `actor` may process data for `purpose`,
 /// optionally limited to one subject, optionally until a deadline.
@@ -28,7 +29,12 @@ impl Grant {
     /// subject and time.
     #[must_use]
     pub fn new(actor: &str, purpose: &str) -> Self {
-        Grant { actor: actor.to_string(), purpose: purpose.to_string(), subject: None, expires_at_ms: None }
+        Grant {
+            actor: actor.to_string(),
+            purpose: purpose.to_string(),
+            subject: None,
+            expires_at_ms: None,
+        }
     }
 
     /// Builder-style: limit the grant to one data subject.
@@ -87,13 +93,28 @@ impl AccessDecision {
 }
 
 /// The access-control table.
-#[derive(Debug, Clone, Default)]
+///
+/// Checks take `&self` and count through atomics, so the compliance layer
+/// can serve them through a shared read lock: grant installation and
+/// revocation are rare control-plane events, while `check` sits on every
+/// data-path operation and must not serialize shards against each other.
+#[derive(Debug, Default)]
 pub struct AccessController {
     /// Grants indexed by actor for fast checks.
     grants: HashMap<String, Vec<Grant>>,
-    /// Counters for introspection.
-    checks: u64,
-    denials: u64,
+    /// Counters for introspection (atomic so checks need no `&mut`).
+    checks: AtomicU64,
+    denials: AtomicU64,
+}
+
+impl Clone for AccessController {
+    fn clone(&self) -> Self {
+        AccessController {
+            grants: self.grants.clone(),
+            checks: AtomicU64::new(self.checks.load(Ordering::Relaxed)),
+            denials: AtomicU64::new(self.denials.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl AccessController {
@@ -105,7 +126,10 @@ impl AccessController {
 
     /// Install a grant.
     pub fn grant(&mut self, grant: Grant) {
-        self.grants.entry(grant.actor.clone()).or_default().push(grant);
+        self.grants
+            .entry(grant.actor.clone())
+            .or_default()
+            .push(grant);
     }
 
     /// Remove every grant for `actor` under `purpose` (dynamic revocation).
@@ -130,23 +154,29 @@ impl AccessController {
     /// `(checks, denials)` performed so far.
     #[must_use]
     pub fn counters(&self) -> (u64, u64) {
-        (self.checks, self.denials)
+        (
+            self.checks.load(Ordering::Relaxed),
+            self.denials.load(Ordering::Relaxed),
+        )
     }
 
     /// Decide whether `actor` may process `subject`'s data under `purpose`
-    /// at time `now_ms`.
-    pub fn check(&mut self, actor: &str, purpose: &str, subject: &str, now_ms: u64) -> AccessDecision {
-        self.checks += 1;
-        let allowed = self
-            .grants
-            .get(actor)
-            .is_some_and(|list| list.iter().any(|g| g.covers(actor, purpose, subject, now_ms)));
+    /// at time `now_ms`. Takes `&self` so concurrent checks share a read
+    /// lock.
+    pub fn check(&self, actor: &str, purpose: &str, subject: &str, now_ms: u64) -> AccessDecision {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        let allowed = self.grants.get(actor).is_some_and(|list| {
+            list.iter()
+                .any(|g| g.covers(actor, purpose, subject, now_ms))
+        });
         if allowed {
             AccessDecision::Allow
         } else {
-            self.denials += 1;
+            self.denials.fetch_add(1, Ordering::Relaxed);
             AccessDecision::Deny {
-                reason: format!("no grant covers actor {actor:?} purpose {purpose:?} subject {subject:?}"),
+                reason: format!(
+                    "no grant covers actor {actor:?} purpose {purpose:?} subject {subject:?}"
+                ),
             }
         }
     }
@@ -158,7 +188,7 @@ mod tests {
 
     #[test]
     fn empty_controller_denies() {
-        let mut acl = AccessController::new();
+        let acl = AccessController::new();
         let decision = acl.check("app", "billing", "alice", 0);
         assert!(!decision.is_allowed());
         assert_eq!(acl.counters(), (1, 1));
@@ -169,7 +199,10 @@ mod tests {
         let mut acl = AccessController::new();
         acl.grant(Grant::new("app", "billing"));
         assert!(acl.check("app", "billing", "alice", 0).is_allowed());
-        assert!(acl.check("app", "billing", "bob", 0).is_allowed(), "unscoped grant covers all subjects");
+        assert!(
+            acl.check("app", "billing", "bob", 0).is_allowed(),
+            "unscoped grant covers all subjects"
+        );
         assert!(!acl.check("app", "marketing", "alice", 0).is_allowed());
         assert!(!acl.check("other-app", "billing", "alice", 0).is_allowed());
     }
@@ -178,8 +211,12 @@ mod tests {
     fn subject_scoped_grant() {
         let mut acl = AccessController::new();
         acl.grant(Grant::new("support", "account-recovery").for_subject("alice"));
-        assert!(acl.check("support", "account-recovery", "alice", 0).is_allowed());
-        assert!(!acl.check("support", "account-recovery", "bob", 0).is_allowed());
+        assert!(acl
+            .check("support", "account-recovery", "alice", 0)
+            .is_allowed());
+        assert!(!acl
+            .check("support", "account-recovery", "bob", 0)
+            .is_allowed());
     }
 
     #[test]
@@ -187,8 +224,12 @@ mod tests {
         let mut acl = AccessController::new();
         acl.grant(Grant::new("contractor", "audit").until(1_000));
         assert!(acl.check("contractor", "audit", "alice", 999).is_allowed());
-        assert!(acl.check("contractor", "audit", "alice", 1_000).is_allowed());
-        assert!(!acl.check("contractor", "audit", "alice", 1_001).is_allowed());
+        assert!(acl
+            .check("contractor", "audit", "alice", 1_000)
+            .is_allowed());
+        assert!(!acl
+            .check("contractor", "audit", "alice", 1_001)
+            .is_allowed());
     }
 
     #[test]
@@ -206,7 +247,7 @@ mod tests {
 
     #[test]
     fn deny_reason_names_the_actor_and_purpose() {
-        let mut acl = AccessController::new();
+        let acl = AccessController::new();
         match acl.check("rogue", "exfiltration", "alice", 0) {
             AccessDecision::Deny { reason } => {
                 assert!(reason.contains("rogue"));

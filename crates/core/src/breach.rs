@@ -59,7 +59,10 @@ impl BreachReport {
     /// have become known). `None` means the deadline has already passed.
     #[must_use]
     pub fn time_remaining_ms(&self, now_ms: u64) -> Option<u64> {
-        let deadline = self.window.until_ms.saturating_add(NOTIFICATION_DEADLINE_MS);
+        let deadline = self
+            .window
+            .until_ms
+            .saturating_add(NOTIFICATION_DEADLINE_MS);
         deadline.checked_sub(now_ms)
     }
 
@@ -79,16 +82,25 @@ impl BreachReport {
             .field("window_until_ms", Json::integer(self.window.until_ms))
             .field(
                 "suspected_actor",
-                self.window.suspected_actor.as_ref().map_or(Json::Null, Json::string),
+                self.window
+                    .suspected_actor
+                    .as_ref()
+                    .map_or(Json::Null, Json::string),
             )
             .field("generated_at_ms", Json::integer(self.generated_at_ms))
             .field("trail_verified", Json::Bool(self.trail_verified))
-            .field("affected_subject_count", Json::integer(self.affected_subjects.len() as u64))
+            .field(
+                "affected_subject_count",
+                Json::integer(self.affected_subjects.len() as u64),
+            )
             .field(
                 "affected_subjects",
                 Json::Array(self.affected_subjects.iter().map(Json::string).collect()),
             )
-            .field("affected_record_count", Json::integer(self.affected_keys.len() as u64))
+            .field(
+                "affected_record_count",
+                Json::integer(self.affected_keys.len() as u64),
+            )
             .field("reads", Json::integer(self.reads))
             .field("writes", Json::integer(self.writes))
             .field("deletes", Json::integer(self.deletes))
@@ -164,19 +176,30 @@ mod tests {
         let view = sink.share();
         let mut log = AuditLog::new(Box::new(sink), FlushPolicy::Synchronous);
         let records = vec![
-            AuditRecord::new(1_000, "web", Operation::Write).key("user:alice").subject("alice"),
-            AuditRecord::new(2_000, "rogue", Operation::Read).key("user:alice").subject("alice"),
-            AuditRecord::new(2_500, "rogue", Operation::Read).key("user:bob").subject("bob"),
+            AuditRecord::new(1_000, "web", Operation::Write)
+                .key("user:alice")
+                .subject("alice"),
+            AuditRecord::new(2_000, "rogue", Operation::Read)
+                .key("user:alice")
+                .subject("alice"),
+            AuditRecord::new(2_500, "rogue", Operation::Read)
+                .key("user:bob")
+                .subject("bob"),
             AuditRecord::new(2_600, "rogue", Operation::Read)
                 .key("user:carol")
                 .subject("carol")
                 .outcome(Outcome::Denied),
-            AuditRecord::new(9_000, "web", Operation::Delete).key("user:bob").subject("bob"),
+            AuditRecord::new(9_000, "web", Operation::Delete)
+                .key("user:bob")
+                .subject("bob"),
         ];
         for r in records {
             log.record(r).unwrap();
         }
-        view.lines().iter().map(|l| parse_chained_line(l).unwrap()).collect()
+        view.lines()
+            .iter()
+            .map(|l| parse_chained_line(l).unwrap())
+            .collect()
     }
 
     #[test]
@@ -199,7 +222,11 @@ mod tests {
     #[test]
     fn report_without_actor_filter_counts_everything_in_window() {
         let trail = build_trail();
-        let window = BreachWindow { from_ms: 0, until_ms: 10_000, suspected_actor: None };
+        let window = BreachWindow {
+            from_ms: 0,
+            until_ms: 10_000,
+            suspected_actor: None,
+        };
         let report = analyze_breach(&trail, &window, 10_000).unwrap();
         assert_eq!(report.writes, 1);
         assert_eq!(report.deletes, 1);
@@ -211,25 +238,46 @@ mod tests {
     fn tampered_trail_is_flagged() {
         let mut trail = build_trail();
         trail[1].record.subject = Some("mallory".to_string());
-        let window = BreachWindow { from_ms: 0, until_ms: 10_000, suspected_actor: None };
+        let window = BreachWindow {
+            from_ms: 0,
+            until_ms: 10_000,
+            suspected_actor: None,
+        };
         let report = analyze_breach(&trail, &window, 10_000).unwrap();
-        assert!(!report.trail_verified, "evidence tampering must be visible in the report");
+        assert!(
+            !report.trail_verified,
+            "evidence tampering must be visible in the report"
+        );
     }
 
     #[test]
     fn deadline_arithmetic() {
-        let window = BreachWindow { from_ms: 0, until_ms: 1_000, suspected_actor: None };
+        let window = BreachWindow {
+            from_ms: 0,
+            until_ms: 1_000,
+            suspected_actor: None,
+        };
         let report = analyze_breach(&[], &window, 2_000).unwrap();
         assert!(report.within_deadline(2_000));
-        assert_eq!(report.time_remaining_ms(1_000 + NOTIFICATION_DEADLINE_MS), Some(0));
+        assert_eq!(
+            report.time_remaining_ms(1_000 + NOTIFICATION_DEADLINE_MS),
+            Some(0)
+        );
         assert!(!report.within_deadline(1_001 + NOTIFICATION_DEADLINE_MS));
-        assert_eq!(report.time_remaining_ms(2_000 + NOTIFICATION_DEADLINE_MS), None);
+        assert_eq!(
+            report.time_remaining_ms(2_000 + NOTIFICATION_DEADLINE_MS),
+            None
+        );
     }
 
     #[test]
     fn json_rendering_contains_the_counts() {
         let trail = build_trail();
-        let window = BreachWindow { from_ms: 0, until_ms: 10_000, suspected_actor: Some("rogue".into()) };
+        let window = BreachWindow {
+            from_ms: 0,
+            until_ms: 10_000,
+            suspected_actor: Some("rogue".into()),
+        };
         let json = analyze_breach(&trail, &window, 10_000).unwrap().to_json();
         assert!(json.contains("gdpr-breach-notification/v1"));
         assert!(json.contains("\"suspected_actor\":\"rogue\""));

@@ -203,12 +203,19 @@ pub fn assess(policy: &CompliancePolicy) -> ComplianceAssessment {
     .into_iter()
     .map(|feature| FeatureAssessment {
         feature,
-        support: support_by_name.get(feature.name()).copied().unwrap_or(SupportLevel::None),
+        support: support_by_name
+            .get(feature.name())
+            .copied()
+            .unwrap_or(SupportLevel::None),
         real_time: real_time(feature),
     })
     .collect();
 
-    ComplianceAssessment { policy_name: policy.name.clone(), features, strict: policy.is_strict() }
+    ComplianceAssessment {
+        policy_name: policy.name.clone(),
+        features,
+        strict: policy.is_strict(),
+    }
 }
 
 impl ComplianceAssessment {
@@ -228,7 +235,10 @@ impl ComplianceAssessment {
         ARTICLES
             .iter()
             .filter(|mapping| {
-                mapping.features.iter().any(|f| self.support_for(*f) != SupportLevel::Full)
+                mapping
+                    .features
+                    .iter()
+                    .any(|f| self.support_for(*f) != SupportLevel::Full)
             })
             .collect()
     }
@@ -241,7 +251,10 @@ impl ComplianceAssessment {
             "Compliance assessment for policy {:?} (strict: {})\n\n",
             self.policy_name, self.strict
         ));
-        out.push_str(&format!("{:<22} {:<8} {:<9}\n", "Feature", "Support", "Real-time"));
+        out.push_str(&format!(
+            "{:<22} {:<8} {:<9}\n",
+            "Feature", "Support", "Real-time"
+        ));
         out.push_str(&format!("{:-<22} {:-<8} {:-<9}\n", "", "", ""));
         for f in &self.features {
             out.push_str(&format!(
@@ -298,21 +311,34 @@ mod tests {
     fn unmodified_policy_has_many_gaps() {
         let assessment = assess(&CompliancePolicy::unmodified());
         assert!(!assessment.strict);
-        assert_eq!(assessment.gaps().len(), ARTICLES.len(), "every article is a gap for stock Redis");
-        assert_eq!(assessment.support_for(StorageFeature::Encryption), SupportLevel::None);
+        assert_eq!(
+            assessment.gaps().len(),
+            ARTICLES.len(),
+            "every article is a gap for stock Redis"
+        );
+        assert_eq!(
+            assessment.support_for(StorageFeature::Encryption),
+            SupportLevel::None
+        );
     }
 
     #[test]
     fn eventual_policy_is_full_but_not_real_time_everywhere() {
         let assessment = assess(&CompliancePolicy::eventual());
         assert!(!assessment.strict);
-        assert!(assessment.gaps().is_empty(), "eventual compliance is still *full* support");
+        assert!(
+            assessment.gaps().is_empty(),
+            "eventual compliance is still *full* support"
+        );
         let monitoring = assessment
             .features
             .iter()
             .find(|f| f.feature == StorageFeature::MonitoringLogging)
             .unwrap();
-        assert!(!monitoring.real_time, "everysec flushing is not real-time compliance");
+        assert!(
+            !monitoring.real_time,
+            "everysec flushing is not real-time compliance"
+        );
     }
 
     #[test]
@@ -329,7 +355,11 @@ mod tests {
             assert!(text.contains(feature), "missing {feature}");
         }
         for mapping in ARTICLES {
-            assert!(text.contains(mapping.article), "missing article {}", mapping.article);
+            assert!(
+                text.contains(mapping.article),
+                "missing article {}",
+                mapping.article
+            );
         }
     }
 

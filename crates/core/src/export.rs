@@ -157,7 +157,10 @@ mod tests {
     fn arrays_and_objects_render() {
         let value = Json::object()
             .field("subject", Json::string("alice"))
-            .field("keys", Json::Array(vec![Json::string("k1"), Json::string("k2")]))
+            .field(
+                "keys",
+                Json::Array(vec![Json::string("k1"), Json::string("k2")]),
+            )
             .field("count", Json::integer(2))
             .field("complete", Json::Bool(true))
             .build();

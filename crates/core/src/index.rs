@@ -7,8 +7,17 @@
 //! metadata indexing" as an open research challenge (§5.1). The compliance
 //! layer maintains two inverted indexes — subject → keys and purpose →
 //! keys — updated on every write and erase.
+//!
+//! [`ShardedMetadataIndex`] splits the postings into per-shard segments
+//! aligned with the engine's key routing, so per-key maintenance (the hot
+//! path: every `put`/`delete`) only locks the owning segment, while
+//! cross-shard queries (`right_to_erasure`, `right_of_access`, …) merge
+//! over all segments.
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use kvstore::shard::ShardRouter;
+use parking_lot::Mutex;
 
 /// In-memory inverted indexes over the GDPR metadata.
 ///
@@ -32,9 +41,15 @@ impl MetadataIndex {
 
     /// Index `key` as belonging to `subject` with the given purposes.
     pub fn insert(&mut self, key: &str, subject: &str, purposes: impl IntoIterator<Item = String>) {
-        self.by_subject.entry(subject.to_string()).or_default().insert(key.to_string());
+        self.by_subject
+            .entry(subject.to_string())
+            .or_default()
+            .insert(key.to_string());
         for purpose in purposes {
-            self.by_purpose.entry(purpose).or_default().insert(key.to_string());
+            self.by_purpose
+                .entry(purpose)
+                .or_default()
+                .insert(key.to_string());
         }
         self.updates += 1;
     }
@@ -67,13 +82,19 @@ impl MetadataIndex {
     /// Every key owned by `subject`, in lexicographic order.
     #[must_use]
     pub fn keys_of_subject(&self, subject: &str) -> Vec<String> {
-        self.by_subject.get(subject).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+        self.by_subject
+            .get(subject)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Every key processable under `purpose`, in lexicographic order.
     #[must_use]
     pub fn keys_for_purpose(&self, purpose: &str) -> Vec<String> {
-        self.by_purpose.get(purpose).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+        self.by_purpose
+            .get(purpose)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// All data subjects currently present in the index.
@@ -107,13 +128,147 @@ impl MetadataIndex {
     }
 }
 
+/// Per-shard segments of the metadata index, routed by the same key hash
+/// the engine uses, so an operation that already holds the engine shard
+/// only contends on its own index segment.
+#[derive(Debug)]
+pub struct ShardedMetadataIndex {
+    segments: Vec<Mutex<MetadataIndex>>,
+    router: ShardRouter,
+}
+
+impl ShardedMetadataIndex {
+    /// An empty index aligned with `router`'s shard layout.
+    #[must_use]
+    pub fn new(router: ShardRouter) -> Self {
+        let segments = (0..router.shard_count())
+            .map(|_| Mutex::new(MetadataIndex::new()))
+            .collect();
+        ShardedMetadataIndex { segments, router }
+    }
+
+    /// Number of segments (= engine shards).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Run `f` while holding the lock of `key`'s segment.
+    ///
+    /// This is the per-key **mutation bracket** of the compliance layer:
+    /// the store updates engine value, metadata shadow and index posting
+    /// for one key inside this critical section, so a concurrent erasure
+    /// and a concurrent put of the same key serialize against each other
+    /// (no resurrection of erased data, no index postings pointing at
+    /// vanished keys) while keys on other segments proceed in parallel.
+    /// The closure must use the provided segment, not re-enter `self`.
+    pub fn with_key_segment<R>(&self, key: &str, f: impl FnOnce(&mut MetadataIndex) -> R) -> R {
+        let mut segment = self.segments[self.router.shard_of(key)].lock();
+        f(&mut segment)
+    }
+
+    /// Index `key` as belonging to `subject` with the given purposes
+    /// (locks only the owning segment).
+    pub fn insert(&self, key: &str, subject: &str, purposes: impl IntoIterator<Item = String>) {
+        self.segments[self.router.shard_of(key)]
+            .lock()
+            .insert(key, subject, purposes);
+    }
+
+    /// Remove `key` from every posting list of its segment.
+    pub fn remove(&self, key: &str) {
+        self.segments[self.router.shard_of(key)].lock().remove(key);
+    }
+
+    /// Remove `key` from one purpose's posting list.
+    pub fn remove_purpose(&self, key: &str, purpose: &str) {
+        self.segments[self.router.shard_of(key)]
+            .lock()
+            .remove_purpose(key, purpose);
+    }
+
+    /// Every key owned by `subject`, merged across segments in
+    /// lexicographic order.
+    #[must_use]
+    pub fn keys_of_subject(&self, subject: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.lock().keys_of_subject(subject))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Every key processable under `purpose`, merged across segments in
+    /// lexicographic order.
+    #[must_use]
+    pub fn keys_for_purpose(&self, purpose: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.lock().keys_for_purpose(purpose))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// All data subjects present in any segment, deduplicated and sorted.
+    #[must_use]
+    pub fn subjects(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.lock().subjects())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// All purposes present in any segment, deduplicated and sorted.
+    #[must_use]
+    pub fn purposes(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.lock().purposes())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of keys indexed for `subject` across all segments.
+    #[must_use]
+    pub fn subject_key_count(&self, subject: &str) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().subject_key_count(subject))
+            .sum()
+    }
+
+    /// Total number of index mutations performed across all segments.
+    #[must_use]
+    pub fn update_count(&self) -> u64 {
+        self.segments.iter().map(|s| s.lock().update_count()).sum()
+    }
+
+    /// Clear every segment (before a rebuild).
+    pub fn clear(&self) {
+        for segment in &self.segments {
+            segment.lock().clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample_index() -> MetadataIndex {
         let mut idx = MetadataIndex::new();
-        idx.insert("user:alice:email", "alice", ["billing".to_string(), "analytics".to_string()]);
+        idx.insert(
+            "user:alice:email",
+            "alice",
+            ["billing".to_string(), "analytics".to_string()],
+        );
         idx.insert("user:alice:address", "alice", ["billing".to_string()]);
         idx.insert("user:bob:email", "bob", ["analytics".to_string()]);
         idx
@@ -122,7 +277,10 @@ mod tests {
     #[test]
     fn subject_lookup() {
         let idx = sample_index();
-        assert_eq!(idx.keys_of_subject("alice"), vec!["user:alice:address", "user:alice:email"]);
+        assert_eq!(
+            idx.keys_of_subject("alice"),
+            vec!["user:alice:address", "user:alice:email"]
+        );
         assert_eq!(idx.keys_of_subject("bob"), vec!["user:bob:email"]);
         assert!(idx.keys_of_subject("carol").is_empty());
         assert_eq!(idx.subject_key_count("alice"), 2);
@@ -157,7 +315,9 @@ mod tests {
         // Subject index untouched.
         assert_eq!(idx.subject_key_count("alice"), 2);
         // Billing still lists the key.
-        assert!(idx.keys_for_purpose("billing").contains(&"user:alice:email".to_string()));
+        assert!(idx
+            .keys_for_purpose("billing")
+            .contains(&"user:alice:email".to_string()));
     }
 
     #[test]
@@ -176,5 +336,59 @@ mod tests {
         idx.insert("k", "alice", ["p".to_string()]);
         assert_eq!(idx.keys_of_subject("alice"), vec!["k"]);
         assert_eq!(idx.keys_for_purpose("p"), vec!["k"]);
+    }
+
+    #[test]
+    fn sharded_index_merges_cross_segment_queries() {
+        let idx = ShardedMetadataIndex::new(ShardRouter::new(4, 7));
+        assert_eq!(idx.segment_count(), 4);
+        for i in 0..32 {
+            idx.insert(
+                &format!("user:alice:{i:02}"),
+                "alice",
+                ["billing".to_string()],
+            );
+        }
+        idx.insert("user:bob:0", "bob", ["analytics".to_string()]);
+        let keys = idx.keys_of_subject("alice");
+        assert_eq!(keys.len(), 32);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merged query must stay ordered");
+        assert_eq!(idx.subject_key_count("alice"), 32);
+        assert_eq!(idx.subjects(), vec!["alice", "bob"]);
+        assert_eq!(idx.purposes(), vec!["analytics", "billing"]);
+        assert_eq!(idx.keys_for_purpose("billing").len(), 32);
+        assert!(idx.update_count() >= 33);
+
+        idx.remove("user:alice:00");
+        assert_eq!(idx.subject_key_count("alice"), 31);
+        idx.remove_purpose("user:bob:0", "analytics");
+        assert!(idx.keys_for_purpose("analytics").is_empty());
+        idx.clear();
+        assert!(idx.subjects().is_empty());
+    }
+
+    #[test]
+    fn sharded_index_is_safe_under_concurrent_mutation() {
+        let idx = ShardedMetadataIndex::new(ShardRouter::new(8, 7));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let idx = &idx;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        idx.insert(
+                            &format!("t{t}:k{i}"),
+                            &format!("subject{t}"),
+                            ["p".to_string()],
+                        );
+                    }
+                });
+            }
+        });
+        let total: usize = (0..8)
+            .map(|t| idx.subject_key_count(&format!("subject{t}")))
+            .sum();
+        assert_eq!(total, 800);
     }
 }

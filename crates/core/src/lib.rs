@@ -21,6 +21,27 @@
 //! (real-time vs eventual, full vs partial) as a configuration value; and
 //! [`compliance`] renders the Table 1 self-assessment.
 //!
+//! # Sharded routing
+//!
+//! The compliance layer is built for multi-core parallelism, mirroring the
+//! engine's hash-sharded keyspace (see `kvstore::shard`). A per-key
+//! operation takes **no global exclusive lock**:
+//!
+//! * the engine routes the key to its owning shard (shard lock only);
+//! * the [`index::ShardedMetadataIndex`] locks just the key's segment,
+//!   aligned with the engine's routing; cross-shard queries (the
+//!   data-subject rights) merge over all segments;
+//! * compliance counters ([`store::GdprStats`]) and ACL check counters are
+//!   lock-free atomics, and the ACL table itself is behind a read-write
+//!   lock (checks share a read guard; grants/revocations are rare);
+//! * audit emission goes through [`audit_pipeline::AuditPipeline`]'s
+//!   per-shard buffers; only the *real-time* compliance policy pays the
+//!   serialized write-through, because durable-before-acknowledge is that
+//!   policy's defining guarantee.
+//!
+//! `ycsb::concurrent::ConcurrentDriver` (via the `bench` crate's
+//! `shard_scaling` binary) measures the resulting shard × thread scaling.
+//!
 //! # Quick start
 //!
 //! ```
@@ -57,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod acl;
+pub mod audit_pipeline;
 pub mod breach;
 pub mod compliance;
 pub mod export;
@@ -121,14 +143,24 @@ impl fmt::Display for GdprError {
         match self {
             GdprError::Store(e) => write!(f, "storage error: {e}"),
             GdprError::Audit(e) => write!(f, "audit error: {e}"),
-            GdprError::AccessDenied { actor, purpose, reason } => {
-                write!(f, "access denied for actor {actor:?} (purpose {purpose:?}): {reason}")
+            GdprError::AccessDenied {
+                actor,
+                purpose,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "access denied for actor {actor:?} (purpose {purpose:?}): {reason}"
+                )
             }
             GdprError::PurposeViolation { key, purpose } => {
                 write!(f, "purpose {purpose:?} is not permitted for key {key:?}")
             }
             GdprError::LocationViolation { region } => {
-                write!(f, "data placement in region {region:?} violates the location policy")
+                write!(
+                    f,
+                    "data placement in region {region:?} violates the location policy"
+                )
             }
             GdprError::MissingMetadata { key } => {
                 write!(f, "key {key:?} holds personal data without GDPR metadata")
@@ -179,10 +211,18 @@ mod tests {
                 purpose: "p".into(),
                 reason: "no grant".into(),
             },
-            GdprError::PurposeViolation { key: "k".into(), purpose: "ads".into() },
-            GdprError::LocationViolation { region: "US".into() },
+            GdprError::PurposeViolation {
+                key: "k".into(),
+                purpose: "ads".into(),
+            },
+            GdprError::LocationViolation {
+                region: "US".into(),
+            },
             GdprError::MissingMetadata { key: "k".into() },
-            GdprError::CorruptMetadata { key: "k".into(), detail: "short".into() },
+            GdprError::CorruptMetadata {
+                key: "k".into(),
+                detail: "short".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -193,7 +233,11 @@ mod tests {
     fn source_chains_for_wrapped_errors() {
         let e = GdprError::from(kvstore::StoreError::Config("x".into()));
         assert!(e.source().is_some());
-        let e = GdprError::AccessDenied { actor: "a".into(), purpose: "p".into(), reason: "r".into() };
+        let e = GdprError::AccessDenied {
+            actor: "a".into(),
+            purpose: "p".into(),
+            reason: "r".into(),
+        };
         assert!(e.source().is_none());
     }
 }

@@ -22,7 +22,9 @@ impl LocationPolicy {
     /// No restrictions (the unmodified baseline).
     #[must_use]
     pub fn unrestricted() -> Self {
-        LocationPolicy { allowed: BTreeSet::new() }
+        LocationPolicy {
+            allowed: BTreeSet::new(),
+        }
     }
 
     /// Only EU placement allowed.
@@ -33,7 +35,9 @@ impl LocationPolicy {
 
     /// Placement restricted to the given regions.
     pub fn restricted_to(regions: impl IntoIterator<Item = Region>) -> Self {
-        LocationPolicy { allowed: regions.into_iter().collect() }
+        LocationPolicy {
+            allowed: regions.into_iter().collect(),
+        }
     }
 
     /// Whether this policy imposes no restriction.
@@ -60,7 +64,11 @@ impl LocationPolicy {
         if self.is_unrestricted() {
             "any region".to_string()
         } else {
-            self.allowed.iter().map(Region::as_str).collect::<Vec<_>>().join(", ")
+            self.allowed
+                .iter()
+                .map(Region::as_str)
+                .collect::<Vec<_>>()
+                .join(", ")
         }
     }
 }

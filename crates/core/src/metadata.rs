@@ -300,7 +300,10 @@ mod tests {
         let m = sample();
         assert!(m.allows_purpose("billing"));
         assert!(m.allows_purpose("analytics"));
-        assert!(!m.allows_purpose("marketing"), "not whitelisted AND objected");
+        assert!(
+            !m.allows_purpose("marketing"),
+            "not whitelisted AND objected"
+        );
         assert!(!m.allows_purpose("profiling"), "not whitelisted");
         // Objection against a whitelisted purpose blocks it.
         let m2 = sample().with_objection("analytics");

@@ -134,7 +134,9 @@ impl CompliancePolicy {
             audit_flush: FlushPolicy::Manual,
             audit_chaining: false,
             expiry_mode: ExpiryMode::LazyProbabilistic,
-            erasure_response: ResponseMode::Eventual { lag_ms: 6 * 30 * 24 * 3600 * 1000 },
+            erasure_response: ResponseMode::Eventual {
+                lag_ms: 6 * 30 * 24 * 3600 * 1000,
+            },
             scrub_aof_on_erasure: false,
             journal_writes: false,
             journal_fsync: FsyncPolicy::EverySec,
@@ -242,7 +244,11 @@ impl CompliancePolicy {
             ),
             (
                 "Metadata indexing",
-                if self.maintain_indexes { SupportLevel::Full } else { SupportLevel::Partial },
+                if self.maintain_indexes {
+                    SupportLevel::Full
+                } else {
+                    SupportLevel::Partial
+                },
             ),
             (
                 "Access control",
@@ -290,14 +296,25 @@ mod tests {
         let levels = CompliancePolicy::unmodified().support_levels();
         let encryption = levels.iter().find(|(f, _)| *f == "Encryption").unwrap().1;
         assert_eq!(encryption, SupportLevel::None);
-        let deletion = levels.iter().find(|(f, _)| *f == "Timely deletion").unwrap().1;
-        assert_eq!(deletion, SupportLevel::Partial, "lazy expiry is only partial support");
+        let deletion = levels
+            .iter()
+            .find(|(f, _)| *f == "Timely deletion")
+            .unwrap()
+            .1;
+        assert_eq!(
+            deletion,
+            SupportLevel::Partial,
+            "lazy expiry is only partial support"
+        );
     }
 
     #[test]
     fn strict_supports_everything_fully() {
         let levels = CompliancePolicy::strict().support_levels();
-        assert!(levels.iter().all(|(_, l)| *l == SupportLevel::Full), "{levels:?}");
+        assert!(
+            levels.iter().all(|(_, l)| *l == SupportLevel::Full),
+            "{levels:?}"
+        );
         assert_eq!(levels.len(), 6, "the paper's six features");
     }
 

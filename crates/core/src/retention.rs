@@ -38,9 +38,12 @@ impl GdprStore {
         for _ in 0..max_cycles.max(1) {
             let outcome = self.tick()?;
             report.cycles += 1;
-            report
-                .erased_keys
-                .extend(outcome.removed.into_iter().filter(|k| !Self::is_meta_key(k)));
+            report.erased_keys.extend(
+                outcome
+                    .removed
+                    .into_iter()
+                    .filter(|k| !Self::is_meta_key(k)),
+            );
             if self.kv.pending_expired() == 0 {
                 break;
             }
@@ -102,7 +105,11 @@ impl ErasureDelayExperiment {
         for i in 0..self.total_keys {
             let key = format!("user{i:012}");
             db.set(&key, vec![0u8; 100]);
-            let ttl = if i < short_count { self.short_ttl_ms } else { self.long_ttl_ms };
+            let ttl = if i < short_count {
+                self.short_ttl_ms
+            } else {
+                self.long_ttl_ms
+            };
             db.expire_in_millis(&key, ttl);
         }
         // Jump to the moment the short-term keys have just expired, which
@@ -133,14 +140,20 @@ mod tests {
         let clock = SimClock::new(1_000);
         let store = GdprStore::open(
             CompliancePolicy::strict(),
-            StoreConfig::in_memory().aof_in_memory().clock(clock.clone()),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .clock(clock.clone()),
             Box::new(audit::sink::MemorySink::new()),
         )
         .unwrap();
         store.grant(Grant::new("app", "billing"));
         for i in 0..20 {
-            let meta = PersonalMetadata::new("alice").with_purpose("billing").with_ttl_millis(500);
-            store.put(&ctx(), &format!("k{i}"), b"v".to_vec(), meta).unwrap();
+            let meta = PersonalMetadata::new("alice")
+                .with_purpose("billing")
+                .with_ttl_millis(500);
+            store
+                .put(&ctx(), &format!("k{i}"), b"v".to_vec(), meta)
+                .unwrap();
         }
         assert_eq!(store.overdue_keys(), 0);
         clock.advance_millis(1_000);
@@ -160,19 +173,29 @@ mod tests {
         policy.enforce_access_control = false;
         let store = GdprStore::open(
             policy,
-            StoreConfig::in_memory().aof_in_memory().clock(clock.clone()).rng_seed(7),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .clock(clock.clone())
+                .rng_seed(7),
             Box::new(audit::sink::MemorySink::new()),
         )
         .unwrap();
         for i in 0..500 {
-            let meta = PersonalMetadata::new("s").with_purpose("billing").with_ttl_millis(100);
-            store.put(&ctx(), &format!("k{i:04}"), b"v".to_vec(), meta).unwrap();
+            let meta = PersonalMetadata::new("s")
+                .with_purpose("billing")
+                .with_ttl_millis(100);
+            store
+                .put(&ctx(), &format!("k{i:04}"), b"v".to_vec(), meta)
+                .unwrap();
         }
         clock.advance_millis(500);
         let report = store.enforce_retention(2).unwrap();
         // With only two probabilistic cycles over 1000 expired entries
         // (data + shadows), a backlog must remain.
-        assert!(report.overdue_remaining > 0, "lazy expiry cannot clear 1000 keys in 2 cycles");
+        assert!(
+            report.overdue_remaining > 0,
+            "lazy expiry cannot clear 1000 keys in 2 cycles"
+        );
         assert!(report.cycles <= 2);
     }
 

@@ -87,7 +87,7 @@ impl GdprStore {
     /// Returns storage or corruption errors.
     pub fn keys_of_subject(&self, subject: &str) -> Result<Vec<String>> {
         if self.policy.maintain_indexes {
-            return Ok(self.index.lock().keys_of_subject(subject));
+            return Ok(self.index.keys_of_subject(subject));
         }
         // Fallback: full scan over the metadata shadow records.
         let mut keys = Vec::new();
@@ -95,7 +95,11 @@ impl GdprStore {
             if let Some(bytes) = self.kv.get(&meta_key)? {
                 if let Some(meta) = PersonalMetadata::decode(&bytes) {
                     if meta.subject == subject {
-                        keys.push(meta_key.trim_start_matches(crate::store::META_PREFIX).to_string());
+                        keys.push(
+                            meta_key
+                                .trim_start_matches(crate::store::META_PREFIX)
+                                .to_string(),
+                        );
                     }
                 }
             }
@@ -109,15 +113,30 @@ impl GdprStore {
     /// # Errors
     ///
     /// Returns storage or corruption errors.
-    pub fn right_of_access(&self, ctx: &AccessContext, subject: &str) -> Result<SubjectAccessReport> {
+    pub fn right_of_access(
+        &self,
+        ctx: &AccessContext,
+        subject: &str,
+    ) -> Result<SubjectAccessReport> {
         let now = self.now_ms();
         let mut items = Vec::new();
         for key in self.keys_of_subject(subject)? {
-            let Some(metadata) = self.load_metadata(&key)? else { continue };
+            let Some(metadata) = self.load_metadata(&key)? else {
+                continue;
+            };
             // Values can be plain strings or multi-field records.
             let fields = self.kv.hgetall(&key).ok().flatten();
-            let value = if fields.is_some() { None } else { self.kv.get(&key)? };
-            items.push(SubjectDataItem { key, value, fields, metadata });
+            let value = if fields.is_some() {
+                None
+            } else {
+                self.kv.get(&key)?
+            };
+            items.push(SubjectDataItem {
+                key,
+                value,
+                fields,
+                metadata,
+            });
         }
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
@@ -126,7 +145,11 @@ impl GdprStore {
                 .detail(&format!("art.15 access request: {} items", items.len())),
         );
         self.flush_audit_if_strict()?;
-        Ok(SubjectAccessReport { subject: subject.to_string(), generated_at_ms: now, items })
+        Ok(SubjectAccessReport {
+            subject: subject.to_string(),
+            generated_at_ms: now,
+            items,
+        })
     }
 
     /// Article 17: erase every key belonging to `subject`.
@@ -144,11 +167,20 @@ impl GdprStore {
         let keys = self.keys_of_subject(subject)?;
         let mut erased = Vec::with_capacity(keys.len());
         for key in keys {
-            let existed = self.kv.delete(&key)?;
-            self.kv.delete(&Self::meta_key(&key))?;
-            if self.policy.maintain_indexes {
-                self.index.lock().remove(&key);
-            }
+            // Per-key mutation bracket: serializes against a concurrent put
+            // of the same key, so erased data cannot be resurrected by an
+            // in-flight write (value, shadow record and index posting go
+            // together).
+            let existed = self
+                .index
+                .with_key_segment(&key, |segment| -> Result<bool> {
+                    let existed = self.kv.delete(&key)?;
+                    self.kv.delete(&Self::meta_key(&key))?;
+                    if self.policy.maintain_indexes {
+                        segment.remove(&key);
+                    }
+                    Ok(existed)
+                })?;
             if existed {
                 erased.push(key);
             }
@@ -160,7 +192,7 @@ impl GdprStore {
             0
         };
 
-        self.stats.lock().erased_by_request += erased.len() as u64;
+        self.stats.add_erased_by_request(erased.len() as u64);
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
                 .subject(subject)
@@ -208,9 +240,14 @@ impl GdprStore {
                     .field("location", Json::string(item.metadata.location.as_str()))
                     .field(
                         "expires_at_ms",
-                        item.metadata.expires_at_ms.map_or(Json::Null, Json::integer),
+                        item.metadata
+                            .expires_at_ms
+                            .map_or(Json::Null, Json::integer),
                     )
-                    .field("automated_decisions", Json::Bool(item.metadata.automated_decisions));
+                    .field(
+                        "automated_decisions",
+                        Json::Bool(item.metadata.automated_decisions),
+                    );
                 if let Some(value) = &item.value {
                     object = object.field("value", bytes_to_json(value));
                 }
@@ -218,7 +255,10 @@ impl GdprStore {
                     object = object.field(
                         "fields",
                         Json::Object(
-                            fields.iter().map(|(f, v)| (f.clone(), bytes_to_json(v))).collect(),
+                            fields
+                                .iter()
+                                .map(|(f, v)| (f.clone(), bytes_to_json(v)))
+                                .collect(),
                         ),
                     );
                 }
@@ -251,12 +291,23 @@ impl GdprStore {
         let now = self.now_ms();
         let mut updated = Vec::new();
         for key in self.keys_of_subject(subject)? {
-            if let Some(mut meta) = self.load_metadata(&key)? {
-                meta.object_to(purpose);
-                self.store_metadata(&key, &meta)?;
-                if self.policy.maintain_indexes {
-                    self.index.lock().remove_purpose(&key, purpose);
-                }
+            // Bracketed read-modify-write of the metadata shadow, so a
+            // racing put/erasure of the same key cannot interleave with
+            // the objection.
+            let objected = self
+                .index
+                .with_key_segment(&key, |segment| -> Result<bool> {
+                    let Some(mut meta) = self.load_metadata(&key)? else {
+                        return Ok(false);
+                    };
+                    meta.object_to(purpose);
+                    self.store_metadata(&key, &meta)?;
+                    if self.policy.maintain_indexes {
+                        segment.remove_purpose(&key, purpose);
+                    }
+                    Ok(true)
+                })?;
+            if objected {
                 updated.push(key);
             }
         }
@@ -264,10 +315,17 @@ impl GdprStore {
             AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
                 .subject(subject)
                 .purpose(purpose)
-                .detail(&format!("art.21 objection recorded on {} keys", updated.len())),
+                .detail(&format!(
+                    "art.21 objection recorded on {} keys",
+                    updated.len()
+                )),
         );
         self.flush_audit_if_strict()?;
-        Ok(ObjectionReport { subject: subject.to_string(), purpose: purpose.to_string(), updated_keys: updated })
+        Ok(ObjectionReport {
+            subject: subject.to_string(),
+            purpose: purpose.to_string(),
+            updated_keys: updated,
+        })
     }
 }
 
@@ -292,10 +350,23 @@ mod tests {
             .with_purpose("analytics")
             .with_recipient("payments-inc")
             .with_location(Region::Eu);
-        let bob = PersonalMetadata::new("bob").with_purpose("billing").with_location(Region::Eu);
-        store.put(&ctx(), "user:alice:email", b"alice@example.com".to_vec(), alice.clone()).unwrap();
-        store.put(&ctx(), "user:alice:address", b"1 Main St".to_vec(), alice).unwrap();
-        store.put(&ctx(), "user:bob:email", b"bob@example.com".to_vec(), bob).unwrap();
+        let bob = PersonalMetadata::new("bob")
+            .with_purpose("billing")
+            .with_location(Region::Eu);
+        store
+            .put(
+                &ctx(),
+                "user:alice:email",
+                b"alice@example.com".to_vec(),
+                alice.clone(),
+            )
+            .unwrap();
+        store
+            .put(&ctx(), "user:alice:address", b"1 Main St".to_vec(), alice)
+            .unwrap();
+        store
+            .put(&ctx(), "user:bob:email", b"bob@example.com".to_vec(), bob)
+            .unwrap();
         store
     }
 
@@ -306,11 +377,18 @@ mod tests {
         assert_eq!(report.subject, "alice");
         assert_eq!(report.items.len(), 2);
         assert!(report.items.iter().all(|i| i.metadata.subject == "alice"));
-        assert!(report.items.iter().any(|i| i.value == Some(b"alice@example.com".to_vec())));
+        assert!(report
+            .items
+            .iter()
+            .any(|i| i.value == Some(b"alice@example.com".to_vec())));
         // Bob's report only sees bob's data.
         assert_eq!(store.right_of_access(&ctx(), "bob").unwrap().items.len(), 1);
         // Unknown subject: empty report, not an error.
-        assert!(store.right_of_access(&ctx(), "carol").unwrap().items.is_empty());
+        assert!(store
+            .right_of_access(&ctx(), "carol")
+            .unwrap()
+            .items
+            .is_empty());
     }
 
     #[test]
@@ -319,14 +397,24 @@ mod tests {
         let report = store.right_to_erasure(&ctx(), "alice").unwrap();
         assert_eq!(report.erased_keys.len(), 2);
         assert!(report.completed_in_real_time);
-        assert!(report.journal_records_scrubbed > 0, "strict policy scrubs the journal");
+        assert!(
+            report.journal_records_scrubbed > 0,
+            "strict policy scrubs the journal"
+        );
         assert_eq!(store.get(&ctx(), "user:alice:email").unwrap(), None);
         assert!(store.keys_of_subject("alice").unwrap().is_empty());
         // Bob is untouched.
-        assert_eq!(store.get(&ctx(), "user:bob:email").unwrap(), Some(b"bob@example.com".to_vec()));
+        assert_eq!(
+            store.get(&ctx(), "user:bob:email").unwrap(),
+            Some(b"bob@example.com".to_vec())
+        );
         assert_eq!(store.stats().erased_by_request, 2);
         // Erasing again is a no-op.
-        assert!(store.right_to_erasure(&ctx(), "alice").unwrap().erased_keys.is_empty());
+        assert!(store
+            .right_to_erasure(&ctx(), "alice")
+            .unwrap()
+            .erased_keys
+            .is_empty());
     }
 
     #[test]
@@ -347,7 +435,10 @@ mod tests {
         assert!(json.contains("alice@example.com"));
         assert!(json.contains("payments-inc"));
         assert!(json.contains("\"item_count\":2"));
-        assert!(!json.contains("bob@example.com"), "other subjects' data must not leak");
+        assert!(
+            !json.contains("bob@example.com"),
+            "other subjects' data must not leak"
+        );
     }
 
     #[test]
@@ -366,7 +457,6 @@ mod tests {
         // Purpose index no longer lists alice's keys under analytics.
         assert!(!store
             .index
-            .lock()
             .keys_for_purpose("analytics")
             .iter()
             .any(|k| k.contains("alice")));
@@ -390,8 +480,13 @@ mod tests {
         policy.enforce_access_control = false;
         let store = GdprStore::open_in_memory(policy).unwrap();
         let meta = PersonalMetadata::new("dora").with_purpose("billing");
-        store.put(&ctx(), "user:dora:email", b"d@e.f".to_vec(), meta).unwrap();
-        assert_eq!(store.keys_of_subject("dora").unwrap(), vec!["user:dora:email"]);
+        store
+            .put(&ctx(), "user:dora:email", b"d@e.f".to_vec(), meta)
+            .unwrap();
+        assert_eq!(
+            store.keys_of_subject("dora").unwrap(),
+            vec!["user:dora:email"]
+        );
         let report = store.right_of_access(&ctx(), "dora").unwrap();
         assert_eq!(report.items.len(), 1);
     }

@@ -17,6 +17,7 @@
 //!    be answered without scanning (Articles 15/17/20/21).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use audit::log::AuditLog;
@@ -27,10 +28,11 @@ use kvstore::config::StoreConfig;
 use kvstore::expire::CycleOutcome;
 use kvstore::object::Bytes;
 use kvstore::store::KvStore;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::acl::{AccessController, AccessDecision, Grant};
-use crate::index::MetadataIndex;
+use crate::audit_pipeline::AuditPipeline;
+use crate::index::ShardedMetadataIndex;
 use crate::location::LocationInventory;
 use crate::metadata::PersonalMetadata;
 use crate::policy::CompliancePolicy;
@@ -52,7 +54,10 @@ impl AccessContext {
     /// Build a context.
     #[must_use]
     pub fn new(actor: &str, purpose: &str) -> Self {
-        AccessContext { actor: actor.to_string(), purpose: purpose.to_string() }
+        AccessContext {
+            actor: actor.to_string(),
+            purpose: purpose.to_string(),
+        }
     }
 }
 
@@ -71,15 +76,60 @@ pub struct GdprStats {
     pub erased_by_retention: u64,
 }
 
+/// Lock-free compliance counters (snapshotted into [`GdprStats`]).
+#[derive(Debug, Default)]
+pub(crate) struct GdprStatsCells {
+    allowed_ops: AtomicU64,
+    denied_ops: AtomicU64,
+    audit_records: AtomicU64,
+    erased_by_request: AtomicU64,
+    erased_by_retention: AtomicU64,
+}
+
+impl GdprStatsCells {
+    pub(crate) fn inc_allowed(&self) {
+        self.allowed_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_denied(&self) {
+        self.denied_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_erased_by_request(&self, n: u64) {
+        self.erased_by_request.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_erased_by_retention(&self, n: u64) {
+        self.erased_by_retention.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> GdprStats {
+        GdprStats {
+            allowed_ops: self.allowed_ops.load(Ordering::Relaxed),
+            denied_ops: self.denied_ops.load(Ordering::Relaxed),
+            audit_records: self.audit_records.load(Ordering::Relaxed),
+            erased_by_request: self.erased_by_request.load(Ordering::Relaxed),
+            erased_by_retention: self.erased_by_retention.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The GDPR-compliant store.
+///
+/// Per-key operations take **no global exclusive lock**: the engine routes
+/// the key to its owning shard, the metadata index locks only the owning
+/// segment, compliance counters are atomics, the ACL check holds a shared
+/// read lock, and audit emission goes through the per-shard buffers of
+/// [`AuditPipeline`] (direct to the serialized log only under real-time
+/// compliance, where that serialization *is* the measured guarantee).
 pub struct GdprStore {
     pub(crate) kv: KvStore,
-    pub(crate) audit: Mutex<AuditLog>,
-    pub(crate) acl: Mutex<AccessController>,
-    pub(crate) index: Mutex<MetadataIndex>,
+    pub(crate) audit: AuditPipeline,
+    pub(crate) acl: RwLock<AccessController>,
+    pub(crate) index: ShardedMetadataIndex,
     pub(crate) policy: CompliancePolicy,
     pub(crate) clock: SharedClock,
-    pub(crate) stats: Mutex<GdprStats>,
+    pub(crate) stats: GdprStatsCells,
     /// When the store was opened with an in-memory audit sink, a shared
     /// view of it (lets examples and the breach module read the trail back
     /// without going through the filesystem).
@@ -140,15 +190,20 @@ impl GdprStore {
         if !policy.audit_chaining {
             audit_log = audit_log.without_chain();
         }
+        let audit = AuditPipeline::new(
+            audit_log,
+            kv.shard_count(),
+            policy.audit_flush.is_real_time(),
+        );
 
         let store = GdprStore {
+            index: ShardedMetadataIndex::new(kv.router()),
             kv,
-            audit: Mutex::new(audit_log),
-            acl: Mutex::new(AccessController::new()),
-            index: Mutex::new(MetadataIndex::new()),
+            audit,
+            acl: RwLock::new(AccessController::new()),
             policy,
             clock,
-            stats: Mutex::new(GdprStats::default()),
+            stats: GdprStatsCells::default(),
             audit_mirror: None,
         };
         store.rebuild_index()?;
@@ -170,7 +225,7 @@ impl GdprStore {
     /// Compliance-layer counters.
     #[must_use]
     pub fn stats(&self) -> GdprStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Current time in Unix milliseconds (from the engine clock).
@@ -180,23 +235,27 @@ impl GdprStore {
     }
 
     /// A copy of the audit trail lines, if the store was opened with the
-    /// in-memory sink ([`Self::open_in_memory`]).
+    /// in-memory sink ([`Self::open_in_memory`]). Buffered records are
+    /// pushed to the sink first so the trail is complete.
     #[must_use]
     pub fn audit_trail(&self) -> Option<Vec<String>> {
+        if self.audit_mirror.is_some() {
+            let _ = self.audit.flush();
+        }
         self.audit_mirror.as_ref().map(MemorySink::lines)
     }
 
     /// Current tip digest of the audit hash chain, if chaining is enabled.
     #[must_use]
     pub fn audit_chain_tip(&self) -> Option<String> {
-        self.audit.lock().chain_tip()
+        self.audit.chain_tip()
     }
 
     /// Install an access grant (Article 25: restrict access by default,
     /// open it explicitly).
     pub fn grant(&self, grant: Grant) {
         let now = self.now_ms();
-        self.acl.lock().grant(grant.clone());
+        self.acl.write().grant(grant.clone());
         self.emit_audit(
             AuditRecord::new(now, &grant.actor, Operation::AccessControl)
                 .purpose(&grant.purpose)
@@ -208,7 +267,7 @@ impl GdprStore {
     /// removed.
     pub fn revoke(&self, actor: &str, purpose: &str) -> usize {
         let now = self.now_ms();
-        let removed = self.acl.lock().revoke(actor, purpose);
+        let removed = self.acl.write().revoke(actor, purpose);
         self.emit_audit(
             AuditRecord::new(now, actor, Operation::AccessControl)
                 .purpose(purpose)
@@ -234,11 +293,14 @@ impl GdprStore {
         if !self.policy.monitor_all_operations {
             return;
         }
-        self.stats.lock().audit_records += 1;
+        self.stats.audit_records.fetch_add(1, Ordering::Relaxed);
+        // Keyed records buffer on the key's shard; keyless control-plane
+        // records (grants, rights requests) ride on shard 0.
+        let shard = record.key.as_deref().map_or(0, |key| self.kv.shard_of(key));
         // An audit failure under strict compliance should fail the caller;
         // we surface it lazily through flush errors. Recording into the
         // buffer itself cannot fail for the provided sinks.
-        let _ = self.audit.lock().record(record);
+        self.audit.emit(shard, record);
     }
 
     pub(crate) fn load_metadata(&self, key: &str) -> Result<Option<PersonalMetadata>> {
@@ -267,11 +329,14 @@ impl GdprStore {
             return Ok(());
         }
         let now = self.now_ms();
-        let decision = self.acl.lock().check(&ctx.actor, &ctx.purpose, subject, now);
+        let decision = self
+            .acl
+            .read()
+            .check(&ctx.actor, &ctx.purpose, subject, now);
         match decision {
             AccessDecision::Allow => Ok(()),
             AccessDecision::Deny { reason } => {
-                self.stats.lock().denied_ops += 1;
+                self.stats.inc_denied();
                 self.emit_audit(
                     AuditRecord::new(now, &ctx.actor, Operation::Read)
                         .key(key)
@@ -297,7 +362,7 @@ impl GdprStore {
             return Ok(());
         }
         let now = self.now_ms();
-        self.stats.lock().denied_ops += 1;
+        self.stats.inc_denied();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Read)
                 .key(key)
@@ -306,7 +371,10 @@ impl GdprStore {
                 .outcome(Outcome::Denied)
                 .detail("purpose not permitted for this key"),
         );
-        Err(GdprError::PurposeViolation { key: key.to_string(), purpose: ctx.purpose.clone() })
+        Err(GdprError::PurposeViolation {
+            key: key.to_string(),
+            purpose: ctx.purpose.clone(),
+        })
     }
 
     /// Resolve the retention deadline carried in freshly supplied metadata:
@@ -344,7 +412,7 @@ impl GdprStore {
 
         // Article 46: placement control.
         if !self.policy.location_policy.allows(meta.location) {
-            self.stats.lock().denied_ops += 1;
+            self.stats.inc_denied();
             self.emit_audit(
                 AuditRecord::new(now, &ctx.actor, Operation::Write)
                     .key(key)
@@ -353,7 +421,9 @@ impl GdprStore {
                     .outcome(Outcome::Denied)
                     .detail("location policy violation"),
             );
-            return Err(GdprError::LocationViolation { region: meta.location.to_string() });
+            return Err(GdprError::LocationViolation {
+                region: meta.location.to_string(),
+            });
         }
 
         self.check_access(ctx, &meta.subject, key)?;
@@ -361,24 +431,32 @@ impl GdprStore {
         // Article 5: the writer must itself be acting under a declared,
         // whitelisted purpose.
         if self.policy.enforce_purpose_limitation && !meta.purposes.contains(&ctx.purpose) {
-            self.stats.lock().denied_ops += 1;
-            return Err(GdprError::PurposeViolation { key: key.to_string(), purpose: ctx.purpose.clone() });
+            self.stats.inc_denied();
+            return Err(GdprError::PurposeViolation {
+                key: key.to_string(),
+                purpose: ctx.purpose.clone(),
+            });
         }
 
         self.resolve_retention(&mut meta);
 
         let value_len = value.len();
-        self.kv.set(key, value)?;
-        if let Some(at) = meta.expires_at_ms {
-            self.kv.expire_at(key, at)?;
-        }
-        self.store_metadata(key, &meta)?;
+        // Mutation bracket: value, metadata shadow and index posting change
+        // together under the key's segment lock, so a concurrent erasure of
+        // the same key cannot interleave (see ShardedMetadataIndex docs).
+        self.index.with_key_segment(key, |segment| -> Result<()> {
+            self.kv.set(key, value)?;
+            if let Some(at) = meta.expires_at_ms {
+                self.kv.expire_at(key, at)?;
+            }
+            self.store_metadata(key, &meta)?;
+            if self.policy.maintain_indexes {
+                segment.insert(key, &meta.subject, meta.purposes.iter().cloned());
+            }
+            Ok(())
+        })?;
 
-        if self.policy.maintain_indexes {
-            self.index.lock().insert(key, &meta.subject, meta.purposes.iter().cloned());
-        }
-
-        self.stats.lock().allowed_ops += 1;
+        self.stats.inc_allowed();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Write)
                 .key(key)
@@ -403,25 +481,33 @@ impl GdprStore {
     ) -> Result<()> {
         let now = self.now_ms();
         if !self.policy.location_policy.allows(meta.location) {
-            self.stats.lock().denied_ops += 1;
-            return Err(GdprError::LocationViolation { region: meta.location.to_string() });
+            self.stats.inc_denied();
+            return Err(GdprError::LocationViolation {
+                region: meta.location.to_string(),
+            });
         }
         self.check_access(ctx, &meta.subject, key)?;
         if self.policy.enforce_purpose_limitation && !meta.purposes.contains(&ctx.purpose) {
-            self.stats.lock().denied_ops += 1;
-            return Err(GdprError::PurposeViolation { key: key.to_string(), purpose: ctx.purpose.clone() });
+            self.stats.inc_denied();
+            return Err(GdprError::PurposeViolation {
+                key: key.to_string(),
+                purpose: ctx.purpose.clone(),
+            });
         }
         self.resolve_retention(&mut meta);
 
-        self.kv.hset_multi(key, fields)?;
-        if let Some(at) = meta.expires_at_ms {
-            self.kv.expire_at(key, at)?;
-        }
-        self.store_metadata(key, &meta)?;
-        if self.policy.maintain_indexes {
-            self.index.lock().insert(key, &meta.subject, meta.purposes.iter().cloned());
-        }
-        self.stats.lock().allowed_ops += 1;
+        self.index.with_key_segment(key, |segment| -> Result<()> {
+            self.kv.hset_multi(key, fields)?;
+            if let Some(at) = meta.expires_at_ms {
+                self.kv.expire_at(key, at)?;
+            }
+            self.store_metadata(key, &meta)?;
+            if self.policy.maintain_indexes {
+                segment.insert(key, &meta.subject, meta.purposes.iter().cloned());
+            }
+            Ok(())
+        })?;
+        self.stats.inc_allowed();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Write)
                 .key(key)
@@ -450,15 +536,22 @@ impl GdprStore {
             self.check_access(ctx, &meta.subject, key)?;
             self.check_purpose(ctx, key, meta)?;
         }
-        self.kv.hset_multi(key, fields)?;
-        // hset clears no TTL, but SET-based metadata writes do; restore the
-        // deadline on the data key if the metadata carries one.
-        if let Some(meta) = &meta {
-            if let Some(at) = meta.expires_at_ms {
-                self.kv.expire_at(key, at)?;
+        let meta = self.index.with_key_segment(key, |_| -> Result<_> {
+            // Re-check inside the bracket: an erasure may have removed the
+            // key (and its metadata) between the check above and now; the
+            // update must not resurrect data for an erased subject.
+            let meta = self.require_metadata(key)?;
+            self.kv.hset_multi(key, fields)?;
+            // hset clears no TTL, but SET-based metadata writes do; restore
+            // the deadline on the data key if the metadata carries one.
+            if let Some(meta) = &meta {
+                if let Some(at) = meta.expires_at_ms {
+                    self.kv.expire_at(key, at)?;
+                }
             }
-        }
-        self.stats.lock().allowed_ops += 1;
+            Ok(meta)
+        })?;
+        self.stats.inc_allowed();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Write)
                 .key(key)
@@ -472,9 +565,9 @@ impl GdprStore {
     fn require_metadata(&self, key: &str) -> Result<Option<PersonalMetadata>> {
         match self.load_metadata(key)? {
             Some(meta) => Ok(Some(meta)),
-            None if self.policy.enforce_purpose_limitation => {
-                Err(GdprError::MissingMetadata { key: key.to_string() })
-            }
+            None if self.policy.enforce_purpose_limitation => Err(GdprError::MissingMetadata {
+                key: key.to_string(),
+            }),
             None => Ok(None),
         }
     }
@@ -496,7 +589,7 @@ impl GdprStore {
             self.check_purpose(ctx, key, meta)?;
         }
         let value = self.kv.get(key)?;
-        self.stats.lock().allowed_ops += 1;
+        self.stats.inc_allowed();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Read)
                 .key(key)
@@ -528,7 +621,7 @@ impl GdprStore {
             self.check_purpose(ctx, key, meta)?;
         }
         let record = self.kv.hgetall(key)?;
-        self.stats.lock().allowed_ops += 1;
+        self.stats.inc_allowed();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Read)
                 .key(key)
@@ -569,21 +662,30 @@ impl GdprStore {
         if let Some(meta) = &meta {
             self.check_access(ctx, &meta.subject, key)?;
         }
-        let existed = self.kv.delete(key)?;
-        self.kv.delete(&Self::meta_key(key))?;
-        if self.policy.maintain_indexes {
-            self.index.lock().remove(key);
-        }
+        let existed = self
+            .index
+            .with_key_segment(key, |segment| -> Result<bool> {
+                let existed = self.kv.delete(key)?;
+                self.kv.delete(&Self::meta_key(key))?;
+                if self.policy.maintain_indexes {
+                    segment.remove(key);
+                }
+                Ok(existed)
+            })?;
         if existed && self.policy.scrub_aof_on_erasure {
             self.kv.rewrite_aof()?;
         }
-        self.stats.lock().allowed_ops += 1;
+        self.stats.inc_allowed();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Delete)
                 .key(key)
                 .subject(meta.as_ref().map(|m| m.subject.as_str()).unwrap_or(""))
                 .purpose(&ctx.purpose)
-                .detail(if existed { "DEL (existed)" } else { "DEL (missing)" }),
+                .detail(if existed {
+                    "DEL (existed)"
+                } else {
+                    "DEL (missing)"
+                }),
         );
         self.flush_audit_if_strict()?;
         Ok(existed)
@@ -597,10 +699,30 @@ impl GdprStore {
     /// Returns storage errors.
     pub fn scan(&self, ctx: &AccessContext, start: &str, count: usize) -> Result<Vec<String>> {
         let now = self.now_ms();
-        // Over-fetch to compensate for filtered shadow keys.
-        let raw = self.kv.scan(start, count + count / 2 + 8)?;
-        let keys: Vec<String> =
-            raw.into_iter().filter(|k| !Self::is_meta_key(k)).take(count).collect();
+        // Shadow keys form one contiguous `__gdpr_meta__:` block in key
+        // order, so a fixed over-fetch cannot compensate for them (a scan
+        // landing inside the block would return short). Page through the
+        // engine until `count` data keys are collected or the keyspace is
+        // exhausted.
+        let mut keys: Vec<String> = Vec::with_capacity(count);
+        let mut cursor = start.to_string();
+        let batch_size = count.clamp(16, 4_096);
+        while keys.len() < count {
+            let raw = self.kv.scan(&cursor, batch_size)?;
+            let exhausted = raw.len() < batch_size;
+            if let Some(last) = raw.last() {
+                // Smallest string strictly greater than `last`.
+                cursor = format!("{last}\u{0}");
+            }
+            keys.extend(
+                raw.into_iter()
+                    .filter(|k| !Self::is_meta_key(k))
+                    .take(count - keys.len()),
+            );
+            if exhausted {
+                break;
+            }
+        }
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Read)
                 .purpose(&ctx.purpose)
@@ -614,7 +736,11 @@ impl GdprStore {
     #[must_use]
     pub fn len(&self) -> usize {
         let total = self.kv.len();
-        let metas = self.kv.keys(&format!("{META_PREFIX}*")).map(|v| v.len()).unwrap_or(0);
+        let metas = self
+            .kv
+            .keys(&format!("{META_PREFIX}*"))
+            .map(|v| v.len())
+            .unwrap_or(0);
         total.saturating_sub(metas)
     }
 
@@ -640,12 +766,21 @@ impl GdprStore {
                 continue;
             }
             erased_data_keys += 1;
-            if self.policy.maintain_indexes {
-                self.index.lock().remove(key);
-            }
-            // Make sure the shadow record goes too, even if its own TTL
-            // cycle has not caught it yet.
-            self.kv.delete(&Self::meta_key(key))?;
+            self.index.with_key_segment(key, |segment| -> Result<()> {
+                // A concurrent put may have re-created the key (with fresh
+                // metadata and posting) after the engine expired it; only
+                // clean up if it is still gone.
+                if self.kv.exists(key)? {
+                    return Ok(());
+                }
+                if self.policy.maintain_indexes {
+                    segment.remove(key);
+                }
+                // Make sure the shadow record goes too, even if its own TTL
+                // cycle has not caught it yet.
+                self.kv.delete(&Self::meta_key(key))?;
+                Ok(())
+            })?;
             self.emit_audit(
                 AuditRecord::new(now, "retention-engine", Operation::Delete)
                     .key(key)
@@ -653,20 +788,21 @@ impl GdprStore {
             );
         }
         if erased_data_keys > 0 {
-            self.stats.lock().erased_by_retention += erased_data_keys;
+            self.stats.add_erased_by_retention(erased_data_keys);
             if self.policy.scrub_aof_on_erasure {
                 self.kv.rewrite_aof()?;
             }
         }
-        // Give the periodic audit policy a chance to flush even when no
-        // records were emitted this tick.
-        self.audit.lock().flush().map_err(GdprError::from)?;
+        // Drain the per-shard audit buffers and give the periodic audit
+        // policy a chance to flush even when no records were emitted this
+        // tick.
+        self.audit.flush().map_err(GdprError::from)?;
         Ok(outcome)
     }
 
     pub(crate) fn flush_audit_if_strict(&self) -> Result<()> {
         if self.policy.audit_flush.is_real_time() {
-            self.audit.lock().flush()?;
+            self.audit.flush()?;
         }
         Ok(())
     }
@@ -681,14 +817,14 @@ impl GdprStore {
         if !self.policy.maintain_indexes {
             return Ok(());
         }
-        let mut index = self.index.lock();
-        index.clear();
+        self.index.clear();
         for meta_key in self.kv.keys(&format!("{META_PREFIX}*"))? {
             let data_key = meta_key.trim_start_matches(META_PREFIX).to_string();
             if let Some(bytes) = self.kv.get(&meta_key)? {
                 match PersonalMetadata::decode(&bytes) {
                     Some(meta) => {
-                        index.insert(&data_key, &meta.subject, meta.purposes.iter().cloned());
+                        self.index
+                            .insert(&data_key, &meta.subject, meta.purposes.iter().cloned());
                     }
                     None => {
                         return Err(GdprError::CorruptMetadata {
@@ -731,7 +867,9 @@ mod tests {
     }
 
     fn meta() -> PersonalMetadata {
-        PersonalMetadata::new("alice").with_purpose("billing").with_location(Region::Eu)
+        PersonalMetadata::new("alice")
+            .with_purpose("billing")
+            .with_location(Region::Eu)
     }
 
     fn permissive_store() -> GdprStore {
@@ -744,8 +882,13 @@ mod tests {
     #[test]
     fn put_get_delete_roundtrip_under_strict_policy() {
         let store = permissive_store();
-        store.put(&ctx(), "user:alice:email", b"a@b.c".to_vec(), meta()).unwrap();
-        assert_eq!(store.get(&ctx(), "user:alice:email").unwrap(), Some(b"a@b.c".to_vec()));
+        store
+            .put(&ctx(), "user:alice:email", b"a@b.c".to_vec(), meta())
+            .unwrap();
+        assert_eq!(
+            store.get(&ctx(), "user:alice:email").unwrap(),
+            Some(b"a@b.c".to_vec())
+        );
         assert_eq!(store.len(), 1);
         assert!(store.delete(&ctx(), "user:alice:email").unwrap());
         assert_eq!(store.get(&ctx(), "user:alice:email").unwrap(), None);
@@ -819,12 +962,16 @@ mod tests {
         let clock = SimClock::new(1_000_000);
         let store = GdprStore::open(
             CompliancePolicy::strict(),
-            StoreConfig::in_memory().aof_in_memory().clock(clock.clone()),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .clock(clock.clone()),
             Box::new(MemorySink::new()),
         )
         .unwrap();
         store.grant(Grant::new("app", "billing"));
-        store.put(&ctx(), "k", b"v".to_vec(), meta().with_ttl_millis(5_000)).unwrap();
+        store
+            .put(&ctx(), "k", b"v".to_vec(), meta().with_ttl_millis(5_000))
+            .unwrap();
         let stored = store.load_metadata("k").unwrap().unwrap();
         assert_eq!(stored.expires_at_ms, Some(1_005_000));
         assert_eq!(stored.created_at_ms, 1_000_000);
@@ -842,14 +989,24 @@ mod tests {
         let mut fields = BTreeMap::new();
         fields.insert("field0".to_string(), b"v0".to_vec());
         fields.insert("field1".to_string(), b"v1".to_vec());
-        store.put_record(&ctx(), "user:alice:profile", &fields, meta()).unwrap();
-        let read = store.get_record(&ctx(), "user:alice:profile").unwrap().unwrap();
+        store
+            .put_record(&ctx(), "user:alice:profile", &fields, meta())
+            .unwrap();
+        let read = store
+            .get_record(&ctx(), "user:alice:profile")
+            .unwrap()
+            .unwrap();
         assert_eq!(read.len(), 2);
 
         let mut update = BTreeMap::new();
         update.insert("field1".to_string(), b"updated".to_vec());
-        store.update_record(&ctx(), "user:alice:profile", &update).unwrap();
-        let read = store.get_record(&ctx(), "user:alice:profile").unwrap().unwrap();
+        store
+            .update_record(&ctx(), "user:alice:profile", &update)
+            .unwrap();
+        let read = store
+            .get_record(&ctx(), "user:alice:profile")
+            .unwrap()
+            .unwrap();
         assert_eq!(read["field1"], b"updated".to_vec());
         assert_eq!(read["field0"], b"v0".to_vec());
     }
@@ -859,7 +1016,9 @@ mod tests {
         let store = permissive_store();
         let mut fields = BTreeMap::new();
         fields.insert("f".to_string(), b"v".to_vec());
-        let err = store.update_record(&ctx(), "never-created", &fields).unwrap_err();
+        let err = store
+            .update_record(&ctx(), "never-created", &fields)
+            .unwrap_err();
         assert!(matches!(err, GdprError::MissingMetadata { .. }));
     }
 
@@ -867,7 +1026,9 @@ mod tests {
     fn scan_excludes_metadata_shadow_keys() {
         let store = permissive_store();
         for i in 0..5 {
-            store.put(&ctx(), &format!("user:{i}"), b"v".to_vec(), meta()).unwrap();
+            store
+                .put(&ctx(), &format!("user:{i}"), b"v".to_vec(), meta())
+                .unwrap();
         }
         let keys = store.scan(&ctx(), "", 100).unwrap();
         assert_eq!(keys.len(), 5);
@@ -876,12 +1037,36 @@ mod tests {
     }
 
     #[test]
+    fn scan_pages_past_a_large_shadow_key_block() {
+        // `__gdpr_meta__:` shadows sort before `user:` data keys, so a scan
+        // from "" first walks a contiguous block of shadow keys as large as
+        // the dataset itself; the scan must page past it rather than return
+        // short.
+        let store = permissive_store();
+        for i in 0..300 {
+            store
+                .put(&ctx(), &format!("user:{i:04}"), b"v".to_vec(), meta())
+                .unwrap();
+        }
+        let keys = store.scan(&ctx(), "", 100).unwrap();
+        assert_eq!(keys.len(), 100, "scan starved by the shadow-key block");
+        assert!(keys.iter().all(|k| k.starts_with("user:")));
+        assert_eq!(keys[0], "user:0000");
+        // Scanning everything also works, and stops cleanly at exhaustion.
+        assert_eq!(store.scan(&ctx(), "", 10_000).unwrap().len(), 300);
+    }
+
+    #[test]
     fn audit_trail_records_reads_and_writes_with_chain() {
         let store = permissive_store();
         store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
         store.get(&ctx(), "k").unwrap();
         let trail = store.audit_trail().unwrap();
-        assert!(trail.len() >= 3, "grant + write + read, got {}", trail.len());
+        assert!(
+            trail.len() >= 3,
+            "grant + write + read, got {}",
+            trail.len()
+        );
         assert!(store.audit_chain_tip().is_some());
         // Verify the chain end to end.
         let parsed = audit::reader::parse_trail(&trail.join("\n")).unwrap();
@@ -910,10 +1095,15 @@ mod tests {
     #[test]
     fn rebuild_index_recovers_postings() {
         let store = permissive_store();
-        store.put(&ctx(), "user:alice:email", b"v".to_vec(), meta()).unwrap();
-        store.index.lock().clear();
-        assert!(store.index.lock().keys_of_subject("alice").is_empty());
+        store
+            .put(&ctx(), "user:alice:email", b"v".to_vec(), meta())
+            .unwrap();
+        store.index.clear();
+        assert!(store.index.keys_of_subject("alice").is_empty());
         store.rebuild_index().unwrap();
-        assert_eq!(store.index.lock().keys_of_subject("alice"), vec!["user:alice:email"]);
+        assert_eq!(
+            store.index.keys_of_subject("alice"),
+            vec!["user:alice:email"]
+        );
     }
 }

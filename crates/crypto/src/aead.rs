@@ -77,7 +77,10 @@ impl ChaCha20Poly1305 {
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
         if sealed.len() < TAG_LEN {
-            return Err(CryptoError::TruncatedCiphertext { got: sealed.len(), need: TAG_LEN });
+            return Err(CryptoError::TruncatedCiphertext {
+                got: sealed.len(),
+                need: TAG_LEN,
+            });
         }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let expected = self.compute_tag(nonce, aad, ciphertext);
@@ -129,7 +132,9 @@ mod tests {
     #[test]
     fn rfc8439_aead_vector() {
         let key: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
-        let nonce: [u8; 12] = [0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
         let aad = hex_to_bytes("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";
@@ -141,7 +146,10 @@ only one tip for the future, sunscreen would be it.";
             crate::sha256::to_hex(&ct[..16]),
             "d31a8d34648e60db7b86afbc53ef7ec2"
         );
-        assert_eq!(crate::sha256::to_hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(
+            crate::sha256::to_hex(tag),
+            "1ae10b594f09e26a7e902ecbd0600691"
+        );
         assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), plaintext);
     }
 
@@ -162,13 +170,18 @@ only one tip for the future, sunscreen would be it.";
         let aead = ChaCha20Poly1305::new(&[7u8; 32]);
         let mut sealed = aead.seal(&[0u8; 12], b"", b"some personal data");
         sealed[3] ^= 0x01;
-        assert_eq!(aead.open(&[0u8; 12], b"", &sealed), Err(CryptoError::TagMismatch));
+        assert_eq!(
+            aead.open(&[0u8; 12], b"", &sealed),
+            Err(CryptoError::TagMismatch)
+        );
     }
 
     #[test]
     fn wrong_key_fails() {
         let sealed = ChaCha20Poly1305::new(&[1u8; 32]).seal(&[0u8; 12], b"", b"data");
-        assert!(ChaCha20Poly1305::new(&[2u8; 32]).open(&[0u8; 12], b"", &sealed).is_err());
+        assert!(ChaCha20Poly1305::new(&[2u8; 32])
+            .open(&[0u8; 12], b"", &sealed)
+            .is_err());
     }
 
     #[test]
@@ -183,7 +196,10 @@ only one tip for the future, sunscreen would be it.";
         let aead = ChaCha20Poly1305::new(&[1u8; 32]);
         assert_eq!(
             aead.open(&[0u8; 12], b"", &[1, 2, 3]),
-            Err(CryptoError::TruncatedCiphertext { got: 3, need: TAG_LEN })
+            Err(CryptoError::TruncatedCiphertext {
+                got: 3,
+                need: TAG_LEN
+            })
         );
     }
 }

@@ -46,7 +46,10 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&inner_key_pad);
-        HmacSha256 { inner, outer_key_pad }
+        HmacSha256 {
+            inner,
+            outer_key_pad,
+        }
     }
 
     /// Absorb message bytes.
@@ -124,7 +127,10 @@ mod tests {
         // else (sanity: differs from the short-key MAC).
         let long_key = vec![0x42u8; 100];
         let short_key = vec![0x42u8; 10];
-        assert_ne!(HmacSha256::mac(&long_key, b"m"), HmacSha256::mac(&short_key, b"m"));
+        assert_ne!(
+            HmacSha256::mac(&long_key, b"m"),
+            HmacSha256::mac(&short_key, b"m")
+        );
     }
 
     #[test]

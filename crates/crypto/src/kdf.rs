@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn hkdf_different_info_different_keys() {
-        assert_ne!(derive_key(b"s", b"ikm", b"aof"), derive_key(b"s", b"ikm", b"snapshot"));
+        assert_ne!(
+            derive_key(b"s", b"ikm", b"aof"),
+            derive_key(b"s", b"ikm", b"snapshot")
+        );
     }
 
     /// RFC 7914 §11 / common PBKDF2-HMAC-SHA256 vector:

@@ -56,7 +56,11 @@ impl Keyring {
     /// Create an empty keyring deriving its keys from `master`.
     #[must_use]
     pub fn new(master: &[u8]) -> Self {
-        Keyring { master: master.to_vec(), slots: HashMap::new(), destroyed_count: 0 }
+        Keyring {
+            master: master.to_vec(),
+            slots: HashMap::new(),
+            destroyed_count: 0,
+        }
     }
 
     /// Create (or re-create) the key for `id`. Returns `true` if a new key
@@ -107,7 +111,10 @@ impl Keyring {
     /// Number of active keys.
     #[must_use]
     pub fn active_count(&self) -> usize {
-        self.slots.values().filter(|s| matches!(s, Slot::Active(_))).count()
+        self.slots
+            .values()
+            .filter(|s| matches!(s, Slot::Active(_)))
+            .count()
     }
 
     fn cipher(&self, id: KeyId) -> Result<ChaCha20Poly1305, CryptoError> {
@@ -178,8 +185,14 @@ mod tests {
         let sealed = ring.seal(7, &[0u8; 12], b"", b"pii").unwrap();
         assert!(ring.destroy(7));
         assert!(!ring.destroy(7), "second destroy is a no-op");
-        assert_eq!(ring.open(7, &[0u8; 12], b"", &sealed), Err(CryptoError::KeyDestroyed(7)));
-        assert_eq!(ring.seal(7, &[0u8; 12], b"", b"x"), Err(CryptoError::KeyDestroyed(7)));
+        assert_eq!(
+            ring.open(7, &[0u8; 12], b"", &sealed),
+            Err(CryptoError::KeyDestroyed(7))
+        );
+        assert_eq!(
+            ring.seal(7, &[0u8; 12], b"", b"x"),
+            Err(CryptoError::KeyDestroyed(7))
+        );
         assert_eq!(ring.destroyed_count(), 1);
         assert!(ring.is_destroyed(7));
         assert!(!ring.is_active(7));
@@ -188,7 +201,10 @@ mod tests {
     #[test]
     fn unknown_key_is_an_error() {
         let ring = Keyring::new(b"m");
-        assert_eq!(ring.seal(9, &[0u8; 12], b"", b"x"), Err(CryptoError::UnknownKey(9)));
+        assert_eq!(
+            ring.seal(9, &[0u8; 12], b"", b"x"),
+            Err(CryptoError::UnknownKey(9))
+        );
     }
 
     #[test]

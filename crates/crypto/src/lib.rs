@@ -86,10 +86,20 @@ impl fmt::Display for CryptoError {
         match self {
             CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
             CryptoError::TruncatedCiphertext { got, need } => {
-                write!(f, "ciphertext too short: got {got} bytes, need at least {need}")
+                write!(
+                    f,
+                    "ciphertext too short: got {got} bytes, need at least {need}"
+                )
             }
-            CryptoError::InvalidLength { what, got, expected } => {
-                write!(f, "invalid {what} length: got {got} bytes, expected {expected}")
+            CryptoError::InvalidLength {
+                what,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid {what} length: got {got} bytes, expected {expected}"
+                )
             }
             CryptoError::UnknownKey(id) => write!(f, "unknown key id {id}"),
             CryptoError::KeyDestroyed(id) => write!(f, "key id {id} has been destroyed"),
@@ -158,7 +168,11 @@ mod tests {
         let errors = [
             CryptoError::TagMismatch,
             CryptoError::TruncatedCiphertext { got: 3, need: 16 },
-            CryptoError::InvalidLength { what: "key", got: 5, expected: 32 },
+            CryptoError::InvalidLength {
+                what: "key",
+                got: 5,
+                expected: 32,
+            },
             CryptoError::UnknownKey(9),
             CryptoError::KeyDestroyed(9),
         ];

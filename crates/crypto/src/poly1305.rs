@@ -51,7 +51,13 @@ impl Poly1305 {
             u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
         ];
 
-        Poly1305 { r, s, h: [0; 5], buffer: [0u8; 16], buffer_len: 0 }
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buffer: [0u8; 16],
+            buffer_len: 0,
+        }
     }
 
     /// One-shot MAC of `data` under `key`.

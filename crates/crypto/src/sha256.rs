@@ -58,7 +58,12 @@ impl Sha256 {
     /// Create a new hasher with the FIPS 180-4 initial state.
     #[must_use]
     pub fn new() -> Self {
-        Sha256 { state: H0, buffer: [0u8; 64], buffer_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// One-shot convenience: hash `data` and return the 32-byte digest.

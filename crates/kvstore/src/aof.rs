@@ -43,7 +43,9 @@ impl FsyncPolicy {
             "always" => Ok(FsyncPolicy::Always),
             "everysec" => Ok(FsyncPolicy::EverySec),
             "no" | "never" => Ok(FsyncPolicy::Never),
-            other => Err(StoreError::Config(format!("unknown fsync policy {other:?}"))),
+            other => Err(StoreError::Config(format!(
+                "unknown fsync policy {other:?}"
+            ))),
         }
     }
 
@@ -238,7 +240,10 @@ mod tests {
     #[test]
     fn fsync_policy_parse_and_display() {
         assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
-        assert_eq!(FsyncPolicy::parse("everysec").unwrap(), FsyncPolicy::EverySec);
+        assert_eq!(
+            FsyncPolicy::parse("everysec").unwrap(),
+            FsyncPolicy::EverySec
+        );
         assert_eq!(FsyncPolicy::parse("no").unwrap(), FsyncPolicy::Never);
         assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
         assert!(FsyncPolicy::parse("sometimes").is_err());
@@ -254,7 +259,10 @@ mod tests {
         log.append(b"record two").unwrap();
         log.append(b"").unwrap();
         let records = log.load().unwrap();
-        assert_eq!(records, vec![b"record one".to_vec(), b"record two".to_vec(), Vec::new()]);
+        assert_eq!(
+            records,
+            vec![b"record one".to_vec(), b"record two".to_vec(), Vec::new()]
+        );
         assert_eq!(log.stats().records_appended, 3);
     }
 
@@ -271,7 +279,11 @@ mod tests {
     #[test]
     fn everysec_policy_batches_fsyncs() {
         let clock = SimClock::new(0);
-        let mut log = AofLog::new(Box::new(MemoryDevice::new()), FsyncPolicy::EverySec, Arc::new(clock.clone()));
+        let mut log = AofLog::new(
+            Box::new(MemoryDevice::new()),
+            FsyncPolicy::EverySec,
+            Arc::new(clock.clone()),
+        );
         for i in 0..10u8 {
             log.append(&[i]).unwrap();
         }
@@ -322,7 +334,11 @@ mod tests {
 
     #[test]
     fn works_with_system_clock_too() {
-        let mut log = AofLog::new(Box::new(MemoryDevice::new()), FsyncPolicy::Always, Arc::new(SystemClock));
+        let mut log = AofLog::new(
+            Box::new(MemoryDevice::new()),
+            FsyncPolicy::Always,
+            Arc::new(SystemClock),
+        );
         log.append(b"r").unwrap();
         assert_eq!(log.load().unwrap(), vec![b"r".to_vec()]);
     }
@@ -331,7 +347,11 @@ mod tests {
     fn corrupt_framing_is_detected() {
         let mut device = MemoryDevice::new();
         device.append(&[0xff, 0xff, 0xff, 0xff, 1, 2]).unwrap(); // absurd length prefix
-        let mut log = AofLog::new(Box::new(device), FsyncPolicy::Never, Arc::new(SimClock::new(0)));
+        let mut log = AofLog::new(
+            Box::new(device),
+            FsyncPolicy::Never,
+            Arc::new(SimClock::new(0)),
+        );
         assert!(log.load().is_err());
     }
 }

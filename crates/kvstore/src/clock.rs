@@ -70,12 +70,16 @@ impl SimClock {
     /// Create a simulated clock starting at `start_millis`.
     #[must_use]
     pub fn new(start_millis: UnixMillis) -> Self {
-        SimClock { now: Arc::new(AtomicU64::new(start_millis)) }
+        SimClock {
+            now: Arc::new(AtomicU64::new(start_millis)),
+        }
     }
 
     /// Advance the clock by `delta` and return the new time.
     pub fn advance(&self, delta: Duration) -> UnixMillis {
-        self.now.fetch_add(delta.as_millis() as u64, Ordering::SeqCst) + delta.as_millis() as u64
+        self.now
+            .fetch_add(delta.as_millis() as u64, Ordering::SeqCst)
+            + delta.as_millis() as u64
     }
 
     /// Advance the clock by `millis` milliseconds and return the new time.
@@ -86,7 +90,10 @@ impl SimClock {
     /// Jump the clock to an absolute time. Panics in debug builds if the
     /// target is in the past (simulated time never goes backwards).
     pub fn set(&self, millis: UnixMillis) {
-        debug_assert!(millis >= self.now.load(Ordering::SeqCst), "SimClock must not go backwards");
+        debug_assert!(
+            millis >= self.now.load(Ordering::SeqCst),
+            "SimClock must not go backwards"
+        );
         self.now.store(millis, Ordering::SeqCst);
     }
 }

@@ -227,7 +227,9 @@ impl Command {
             | Command::SAdd { key, .. }
             | Command::SRem { key, .. }
             | Command::SMembers { key } => Some(key),
-            Command::Keys { .. } | Command::Scan { .. } | Command::DbSize | Command::FlushAll => None,
+            Command::Keys { .. } | Command::Scan { .. } | Command::DbSize | Command::FlushAll => {
+                None
+            }
         }
     }
 
@@ -249,7 +251,9 @@ impl Command {
             }),
             Command::Del { key } => Ok(Reply::Int(i64::from(db.delete(key)))),
             Command::Exists { key } => Ok(Reply::Int(i64::from(db.exists(key)))),
-            Command::ExpireAt { key, at_ms } => Ok(Reply::Int(i64::from(db.expire_at(key, *at_ms)))),
+            Command::ExpireAt { key, at_ms } => {
+                Ok(Reply::Int(i64::from(db.expire_at(key, *at_ms))))
+            }
             Command::Expire { key, ttl_ms } => {
                 Ok(Reply::Int(i64::from(db.expire_in_millis(key, *ttl_ms))))
             }
@@ -395,14 +399,33 @@ impl Command {
         let mut r = Reader::new(bytes);
         let opcode = r.get_u8(CTX)?;
         let cmd = match opcode {
-            0x01 => Command::Set { key: r.get_str(CTX)?, value: r.get_bytes(CTX)? },
-            0x02 => Command::Get { key: r.get_str(CTX)? },
-            0x03 => Command::Del { key: r.get_str(CTX)? },
-            0x04 => Command::Exists { key: r.get_str(CTX)? },
-            0x05 => Command::ExpireAt { key: r.get_str(CTX)?, at_ms: r.get_u64(CTX)? },
-            0x06 => Command::Expire { key: r.get_str(CTX)?, ttl_ms: r.get_u64(CTX)? },
-            0x07 => Command::Ttl { key: r.get_str(CTX)? },
-            0x08 => Command::Persist { key: r.get_str(CTX)? },
+            0x01 => Command::Set {
+                key: r.get_str(CTX)?,
+                value: r.get_bytes(CTX)?,
+            },
+            0x02 => Command::Get {
+                key: r.get_str(CTX)?,
+            },
+            0x03 => Command::Del {
+                key: r.get_str(CTX)?,
+            },
+            0x04 => Command::Exists {
+                key: r.get_str(CTX)?,
+            },
+            0x05 => Command::ExpireAt {
+                key: r.get_str(CTX)?,
+                at_ms: r.get_u64(CTX)?,
+            },
+            0x06 => Command::Expire {
+                key: r.get_str(CTX)?,
+                ttl_ms: r.get_u64(CTX)?,
+            },
+            0x07 => Command::Ttl {
+                key: r.get_str(CTX)?,
+            },
+            0x08 => Command::Persist {
+                key: r.get_str(CTX)?,
+            },
             0x09 => Command::HSet {
                 key: r.get_str(CTX)?,
                 field: r.get_str(CTX)?,
@@ -419,14 +442,35 @@ impl Command {
                 }
                 Command::HSetMulti { key, fields }
             }
-            0x0b => Command::HGet { key: r.get_str(CTX)?, field: r.get_str(CTX)? },
-            0x0c => Command::HGetAll { key: r.get_str(CTX)? },
-            0x0d => Command::HDel { key: r.get_str(CTX)?, field: r.get_str(CTX)? },
-            0x0e => Command::SAdd { key: r.get_str(CTX)?, member: r.get_bytes(CTX)? },
-            0x0f => Command::SRem { key: r.get_str(CTX)?, member: r.get_bytes(CTX)? },
-            0x10 => Command::SMembers { key: r.get_str(CTX)? },
-            0x11 => Command::Keys { pattern: r.get_str(CTX)? },
-            0x12 => Command::Scan { start: r.get_str(CTX)?, count: r.get_u64(CTX)? },
+            0x0b => Command::HGet {
+                key: r.get_str(CTX)?,
+                field: r.get_str(CTX)?,
+            },
+            0x0c => Command::HGetAll {
+                key: r.get_str(CTX)?,
+            },
+            0x0d => Command::HDel {
+                key: r.get_str(CTX)?,
+                field: r.get_str(CTX)?,
+            },
+            0x0e => Command::SAdd {
+                key: r.get_str(CTX)?,
+                member: r.get_bytes(CTX)?,
+            },
+            0x0f => Command::SRem {
+                key: r.get_str(CTX)?,
+                member: r.get_bytes(CTX)?,
+            },
+            0x10 => Command::SMembers {
+                key: r.get_str(CTX)?,
+            },
+            0x11 => Command::Keys {
+                pattern: r.get_str(CTX)?,
+            },
+            0x12 => Command::Scan {
+                start: r.get_str(CTX)?,
+                count: r.get_u64(CTX)?,
+            },
             0x13 => Command::DbSize,
             0x14 => Command::FlushAll,
             other => {
@@ -482,24 +526,57 @@ mod tests {
         fields.insert("f0".to_string(), b"v0".to_vec());
         fields.insert("f1".to_string(), b"v1".to_vec());
         vec![
-            Command::Set { key: "k".into(), value: b"v".to_vec() },
+            Command::Set {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            },
             Command::Get { key: "k".into() },
             Command::Del { key: "k".into() },
             Command::Exists { key: "k".into() },
-            Command::ExpireAt { key: "k".into(), at_ms: 123_456 },
-            Command::Expire { key: "k".into(), ttl_ms: 999 },
+            Command::ExpireAt {
+                key: "k".into(),
+                at_ms: 123_456,
+            },
+            Command::Expire {
+                key: "k".into(),
+                ttl_ms: 999,
+            },
             Command::Ttl { key: "k".into() },
             Command::Persist { key: "k".into() },
-            Command::HSet { key: "h".into(), field: "f".into(), value: b"v".to_vec() },
-            Command::HSetMulti { key: "h".into(), fields },
-            Command::HGet { key: "h".into(), field: "f".into() },
+            Command::HSet {
+                key: "h".into(),
+                field: "f".into(),
+                value: b"v".to_vec(),
+            },
+            Command::HSetMulti {
+                key: "h".into(),
+                fields,
+            },
+            Command::HGet {
+                key: "h".into(),
+                field: "f".into(),
+            },
             Command::HGetAll { key: "h".into() },
-            Command::HDel { key: "h".into(), field: "f".into() },
-            Command::SAdd { key: "s".into(), member: b"m".to_vec() },
-            Command::SRem { key: "s".into(), member: b"m".to_vec() },
+            Command::HDel {
+                key: "h".into(),
+                field: "f".into(),
+            },
+            Command::SAdd {
+                key: "s".into(),
+                member: b"m".to_vec(),
+            },
+            Command::SRem {
+                key: "s".into(),
+                member: b"m".to_vec(),
+            },
             Command::SMembers { key: "s".into() },
-            Command::Keys { pattern: "*".into() },
-            Command::Scan { start: "a".into(), count: 10 },
+            Command::Keys {
+                pattern: "*".into(),
+            },
+            Command::Scan {
+                start: "a".into(),
+                count: 10,
+            },
             Command::DbSize,
             Command::FlushAll,
         ]
@@ -547,7 +624,10 @@ mod tests {
 
     #[test]
     fn primary_key_extraction() {
-        assert_eq!(Command::Get { key: "abc".into() }.primary_key(), Some("abc"));
+        assert_eq!(
+            Command::Get { key: "abc".into() }.primary_key(),
+            Some("abc")
+        );
         assert_eq!(Command::DbSize.primary_key(), None);
         assert_eq!(Command::FlushAll.primary_key(), None);
     }
@@ -556,16 +636,32 @@ mod tests {
     fn execute_string_lifecycle() {
         let mut db = db();
         assert_eq!(
-            Command::Set { key: "k".into(), value: b"v".to_vec() }.execute(&mut db).unwrap(),
+            Command::Set {
+                key: "k".into(),
+                value: b"v".to_vec()
+            }
+            .execute(&mut db)
+            .unwrap(),
             Reply::Ok
         );
         assert_eq!(
             Command::Get { key: "k".into() }.execute(&mut db).unwrap(),
             Reply::Bytes(b"v".to_vec())
         );
-        assert_eq!(Command::Exists { key: "k".into() }.execute(&mut db).unwrap(), Reply::Int(1));
-        assert_eq!(Command::Del { key: "k".into() }.execute(&mut db).unwrap(), Reply::Int(1));
-        assert_eq!(Command::Get { key: "k".into() }.execute(&mut db).unwrap(), Reply::Nil);
+        assert_eq!(
+            Command::Exists { key: "k".into() }
+                .execute(&mut db)
+                .unwrap(),
+            Reply::Int(1)
+        );
+        assert_eq!(
+            Command::Del { key: "k".into() }.execute(&mut db).unwrap(),
+            Reply::Int(1)
+        );
+        assert_eq!(
+            Command::Get { key: "k".into() }.execute(&mut db).unwrap(),
+            Reply::Nil
+        );
     }
 
     #[test]
@@ -574,17 +670,35 @@ mod tests {
         let mut fields = BTreeMap::new();
         fields.insert("field0".to_string(), b"a".to_vec());
         fields.insert("field1".to_string(), b"b".to_vec());
-        Command::HSetMulti { key: "user1".into(), fields }.execute(&mut db).unwrap();
-        Command::HSet { key: "user2".into(), field: "field0".into(), value: b"c".to_vec() }
-            .execute(&mut db)
-            .unwrap();
-        let reply = Command::HGetAll { key: "user1".into() }.execute(&mut db).unwrap();
+        Command::HSetMulti {
+            key: "user1".into(),
+            fields,
+        }
+        .execute(&mut db)
+        .unwrap();
+        Command::HSet {
+            key: "user2".into(),
+            field: "field0".into(),
+            value: b"c".to_vec(),
+        }
+        .execute(&mut db)
+        .unwrap();
+        let reply = Command::HGetAll {
+            key: "user1".into(),
+        }
+        .execute(&mut db)
+        .unwrap();
         match reply {
             Reply::Map(m) => assert_eq!(m.len(), 2),
             other => panic!("expected map, got {other:?}"),
         }
         assert_eq!(
-            Command::Scan { start: "user1".into(), count: 10 }.execute(&mut db).unwrap(),
+            Command::Scan {
+                start: "user1".into(),
+                count: 10
+            }
+            .execute(&mut db)
+            .unwrap(),
             Reply::StringArray(vec!["user1".into(), "user2".into()])
         );
         assert_eq!(Command::DbSize.execute(&mut db).unwrap(), Reply::Int(2));
@@ -593,26 +707,52 @@ mod tests {
     #[test]
     fn execute_ttl_commands() {
         let mut db = db();
-        Command::Set { key: "k".into(), value: b"v".to_vec() }.execute(&mut db).unwrap();
+        Command::Set {
+            key: "k".into(),
+            value: b"v".to_vec(),
+        }
+        .execute(&mut db)
+        .unwrap();
         assert_eq!(
-            Command::Expire { key: "k".into(), ttl_ms: 5_000 }.execute(&mut db).unwrap(),
+            Command::Expire {
+                key: "k".into(),
+                ttl_ms: 5_000
+            }
+            .execute(&mut db)
+            .unwrap(),
             Reply::Int(1)
         );
         match (Command::Ttl { key: "k".into() }).execute(&mut db).unwrap() {
             Reply::Int(ms) => assert!(ms <= 5_000 && ms > 0),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(Command::Persist { key: "k".into() }.execute(&mut db).unwrap(), Reply::Int(1));
-        assert_eq!(Command::Ttl { key: "k".into() }.execute(&mut db).unwrap(), Reply::Nil);
         assert_eq!(
-            Command::Expire { key: "missing".into(), ttl_ms: 5 }.execute(&mut db).unwrap(),
+            Command::Persist { key: "k".into() }
+                .execute(&mut db)
+                .unwrap(),
+            Reply::Int(1)
+        );
+        assert_eq!(
+            Command::Ttl { key: "k".into() }.execute(&mut db).unwrap(),
+            Reply::Nil
+        );
+        assert_eq!(
+            Command::Expire {
+                key: "missing".into(),
+                ttl_ms: 5
+            }
+            .execute(&mut db)
+            .unwrap(),
             Reply::Int(0)
         );
     }
 
     #[test]
     fn reply_accessors() {
-        assert_eq!(Reply::Bytes(b"x".to_vec()).into_bytes(), Some(b"x".to_vec()));
+        assert_eq!(
+            Reply::Bytes(b"x".to_vec()).into_bytes(),
+            Some(b"x".to_vec())
+        );
         assert_eq!(Reply::Nil.into_bytes(), None);
         assert_eq!(Reply::Int(7).as_int(), Some(7));
         assert_eq!(Reply::Ok.as_int(), None);

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use crate::aof::FsyncPolicy;
 use crate::clock::{Clock, SharedClock, SystemClock};
 use crate::expire::{ActiveExpireConfig, ExpiryMode};
+use crate::shard::DEFAULT_HASH_SEED;
 
 /// Where the append-only file lives.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -61,6 +62,14 @@ pub struct StoreConfig {
     /// Seed for the engine's internal RNG (expiry sampling); `None` uses a
     /// nondeterministic seed.
     pub rng_seed: Option<u64>,
+    /// Number of keyspace shards (rounded up to a power of two; minimum 1).
+    /// Each shard owns its own dictionary, expiry state and lock, so
+    /// operations on different shards run in parallel. The default of 1
+    /// reproduces the paper's single-threaded Redis behaviour exactly.
+    pub shards: usize,
+    /// Seed of the key → shard hash. Deterministic by default so replay
+    /// partitioning and tests are reproducible.
+    pub shard_hash_seed: u64,
 }
 
 impl Default for StoreConfig {
@@ -75,6 +84,8 @@ impl Default for StoreConfig {
             aof_rewrite_threshold_records: 0,
             clock: Arc::new(SystemClock),
             rng_seed: None,
+            shards: 1,
+            shard_hash_seed: DEFAULT_HASH_SEED,
         }
     }
 }
@@ -114,7 +125,9 @@ impl StoreConfig {
     /// Builder-style: enable at-rest encryption with the given passphrase.
     #[must_use]
     pub fn encrypted(mut self, passphrase: &[u8]) -> Self {
-        self.encryption = Some(EncryptionAtRest { passphrase: passphrase.to_vec() });
+        self.encryption = Some(EncryptionAtRest {
+            passphrase: passphrase.to_vec(),
+        });
         self
     }
 
@@ -153,6 +166,21 @@ impl StoreConfig {
         self.aof_rewrite_threshold_records = records;
         self
     }
+
+    /// Builder-style: shard the keyspace `shards` ways (rounded up to a
+    /// power of two).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style: seed the key → shard hash.
+    #[must_use]
+    pub fn shard_hash_seed(mut self, seed: u64) -> Self {
+        self.shard_hash_seed = seed;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +208,10 @@ mod tests {
             .rng_seed(7)
             .aof_rewrite_threshold(1_000)
             .clock(SimClock::new(5));
-        assert_eq!(c.persistence, Persistence::AofFile(PathBuf::from("/tmp/x.aof")));
+        assert_eq!(
+            c.persistence,
+            Persistence::AofFile(PathBuf::from("/tmp/x.aof"))
+        );
         assert_eq!(c.fsync, FsyncPolicy::Always);
         assert!(c.log_reads);
         assert!(c.encryption.is_some());
@@ -194,5 +225,15 @@ mod tests {
     fn in_memory_aof_builder() {
         let c = StoreConfig::in_memory().aof_in_memory();
         assert_eq!(c.persistence, Persistence::AofInMemory);
+    }
+
+    #[test]
+    fn shard_builders() {
+        let c = StoreConfig::default();
+        assert_eq!(c.shards, 1, "default is the paper-faithful single shard");
+        assert_eq!(c.shard_hash_seed, DEFAULT_HASH_SEED);
+        let c = StoreConfig::in_memory().shards(6).shard_hash_seed(42);
+        assert_eq!(c.shards, 6, "rounding happens at router construction");
+        assert_eq!(c.shard_hash_seed, 42);
     }
 }

@@ -361,7 +361,9 @@ impl Db {
     pub fn hdel(&mut self, key: &str, field: &str) -> Result<bool> {
         self.expire_if_needed(key);
         let now = self.now_millis();
-        let Some(obj) = self.dict.get_mut(key) else { return Ok(false) };
+        let Some(obj) = self.dict.get_mut(key) else {
+            return Ok(false);
+        };
         let removed = match &mut obj.value {
             Value::Hash(map) => {
                 let removed = map.remove(field).is_some();
@@ -422,7 +424,9 @@ impl Db {
     pub fn srem(&mut self, key: &str, member: &[u8]) -> Result<bool> {
         self.expire_if_needed(key);
         let now = self.now_millis();
-        let Some(obj) = self.dict.get_mut(key) else { return Ok(false) };
+        let Some(obj) = self.dict.get_mut(key) else {
+            return Ok(false);
+        };
         let removed = match &mut obj.value {
             Value::Set(members) => {
                 let removed = members.remove(member);
@@ -559,8 +563,7 @@ impl Db {
     pub fn strict_expire_sweep(&mut self) -> Vec<String> {
         let now = self.now_millis();
         let mut removed = Vec::new();
-        loop {
-            let Some((at, key)) = self.expiry_deadline_index.iter().next().cloned() else { break };
+        while let Some((at, key)) = self.expiry_deadline_index.iter().next().cloned() {
             if at > now {
                 break;
             }
@@ -688,8 +691,14 @@ mod tests {
         db.hset("h", "f", b"v".to_vec()).unwrap();
         assert!(matches!(db.get("h"), Err(StoreError::WrongType { .. })));
         db.set("s", b"v".to_vec());
-        assert!(matches!(db.hget("s", "f"), Err(StoreError::WrongType { .. })));
-        assert!(matches!(db.sadd("s", b"m".to_vec()), Err(StoreError::WrongType { .. })));
+        assert!(matches!(
+            db.hget("s", "f"),
+            Err(StoreError::WrongType { .. })
+        ));
+        assert!(matches!(
+            db.sadd("s", b"m".to_vec()),
+            Err(StoreError::WrongType { .. })
+        ));
     }
 
     #[test]
@@ -807,7 +816,10 @@ mod tests {
             let (_, removed) = db.active_expire_sample(&mut rng, 20);
             total_removed += removed.len();
         }
-        assert_eq!(total_removed, 25, "eventually all expired keys are sampled away");
+        assert_eq!(
+            total_removed, 25,
+            "eventually all expired keys are sampled away"
+        );
         assert_eq!(db.len(), 25);
     }
 

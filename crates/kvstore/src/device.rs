@@ -86,7 +86,10 @@ impl MemoryDevice {
     /// writer persisted).
     #[must_use]
     pub fn share(&self) -> MemoryDevice {
-        MemoryDevice { buf: Arc::clone(&self.buf), stats: DeviceStats::default() }
+        MemoryDevice {
+            buf: Arc::clone(&self.buf),
+            stats: DeviceStats::default(),
+        }
     }
 }
 
@@ -144,8 +147,16 @@ impl PlainFileDevice {
     /// Propagates any I/O error from opening the file.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
-        Ok(PlainFileDevice { path, file, stats: DeviceStats::default() })
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        Ok(PlainFileDevice {
+            path,
+            file,
+            stats: DeviceStats::default(),
+        })
     }
 
     /// Path of the backing file.
@@ -189,7 +200,11 @@ impl StorageDevice for PlainFileDevice {
             tmp.sync_data()?;
         }
         std::fs::rename(&tmp_path, &self.path)?;
-        self.file = OpenOptions::new().create(true).read(true).append(true).open(&self.path)?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
         self.file.seek(SeekFrom::End(0))?;
         self.stats.bytes_written += data.len() as u64;
         self.stats.bytes_on_device = data.len() as u64;
@@ -272,7 +287,8 @@ impl<D: StorageDevice> EncryptedFileDevice<D> {
                     detail: "truncated frame header".to_string(),
                 });
             }
-            let len = u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]]) as usize;
+            let len =
+                u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]]) as usize;
             pos += 4;
             if raw.len() - pos < len || len < 12 {
                 return Err(StoreError::Corrupt {
@@ -427,7 +443,10 @@ mod tests {
             d.append(b"secret").unwrap();
         }
         let err = EncryptedFileDevice::new(shared, b"wrong").err();
-        assert!(err.is_some(), "opening with the wrong passphrase must fail authentication");
+        assert!(
+            err.is_some(),
+            "opening with the wrong passphrase must fail authentication"
+        );
     }
 
     #[test]

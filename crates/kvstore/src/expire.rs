@@ -89,7 +89,11 @@ pub fn run_expire_cycle<R: Rng + ?Sized>(
         ExpiryMode::AccessOnly => CycleOutcome::default(),
         ExpiryMode::Strict => {
             let removed = db.strict_expire_sweep();
-            CycleOutcome { examined: removed.len(), iterations: 1, removed }
+            CycleOutcome {
+                examined: removed.len(),
+                iterations: 1,
+                removed,
+            }
         }
         ExpiryMode::LazyProbabilistic => {
             let mut outcome = CycleOutcome::default();
@@ -150,14 +154,23 @@ impl ErasureSimulator {
     /// Create a simulator for the given policy.
     #[must_use]
     pub fn new(mode: ExpiryMode, config: ActiveExpireConfig) -> Self {
-        ErasureSimulator { mode, config, max_simulated_millis: 1_000 * 3600 * 24 * 30 }
+        ErasureSimulator {
+            mode,
+            config,
+            max_simulated_millis: 1_000 * 3600 * 24 * 30,
+        }
     }
 
     /// Advance simulated time in `period_ms` steps, running one expiry
     /// cycle per step, until no already-expired key remains (or the safety
     /// limit is hit). Keys that expire *during* the simulation are erased
     /// too, and counted.
-    pub fn run<R: Rng + ?Sized>(&self, db: &mut Db, clock: &SimClock, rng: &mut R) -> ErasureReport {
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        db: &mut Db,
+        clock: &SimClock,
+        rng: &mut R,
+    ) -> ErasureReport {
         let start = clock.now_millis();
         let mut cycles = 0u64;
         let mut erased = 0usize;
@@ -210,7 +223,11 @@ mod tests {
         for i in 0..total {
             let key = format!("key{i:08}");
             db.set(&key, vec![0u8; 16]);
-            let ttl = if i < short_count { short_ttl_ms } else { long_ttl_ms };
+            let ttl = if i < short_count {
+                short_ttl_ms
+            } else {
+                long_ttl_ms
+            };
             db.expire_in_millis(&key, ttl);
         }
         (db, clock)
@@ -221,7 +238,12 @@ mod tests {
         let (mut db, clock) = populate(1_000, 0.2, 1_000, 10_000_000);
         clock.advance_millis(1_001);
         let mut rng = StdRng::seed_from_u64(1);
-        let out = run_expire_cycle(&mut db, ExpiryMode::Strict, &ActiveExpireConfig::default(), &mut rng);
+        let out = run_expire_cycle(
+            &mut db,
+            ExpiryMode::Strict,
+            &ActiveExpireConfig::default(),
+            &mut rng,
+        );
         assert_eq!(out.removed.len(), 200);
         assert_eq!(out.iterations, 1);
         assert_eq!(db.pending_expired_len(), 0);
@@ -232,8 +254,12 @@ mod tests {
         let (mut db, clock) = populate(100, 1.0, 10, 1_000);
         clock.advance_millis(50_000);
         let mut rng = StdRng::seed_from_u64(1);
-        let out =
-            run_expire_cycle(&mut db, ExpiryMode::AccessOnly, &ActiveExpireConfig::default(), &mut rng);
+        let out = run_expire_cycle(
+            &mut db,
+            ExpiryMode::AccessOnly,
+            &ActiveExpireConfig::default(),
+            &mut rng,
+        );
         assert!(out.removed.is_empty());
         assert_eq!(db.len(), 100, "keys linger until accessed");
     }
@@ -250,7 +276,10 @@ mod tests {
             &ActiveExpireConfig::default(),
             &mut rng,
         );
-        assert!(out.iterations > 1, "expired-heavy sample must trigger repeats");
+        assert!(
+            out.iterations > 1,
+            "expired-heavy sample must trigger repeats"
+        );
         assert!(!out.removed.is_empty());
     }
 
@@ -262,7 +291,10 @@ mod tests {
         let sim = ErasureSimulator::new(ExpiryMode::Strict, ActiveExpireConfig::default());
         let report = sim.run(&mut db, &clock, &mut rng);
         assert_eq!(report.erased_keys, 2_000);
-        assert!(report.erase_seconds() < 1.0, "strict erasure must be sub-second");
+        assert!(
+            report.erase_seconds() < 1.0,
+            "strict erasure must be sub-second"
+        );
     }
 
     #[test]
@@ -272,7 +304,8 @@ mod tests {
         for &total in &[1_000usize, 4_000] {
             let (mut db, clock) = populate(total, 0.2, 300_000, 432_000_000);
             clock.advance_millis(300_000);
-            let sim = ErasureSimulator::new(ExpiryMode::LazyProbabilistic, ActiveExpireConfig::default());
+            let sim =
+                ErasureSimulator::new(ExpiryMode::LazyProbabilistic, ActiveExpireConfig::default());
             let report = sim.run(&mut db, &clock, &mut rng);
             assert_eq!(report.erased_keys, total / 5);
             delays.push(report.erase_seconds());
@@ -288,7 +321,8 @@ mod tests {
         let (mut db, clock) = populate(200, 0.5, 1_000, 100_000_000);
         clock.advance_millis(1_500);
         let mut rng = StdRng::seed_from_u64(5);
-        let sim = ErasureSimulator::new(ExpiryMode::LazyProbabilistic, ActiveExpireConfig::default());
+        let sim =
+            ErasureSimulator::new(ExpiryMode::LazyProbabilistic, ActiveExpireConfig::default());
         let report = sim.run(&mut db, &clock, &mut rng);
         assert!(report.cycles > 0);
         assert!(report.keys_examined >= report.erased_keys as u64);

@@ -51,6 +51,7 @@ pub mod device;
 pub mod expire;
 pub mod object;
 pub mod serialize;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -92,7 +93,11 @@ pub enum StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::WrongType { key, actual, expected } => write!(
+            StoreError::WrongType {
+                key,
+                actual,
+                expected,
+            } => write!(
                 f,
                 "wrong type for key {key:?}: holds {actual}, operation expects {expected}"
             ),
@@ -139,10 +144,17 @@ mod tests {
     #[test]
     fn error_display_covers_variants() {
         let errs: Vec<StoreError> = vec![
-            StoreError::WrongType { key: "k".into(), actual: "hash", expected: "string" },
-            StoreError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom")),
+            StoreError::WrongType {
+                key: "k".into(),
+                actual: "hash",
+                expected: "string",
+            },
+            StoreError::Io(std::io::Error::other("boom")),
             StoreError::Crypto(gdpr_crypto::CryptoError::TagMismatch),
-            StoreError::Corrupt { context: "aof", detail: "bad magic".into() },
+            StoreError::Corrupt {
+                context: "aof",
+                detail: "bad magic".into(),
+            },
             StoreError::Config("bad".into()),
             StoreError::InvalidCommand("arity".into()),
         ];

@@ -105,7 +105,11 @@ impl Object {
     /// Wrap a value into an object created at `now_ms`.
     #[must_use]
     pub fn new(value: Value, now_ms: u64) -> Self {
-        Object { value, last_access_ms: now_ms, version: 1 }
+        Object {
+            value,
+            last_access_ms: now_ms,
+            version: 1,
+        }
     }
 
     /// Record a read access.

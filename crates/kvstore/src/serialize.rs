@@ -74,7 +74,8 @@ impl<'a> Reader<'a> {
     /// Read a `u32` length prefix followed by that many bytes.
     pub fn get_bytes(&mut self, context: &'static str) -> Result<Bytes> {
         let len_bytes = self.take(4, context)?;
-        let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+        let len =
+            u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
         Ok(self.take(len, context)?.to_vec())
     }
 
@@ -90,7 +91,9 @@ impl<'a> Reader<'a> {
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self, context: &'static str) -> Result<u64> {
         let b = self.take(8, context)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Read a single byte.

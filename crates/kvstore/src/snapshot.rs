@@ -17,20 +17,30 @@ const MAGIC: &[u8; 8] = b"GDPRKV01";
 /// Serialize the whole keyspace (including TTL deadlines) to bytes.
 #[must_use]
 pub fn save_to_bytes(db: &Db) -> Vec<u8> {
+    save_shards_to_bytes(&[db])
+}
+
+/// Serialize a sharded keyspace to one snapshot blob. The format is
+/// identical to the single-shard one (shard layout is a runtime choice, so
+/// a snapshot taken at one shard count loads at any other).
+#[must_use]
+pub fn save_shards_to_bytes(dbs: &[&Db]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
-    let entries: Vec<_> = db.iter().collect();
-    put_u64(&mut out, entries.len() as u64);
-    for (key, object) in entries {
-        put_str(&mut out, key);
-        match db.expire_deadline(key) {
-            Some(at) => {
-                out.push(1);
-                put_u64(&mut out, at);
+    let total: usize = dbs.iter().map(|db| db.len()).sum();
+    put_u64(&mut out, total as u64);
+    for db in dbs {
+        for (key, object) in db.iter() {
+            put_str(&mut out, key);
+            match db.expire_deadline(key) {
+                Some(at) => {
+                    out.push(1);
+                    put_u64(&mut out, at);
+                }
+                None => out.push(0),
             }
-            None => out.push(0),
+            encode_value(&mut out, &object.value);
         }
-        encode_value(&mut out, &object.value);
     }
     out
 }
@@ -42,18 +52,41 @@ pub fn save_to_bytes(db: &Db) -> Vec<u8> {
 ///
 /// Returns [`StoreError::Corrupt`] if the snapshot is malformed.
 pub fn load_from_bytes(db: &mut Db, bytes: &[u8]) -> Result<()> {
+    load_into_shards(&mut [db], |_| 0, bytes)
+}
+
+/// Load a snapshot into a sharded keyspace, routing every key to its
+/// owning shard via `route`. Replaces the current contents of every shard.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] if the snapshot is malformed.
+pub fn load_into_shards<F>(dbs: &mut [&mut Db], route: F, bytes: &[u8]) -> Result<()>
+where
+    F: Fn(&str) -> usize,
+{
     const CTX: &str = "snapshot";
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-        return Err(StoreError::Corrupt { context: CTX, detail: "bad magic".to_string() });
+        return Err(StoreError::Corrupt {
+            context: CTX,
+            detail: "bad magic".to_string(),
+        });
     }
     let mut reader = Reader::new(&bytes[MAGIC.len()..]);
     let count = reader.get_u64(CTX)?;
-    db.flush_all();
+    for db in dbs.iter_mut() {
+        db.flush_all();
+    }
     for _ in 0..count {
         let key = reader.get_str(CTX)?;
         let has_expiry = reader.get_u8(CTX)? == 1;
-        let deadline = if has_expiry { Some(reader.get_u64(CTX)?) } else { None };
+        let deadline = if has_expiry {
+            Some(reader.get_u64(CTX)?)
+        } else {
+            None
+        };
         let value = decode_value(&mut reader, CTX)?;
+        let db = &mut dbs[route(&key)];
         db.set_value(&key, value);
         if let Some(at) = deadline {
             db.expire_at(&key, at);
@@ -65,7 +98,9 @@ pub fn load_from_bytes(db: &mut Db, bytes: &[u8]) -> Result<()> {
             detail: format!("{} trailing bytes", reader.remaining()),
         });
     }
-    db.reset_dirty();
+    for db in dbs.iter_mut() {
+        db.reset_dirty();
+    }
     Ok(())
 }
 

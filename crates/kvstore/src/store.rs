@@ -1,20 +1,41 @@
-//! The engine façade: [`KvStore`] ties the keyspace, the AOF, the device
-//! layer and the expiry machinery together behind a thread-safe handle.
+//! The engine façade: [`KvStore`] ties the sharded keyspace, the AOF, the
+//! device layer and the expiry machinery together behind a thread-safe
+//! handle.
 //!
-//! Execution model (mirroring Redis):
+//! # Execution model
+//!
+//! The keyspace is split into N shards (power of two, configurable via
+//! [`StoreConfig::shards`]); each shard owns its own [`Db`] (dictionary,
+//! expiry indexes, keyspace counters), its own expiry-sampling RNG and its
+//! own lock. A seeded hash of the key ([`crate::shard::ShardRouter`])
+//! decides the owning shard, so operations on different shards execute in
+//! parallel:
 //!
 //! 1. every operation is a [`Command`];
-//! 2. the command is executed against the in-memory [`Db`];
-//! 3. if it is a write — or *any* command when read-logging is enabled
-//!    (the GDPR monitoring retrofit) — it is appended to the AOF, whose
-//!    fsync policy decides when the bytes become durable;
-//! 4. time-driven work (active expiry, `everysec` fsync, auto-rewrite) runs
-//!    from [`KvStore::tick`], which a server loop or benchmark calls
-//!    periodically — 10 Hz matches Redis' `serverCron`.
+//! 2. per-key commands lock **only the owning shard** and execute against
+//!    its [`Db`]; keyspace-wide commands (`KEYS`, `SCAN`, `DBSIZE`,
+//!    `FLUSHALL`) visit every shard and merge;
+//! 3. if the command is a write — or *any* command when read-logging is
+//!    enabled (the GDPR monitoring retrofit) — it is appended to the
+//!    **single serialized AOF writer** while the shard lock is held (so the
+//!    journal order of each key matches its apply order), and the fsync
+//!    policy decides when the bytes become durable;
+//! 4. time-driven work (active expiry per shard, `everysec` fsync,
+//!    auto-rewrite) runs from [`KvStore::tick`], which a server loop or
+//!    benchmark calls periodically — 10 Hz matches Redis' `serverCron`;
+//! 5. on open, the journal is replayed with **per-shard partitioning**:
+//!    records are routed to their owning shard first, then the shards
+//!    rebuild in parallel.
+//!
+//! Lock order (deadlock freedom): shard locks are only ever taken in
+//! ascending index order, and the AOF lock is only taken while holding
+//! shard locks — never the reverse. Engine-wide statistics are lock-free
+//! atomics.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,27 +43,44 @@ use crate::aof::{AofLog, AofStats};
 use crate::clock::{SharedClock, UnixMillis};
 use crate::commands::{Command, Reply};
 use crate::config::{Persistence, StoreConfig};
-use crate::db::Db;
-use crate::device::{DeviceStats, EncryptedFileDevice, MemoryDevice, PlainFileDevice, StorageDevice};
+use crate::db::{Db, DbStats};
+use crate::device::{
+    DeviceStats, EncryptedFileDevice, MemoryDevice, PlainFileDevice, StorageDevice,
+};
 use crate::expire::{run_expire_cycle, CycleOutcome};
 use crate::object::Bytes;
+use crate::shard::ShardRouter;
 use crate::snapshot;
 use crate::stats::EngineStats;
 use crate::Result;
 
-struct Inner {
+/// One slice of the keyspace: a dictionary plus its expiry-sampling RNG.
+struct Shard {
     db: Db,
-    aof: Option<AofLog>,
-    config: StoreConfig,
     rng: StdRng,
-    stats_commands: u64,
-    stats_reads: u64,
-    stats_writes: u64,
-    expire_cycles: u64,
-    keys_expired_by_cycles: u64,
-    auto_rewrites: u64,
-    records_since_rewrite: u64,
-    last_tick_ms: UnixMillis,
+}
+
+/// Engine-wide counters, kept lock-free so hot-path bookkeeping never
+/// serializes shards against each other.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    commands: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    expire_cycles: AtomicU64,
+    keys_expired_by_cycles: AtomicU64,
+    auto_rewrites: AtomicU64,
+    records_since_rewrite: AtomicU64,
+    last_tick_ms: AtomicU64,
+}
+
+struct Inner {
+    shards: Vec<Mutex<Shard>>,
+    /// The single serialized AOF writer all shards feed.
+    aof: Option<Mutex<AofLog>>,
+    router: ShardRouter,
+    config: StoreConfig,
+    counters: EngineCounters,
 }
 
 /// A thread-safe handle to the storage engine.
@@ -50,46 +88,40 @@ struct Inner {
 /// Cloning the handle is cheap and shares the same underlying state.
 #[derive(Clone)]
 pub struct KvStore {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
     clock: SharedClock,
 }
 
 impl std::fmt::Debug for KvStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("KvStore")
-            .field("keys", &inner.db.len())
-            .field("aof", &inner.aof.is_some())
+            .field("shards", &self.inner.shards.len())
+            .field("keys", &self.len())
+            .field("aof", &self.inner.aof.is_some())
             .finish()
     }
 }
 
 fn build_device(config: &StoreConfig) -> Result<Option<Box<dyn StorageDevice>>> {
-    let base: Box<dyn StorageDevice> = match &config.persistence {
-        Persistence::None => return Ok(None),
-        Persistence::AofInMemory => Box::new(MemoryDevice::new()),
-        Persistence::AofFile(path) => Box::new(PlainFileDevice::open(path)?),
+    let device: Box<dyn StorageDevice> = match (&config.persistence, &config.encryption) {
+        (Persistence::None, _) => return Ok(None),
+        (Persistence::AofInMemory, None) => Box::new(MemoryDevice::new()),
+        (Persistence::AofFile(path), None) => Box::new(PlainFileDevice::open(path)?),
+        (Persistence::AofInMemory, Some(enc)) => Box::new(EncryptedFileDevice::new(
+            MemoryDevice::new(),
+            &enc.passphrase,
+        )?),
+        (Persistence::AofFile(path), Some(enc)) => Box::new(EncryptedFileDevice::new(
+            PlainFileDevice::open(path)?,
+            &enc.passphrase,
+        )?),
     };
-    if let Some(enc) = &config.encryption {
-        let wrapped: Box<dyn StorageDevice> = match &config.persistence {
-            Persistence::AofInMemory => {
-                Box::new(EncryptedFileDevice::new(MemoryDevice::new(), &enc.passphrase)?)
-            }
-            Persistence::AofFile(path) => {
-                Box::new(EncryptedFileDevice::new(PlainFileDevice::open(path)?, &enc.passphrase)?)
-            }
-            Persistence::None => unreachable!("handled above"),
-        };
-        drop(base);
-        Ok(Some(wrapped))
-    } else {
-        Ok(Some(base))
-    }
+    Ok(Some(device))
 }
 
 impl KvStore {
     /// Open an engine with the given configuration, replaying any existing
-    /// append-only file.
+    /// append-only file (partitioned per shard, rebuilt in parallel).
     ///
     /// # Errors
     ///
@@ -97,45 +129,88 @@ impl KvStore {
     /// encountered while opening or replaying persistence.
     pub fn open(config: StoreConfig) -> Result<Self> {
         let clock = Arc::clone(&config.clock);
-        let mut db = Db::new(Arc::clone(&clock));
+        let router = ShardRouter::new(config.shards, config.shard_hash_seed);
+        let shard_count = router.shard_count();
+
+        let mut shards: Vec<Shard> = (0..shard_count)
+            .map(|idx| Shard {
+                db: Db::new(Arc::clone(&clock)),
+                rng: match config.rng_seed {
+                    Some(seed) => StdRng::seed_from_u64(seed.wrapping_add(idx as u64)),
+                    None => StdRng::from_entropy(),
+                },
+            })
+            .collect();
 
         let aof = match build_device(&config)? {
             Some(device) => {
                 let mut log = AofLog::new(device, config.fsync, Arc::clone(&clock));
-                // Recover state by replaying journaled write commands.
-                for record in log.load()? {
-                    let cmd = Command::decode(&record)?;
-                    if cmd.is_write() {
-                        cmd.execute(&mut db)?;
-                    }
-                }
-                db.reset_dirty();
-                Some(log)
+                Self::replay(&mut log, &router, &mut shards)?;
+                Some(Mutex::new(log))
             }
             None => None,
         };
 
-        let rng = match config.rng_seed {
-            Some(seed) => StdRng::seed_from_u64(seed),
-            None => StdRng::from_entropy(),
-        };
-
-        let now = clock.now_millis();
         let inner = Inner {
-            db,
+            shards: shards.into_iter().map(Mutex::new).collect(),
             aof,
+            router,
             config,
-            rng,
-            stats_commands: 0,
-            stats_reads: 0,
-            stats_writes: 0,
-            expire_cycles: 0,
-            keys_expired_by_cycles: 0,
-            auto_rewrites: 0,
-            records_since_rewrite: 0,
-            last_tick_ms: now,
+            counters: EngineCounters::default(),
         };
-        Ok(KvStore { inner: Arc::new(Mutex::new(inner)), clock })
+        Ok(KvStore {
+            inner: Arc::new(inner),
+            clock,
+        })
+    }
+
+    /// Recover state by replaying journaled write commands: partition the
+    /// record stream per owning shard (keyspace-wide writes are broadcast),
+    /// then rebuild every shard — in parallel when there is more than one.
+    fn replay(log: &mut AofLog, router: &ShardRouter, shards: &mut [Shard]) -> Result<()> {
+        let mut partitions: Vec<Vec<Command>> = (0..shards.len()).map(|_| Vec::new()).collect();
+        for record in log.load()? {
+            let cmd = Command::decode(&record)?;
+            if !cmd.is_write() {
+                continue;
+            }
+            match cmd.primary_key() {
+                Some(key) => partitions[router.shard_of(key)].push(cmd),
+                // FLUSHALL (the only keyed-less write) clears every shard;
+                // relative order within each partition is preserved.
+                None => {
+                    for partition in &mut partitions {
+                        partition.push(cmd.clone());
+                    }
+                }
+            }
+        }
+
+        fn apply(shard: &mut Shard, commands: &[Command]) -> Result<()> {
+            for cmd in commands {
+                cmd.execute(&mut shard.db)?;
+            }
+            shard.db.reset_dirty();
+            Ok(())
+        }
+
+        if shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards.len());
+                for (shard, commands) in shards.iter_mut().zip(&partitions) {
+                    handles.push(scope.spawn(move || apply(shard, commands)));
+                }
+                for handle in handles {
+                    handle.join().expect("replay thread panicked")?;
+                }
+                Ok(())
+            })
+        } else {
+            for (shard, commands) in shards.iter_mut().zip(&partitions) {
+                apply(shard, commands)?;
+            }
+            Ok(())
+        }
     }
 
     /// The clock this engine reads time from.
@@ -144,43 +219,154 @@ impl KvStore {
         Arc::clone(&self.clock)
     }
 
+    /// Number of keyspace shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard index owning `key` (stable for the life of the store).
+    #[must_use]
+    pub fn shard_of(&self, key: &str) -> usize {
+        self.inner.router.shard_of(key)
+    }
+
+    /// The key → shard router (shared with the compliance layer so its
+    /// per-shard structures line up with the engine's).
+    #[must_use]
+    pub fn router(&self) -> ShardRouter {
+        self.inner.router
+    }
+
     // ----- command execution ------------------------------------------------
 
     /// Execute a command, journaling it according to the configuration.
+    ///
+    /// Per-key commands lock only the owning shard; keyspace-wide commands
+    /// (`KEYS`, `SCAN`, `DBSIZE`, `FLUSHALL`) visit every shard.
     ///
     /// # Errors
     ///
     /// Propagates execution and persistence errors.
     pub fn execute(&self, command: Command) -> Result<Reply> {
-        let mut inner = self.inner.lock();
         let is_write = command.is_write();
-        let reply = command.execute(&mut inner.db)?;
+        let journal = self.inner.aof.is_some() && (is_write || self.inner.config.log_reads);
 
-        inner.stats_commands += 1;
-        if is_write {
-            inner.stats_writes += 1;
-        } else {
-            inner.stats_reads += 1;
-        }
-
-        let must_journal = inner.aof.is_some() && (is_write || inner.config.log_reads);
-        if must_journal {
-            let encoded = command.encode();
-            if let Some(aof) = inner.aof.as_mut() {
-                aof.append(&encoded)?;
+        let mut journaled = false;
+        let reply = match command.primary_key() {
+            Some(key) => {
+                let mut shard = self.inner.shards[self.inner.router.shard_of(key)].lock();
+                let reply = command.execute(&mut shard.db)?;
+                if journal {
+                    // Append while the shard is locked so the journal order
+                    // of this key matches its apply order.
+                    self.append_record(&command.encode())?;
+                    journaled = true;
+                }
+                reply
             }
-            inner.records_since_rewrite += 1;
-            self.maybe_auto_rewrite(&mut inner)?;
+            None => {
+                let mut guards = self.lock_all_shards();
+                let reply = match &command {
+                    Command::Keys { .. } | Command::Scan { .. } => {
+                        self.merge_key_query(&command, &mut guards)?
+                    }
+                    Command::DbSize => Reply::Int(guards.iter().map(|g| g.db.len() as i64).sum()),
+                    _ => {
+                        // FLUSHALL and any future keyspace-wide write.
+                        let mut total = 0i64;
+                        let mut last = Reply::Ok;
+                        for guard in guards.iter_mut() {
+                            last = command.execute(&mut guard.db)?;
+                            if let Reply::Int(n) = last {
+                                total += n;
+                            }
+                        }
+                        if matches!(last, Reply::Int(_)) {
+                            Reply::Int(total)
+                        } else {
+                            last
+                        }
+                    }
+                };
+                if journal {
+                    self.append_record(&command.encode())?;
+                    journaled = true;
+                }
+                reply
+            }
+        };
+
+        let counters = &self.inner.counters;
+        counters.commands.fetch_add(1, Ordering::Relaxed);
+        if is_write {
+            counters.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if journaled {
+            counters
+                .records_since_rewrite
+                .fetch_add(1, Ordering::Relaxed);
+            self.maybe_auto_rewrite()?;
         }
         Ok(reply)
     }
 
-    fn maybe_auto_rewrite(&self, inner: &mut Inner) -> Result<()> {
-        let threshold = inner.config.aof_rewrite_threshold_records;
-        if threshold > 0 && inner.records_since_rewrite >= threshold {
-            Self::rewrite_locked(inner)?;
-            inner.auto_rewrites += 1;
+    /// Acquire every shard lock in ascending index order (the global lock
+    /// order that keeps multi-shard operations deadlock-free).
+    fn lock_all_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
+        self.inner.shards.iter().map(Mutex::lock).collect()
+    }
+
+    fn merge_key_query(
+        &self,
+        command: &Command,
+        guards: &mut [MutexGuard<'_, Shard>],
+    ) -> Result<Reply> {
+        let mut merged: Vec<String> = Vec::new();
+        for guard in guards.iter_mut() {
+            if let Reply::StringArray(keys) = command.execute(&mut guard.db)? {
+                merged.extend(keys);
+            }
         }
+        merged.sort();
+        if let Command::Scan { count, .. } = command {
+            merged.truncate(*count as usize);
+        }
+        Ok(Reply::StringArray(merged))
+    }
+
+    fn append_record(&self, record: &[u8]) -> Result<()> {
+        if let Some(aof) = &self.inner.aof {
+            aof.lock().append(record)?;
+        }
+        Ok(())
+    }
+
+    fn maybe_auto_rewrite(&self) -> Result<()> {
+        let threshold = self.inner.config.aof_rewrite_threshold_records;
+        if threshold == 0 {
+            return Ok(());
+        }
+        let counter = &self.inner.counters.records_since_rewrite;
+        if counter.load(Ordering::Relaxed) < threshold {
+            return Ok(());
+        }
+        // Claim the rewrite by swapping the counter out: of several threads
+        // crossing the threshold together, only the one that observes a
+        // value still >= threshold performs the (stop-the-world) rewrite;
+        // losers put their observation back and carry on.
+        let observed = counter.swap(0, Ordering::Relaxed);
+        if observed < threshold {
+            counter.fetch_add(observed, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.rewrite_aof()?;
+        self.inner
+            .counters
+            .auto_rewrites
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -188,42 +374,62 @@ impl KvStore {
 
     /// Set a string key.
     pub fn set(&self, key: &str, value: Bytes) -> Result<()> {
-        self.execute(Command::Set { key: key.to_string(), value }).map(|_| ())
+        self.execute(Command::Set {
+            key: key.to_string(),
+            value,
+        })
+        .map(|_| ())
     }
 
     /// Read a string key.
     pub fn get(&self, key: &str) -> Result<Option<Bytes>> {
-        Ok(self.execute(Command::Get { key: key.to_string() })?.into_bytes())
+        Ok(self
+            .execute(Command::Get {
+                key: key.to_string(),
+            })?
+            .into_bytes())
     }
 
     /// Delete a key; returns whether it existed.
     pub fn delete(&self, key: &str) -> Result<bool> {
-        Ok(self.execute(Command::Del { key: key.to_string() })? == Reply::Int(1))
+        Ok(self.execute(Command::Del {
+            key: key.to_string(),
+        })? == Reply::Int(1))
     }
 
     /// Whether the key exists.
     pub fn exists(&self, key: &str) -> Result<bool> {
-        Ok(self.execute(Command::Exists { key: key.to_string() })? == Reply::Int(1))
+        Ok(self.execute(Command::Exists {
+            key: key.to_string(),
+        })? == Reply::Int(1))
     }
 
     /// Set a TTL relative to now.
     pub fn expire_in(&self, key: &str, ttl: std::time::Duration) -> Result<bool> {
-        Ok(self
-            .execute(Command::Expire { key: key.to_string(), ttl_ms: ttl.as_millis() as u64 })?
-            == Reply::Int(1))
+        Ok(self.execute(Command::Expire {
+            key: key.to_string(),
+            ttl_ms: ttl.as_millis() as u64,
+        })? == Reply::Int(1))
     }
 
     /// Set an absolute expiration deadline in Unix milliseconds.
     pub fn expire_at(&self, key: &str, at_ms: UnixMillis) -> Result<bool> {
-        Ok(self.execute(Command::ExpireAt { key: key.to_string(), at_ms })? == Reply::Int(1))
+        Ok(self.execute(Command::ExpireAt {
+            key: key.to_string(),
+            at_ms,
+        })? == Reply::Int(1))
     }
 
     /// Remaining TTL, if the key exists and has one.
     pub fn ttl(&self, key: &str) -> Result<Option<std::time::Duration>> {
-        Ok(match self.execute(Command::Ttl { key: key.to_string() })? {
-            Reply::Int(ms) => Some(std::time::Duration::from_millis(ms as u64)),
-            _ => None,
-        })
+        Ok(
+            match self.execute(Command::Ttl {
+                key: key.to_string(),
+            })? {
+                Reply::Int(ms) => Some(std::time::Duration::from_millis(ms as u64)),
+                _ => None,
+            },
+        )
     }
 
     /// Set a hash field.
@@ -242,45 +448,66 @@ impl KvStore {
         key: &str,
         fields: &std::collections::BTreeMap<String, Bytes>,
     ) -> Result<()> {
-        self.execute(Command::HSetMulti { key: key.to_string(), fields: fields.clone() })
-            .map(|_| ())
+        self.execute(Command::HSetMulti {
+            key: key.to_string(),
+            fields: fields.clone(),
+        })
+        .map(|_| ())
     }
 
     /// Read a hash field.
     pub fn hget(&self, key: &str, field: &str) -> Result<Option<Bytes>> {
         Ok(self
-            .execute(Command::HGet { key: key.to_string(), field: field.to_string() })?
+            .execute(Command::HGet {
+                key: key.to_string(),
+                field: field.to_string(),
+            })?
             .into_bytes())
     }
 
     /// Read a whole hash.
     pub fn hgetall(&self, key: &str) -> Result<Option<std::collections::BTreeMap<String, Bytes>>> {
-        Ok(match self.execute(Command::HGetAll { key: key.to_string() })? {
-            Reply::Map(m) => Some(m),
-            _ => None,
-        })
+        Ok(
+            match self.execute(Command::HGetAll {
+                key: key.to_string(),
+            })? {
+                Reply::Map(m) => Some(m),
+                _ => None,
+            },
+        )
     }
 
-    /// Keys matching a glob pattern.
+    /// Keys matching a glob pattern, merged across shards in lexicographic
+    /// order.
     pub fn keys(&self, pattern: &str) -> Result<Vec<String>> {
-        Ok(match self.execute(Command::Keys { pattern: pattern.to_string() })? {
-            Reply::StringArray(keys) => keys,
-            _ => Vec::new(),
-        })
+        Ok(
+            match self.execute(Command::Keys {
+                pattern: pattern.to_string(),
+            })? {
+                Reply::StringArray(keys) => keys,
+                _ => Vec::new(),
+            },
+        )
     }
 
-    /// Ordered scan of up to `count` keys starting at `start`.
+    /// Ordered scan of up to `count` keys starting at `start`, merged
+    /// across shards.
     pub fn scan(&self, start: &str, count: usize) -> Result<Vec<String>> {
-        Ok(match self.execute(Command::Scan { start: start.to_string(), count: count as u64 })? {
-            Reply::StringArray(keys) => keys,
-            _ => Vec::new(),
-        })
+        Ok(
+            match self.execute(Command::Scan {
+                start: start.to_string(),
+                count: count as u64,
+            })? {
+                Reply::StringArray(keys) => keys,
+                _ => Vec::new(),
+            },
+        )
     }
 
-    /// Number of keys in the keyspace.
+    /// Number of keys in the keyspace (summed over shards).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().db.len()
+        self.inner.shards.iter().map(|s| s.lock().db.len()).sum()
     }
 
     /// Whether the keyspace is empty.
@@ -290,151 +517,211 @@ impl KvStore {
     }
 
     /// Number of keys whose TTL deadline has passed but which have not been
-    /// physically erased yet (Figure 2's quantity).
+    /// physically erased yet (Figure 2's quantity), summed over shards.
     #[must_use]
     pub fn pending_expired(&self) -> usize {
-        self.inner.lock().db.pending_expired_len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().db.pending_expired_len())
+            .sum()
     }
 
     // ----- time-driven work ---------------------------------------------------
 
     /// Run one iteration of the engine's background duties: an expiry cycle
-    /// (per the configured mode) and, under `everysec`, a possible fsync.
-    /// Returns the expiry-cycle outcome so callers (e.g. the GDPR layer)
-    /// can audit the erased keys.
+    /// per shard (per the configured mode) and, under `everysec`, a
+    /// possible fsync. Returns the merged expiry-cycle outcome so callers
+    /// (e.g. the GDPR layer) can audit the erased keys.
     ///
     /// # Errors
     ///
     /// Propagates persistence errors from the fsync or from journaling the
     /// expiry deletions.
     pub fn tick(&self) -> Result<CycleOutcome> {
-        let mut inner = self.inner.lock();
-        let mode = inner.config.expiry_mode;
-        let expire_cfg = inner.config.active_expire;
-        let outcome = {
-            let Inner { db, rng, .. } = &mut *inner;
-            run_expire_cycle(db, mode, &expire_cfg, rng)
-        };
-        inner.expire_cycles += 1;
-        inner.keys_expired_by_cycles += outcome.removed.len() as u64;
+        let mode = self.inner.config.expiry_mode;
+        let expire_cfg = self.inner.config.active_expire;
+        let mut merged = CycleOutcome::default();
 
-        // Propagate expiry deletions into the AOF so that replaying it
-        // cannot resurrect erased personal data.
-        if inner.aof.is_some() && !outcome.removed.is_empty() {
-            let encoded: Vec<Vec<u8>> = outcome
-                .removed
-                .iter()
-                .map(|key| Command::Del { key: clone_key(key) }.encode())
-                .collect();
-            if let Some(aof) = inner.aof.as_mut() {
-                for record in &encoded {
-                    aof.append(record)?;
+        for shard in &self.inner.shards {
+            let mut shard = shard.lock();
+            let Shard { db, rng } = &mut *shard;
+            let outcome = run_expire_cycle(db, mode, &expire_cfg, rng);
+
+            // Propagate expiry deletions into the AOF (under the shard lock,
+            // like any other write, and under one writer-lock acquisition
+            // for the whole batch) so that replaying it cannot resurrect
+            // erased personal data.
+            if !outcome.removed.is_empty() {
+                if let Some(aof) = &self.inner.aof {
+                    let mut aof = aof.lock();
+                    for key in &outcome.removed {
+                        aof.append(&Command::Del { key: key.clone() }.encode())?;
+                    }
                 }
             }
+
+            merged.removed.extend(outcome.removed);
+            merged.iterations += outcome.iterations;
+            merged.examined += outcome.examined;
         }
 
-        if let Some(aof) = inner.aof.as_mut() {
-            aof.maybe_fsync()?;
+        let counters = &self.inner.counters;
+        counters.expire_cycles.fetch_add(1, Ordering::Relaxed);
+        counters
+            .keys_expired_by_cycles
+            .fetch_add(merged.removed.len() as u64, Ordering::Relaxed);
+
+        if let Some(aof) = &self.inner.aof {
+            aof.lock().maybe_fsync()?;
         }
-        inner.last_tick_ms = self.clock.now_millis();
-        Ok(outcome)
+        counters
+            .last_tick_ms
+            .store(self.clock.now_millis(), Ordering::Relaxed);
+        Ok(merged)
     }
 
     /// Rewrite (compact) the append-only file from the live dataset —
     /// `BGREWRITEAOF`. Returns the number of records dropped, i.e. how much
     /// stale (including deleted-but-persisting) data was purged.
     ///
+    /// Holds every shard lock for the duration, so the rewritten log is a
+    /// consistent point-in-time image.
+    ///
     /// # Errors
     ///
     /// Propagates persistence errors. Returns `Ok(0)` when persistence is
     /// disabled.
     pub fn rewrite_aof(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        Self::rewrite_locked(&mut inner)
-    }
+        let Some(aof) = &self.inner.aof else {
+            return Ok(0);
+        };
+        let mut guards = self.lock_all_shards();
 
-    fn rewrite_locked(inner: &mut Inner) -> Result<u64> {
-        let Inner { db, aof, .. } = inner;
-        let Some(aof) = aof.as_mut() else { return Ok(0) };
         // Regenerate the minimal command stream from the live dataset.
-        let mut commands: Vec<Command> = Vec::with_capacity(db.len() * 2);
-        for (key, object) in db.iter() {
-            match &object.value {
-                crate::object::Value::Str(b) => {
-                    commands.push(Command::Set { key: key.clone(), value: b.clone() });
-                }
-                crate::object::Value::Hash(map) => {
-                    commands.push(Command::HSetMulti { key: key.clone(), fields: map.clone() });
-                }
-                crate::object::Value::List(items) => {
-                    // Lists are journaled as a hash of index → element;
-                    // adequate for recovery purposes in this engine.
-                    let fields = items
-                        .iter()
-                        .enumerate()
-                        .map(|(i, v)| (format!("{i:020}"), v.clone()))
-                        .collect();
-                    commands.push(Command::HSetMulti { key: key.clone(), fields });
-                }
-                crate::object::Value::Set(members) => {
-                    for member in members {
-                        commands.push(Command::SAdd { key: key.clone(), member: member.clone() });
+        let mut commands: Vec<Command> = Vec::new();
+        for guard in &guards {
+            let db = &guard.db;
+            for (key, object) in db.iter() {
+                match &object.value {
+                    crate::object::Value::Str(b) => {
+                        commands.push(Command::Set {
+                            key: key.clone(),
+                            value: b.clone(),
+                        });
+                    }
+                    crate::object::Value::Hash(map) => {
+                        commands.push(Command::HSetMulti {
+                            key: key.clone(),
+                            fields: map.clone(),
+                        });
+                    }
+                    crate::object::Value::List(items) => {
+                        // Lists are journaled as a hash of index → element;
+                        // adequate for recovery purposes in this engine.
+                        let fields = items
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| (format!("{i:020}"), v.clone()))
+                            .collect();
+                        commands.push(Command::HSetMulti {
+                            key: key.clone(),
+                            fields,
+                        });
+                    }
+                    crate::object::Value::Set(members) => {
+                        for member in members {
+                            commands.push(Command::SAdd {
+                                key: key.clone(),
+                                member: member.clone(),
+                            });
+                        }
                     }
                 }
-            }
-            if let Some(at) = db.expire_deadline(key) {
-                commands.push(Command::ExpireAt { key: key.clone(), at_ms: at });
+                if let Some(at) = db.expire_deadline(key) {
+                    commands.push(Command::ExpireAt {
+                        key: key.clone(),
+                        at_ms: at,
+                    });
+                }
             }
         }
         let records: Vec<Vec<u8>> = commands.iter().map(Command::encode).collect();
-        let dropped = aof.rewrite(records.iter().map(Vec::as_slice))?;
-        inner.records_since_rewrite = 0;
-        inner.db.reset_dirty();
+        let dropped = aof.lock().rewrite(records.iter().map(Vec::as_slice))?;
+        self.inner
+            .counters
+            .records_since_rewrite
+            .store(0, Ordering::Relaxed);
+        for guard in guards.iter_mut() {
+            guard.db.reset_dirty();
+        }
         Ok(dropped)
     }
 
     /// Force an AOF fsync regardless of policy.
     pub fn fsync(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if let Some(aof) = inner.aof.as_mut() {
-            aof.fsync()?;
+        if let Some(aof) = &self.inner.aof {
+            aof.lock().fsync()?;
         }
         Ok(())
     }
 
     // ----- snapshots -----------------------------------------------------------
 
-    /// Serialize the current keyspace to a snapshot byte blob.
+    /// Serialize the current keyspace (all shards) to a snapshot byte blob.
     #[must_use]
     pub fn snapshot(&self) -> Vec<u8> {
-        snapshot::save_to_bytes(&self.inner.lock().db)
+        let guards = self.lock_all_shards();
+        let dbs: Vec<&Db> = guards.iter().map(|g| &g.db).collect();
+        snapshot::save_shards_to_bytes(&dbs)
     }
 
-    /// Replace the keyspace with the contents of a snapshot blob.
+    /// Replace the keyspace with the contents of a snapshot blob, routing
+    /// every key to its owning shard (snapshots are portable across shard
+    /// counts).
     ///
     /// # Errors
     ///
     /// Returns corruption errors from decoding.
     pub fn restore_snapshot(&self, bytes: &[u8]) -> Result<()> {
-        snapshot::load_from_bytes(&mut self.inner.lock().db, bytes)
+        let router = self.inner.router;
+        let mut guards = self.lock_all_shards();
+        let mut dbs: Vec<&mut Db> = guards.iter_mut().map(|g| &mut g.db).collect();
+        snapshot::load_into_shards(&mut dbs, |key| router.shard_of(key), bytes)
     }
 
     // ----- introspection --------------------------------------------------------
 
-    /// A point-in-time statistics snapshot.
+    /// A point-in-time statistics snapshot (keyspace counters summed over
+    /// shards).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        let inner = self.inner.lock();
+        let mut db = DbStats::default();
+        for shard in &self.inner.shards {
+            let s = shard.lock().db.stats();
+            db.keyspace_hits += s.keyspace_hits;
+            db.keyspace_misses += s.keyspace_misses;
+            db.expired_keys += s.expired_keys;
+            db.deleted_keys += s.deleted_keys;
+            db.writes += s.writes;
+        }
+        let counters = &self.inner.counters;
         EngineStats {
-            commands_processed: inner.stats_commands,
-            reads: inner.stats_reads,
-            writes: inner.stats_writes,
-            expire_cycles: inner.expire_cycles,
-            keys_expired_by_cycles: inner.keys_expired_by_cycles,
-            auto_rewrites: inner.auto_rewrites,
-            db: inner.db.stats(),
-            aof: inner.aof.as_ref().map(AofLog::stats).unwrap_or_default(),
-            device: inner
+            commands_processed: counters.commands.load(Ordering::Relaxed),
+            reads: counters.reads.load(Ordering::Relaxed),
+            writes: counters.writes.load(Ordering::Relaxed),
+            expire_cycles: counters.expire_cycles.load(Ordering::Relaxed),
+            keys_expired_by_cycles: counters.keys_expired_by_cycles.load(Ordering::Relaxed),
+            auto_rewrites: counters.auto_rewrites.load(Ordering::Relaxed),
+            db,
+            aof: self
+                .inner
+                .aof
+                .as_ref()
+                .map(|aof| aof.lock().stats())
+                .unwrap_or_default(),
+            device: self
+                .inner
                 .aof
                 .as_ref()
                 .map(|_| DeviceStats::default())
@@ -445,18 +732,17 @@ impl KvStore {
     /// AOF statistics, if persistence is enabled.
     #[must_use]
     pub fn aof_stats(&self) -> Option<AofStats> {
-        self.inner.lock().aof.as_ref().map(AofLog::stats)
+        self.inner.aof.as_ref().map(|aof| aof.lock().stats())
     }
 
     /// Bytes currently occupied by the AOF on its device.
     #[must_use]
     pub fn aof_len(&self) -> u64 {
-        self.inner.lock().aof.as_ref().map_or(0, AofLog::device_len)
+        self.inner
+            .aof
+            .as_ref()
+            .map_or(0, |aof| aof.lock().device_len())
     }
-}
-
-fn clone_key(key: &str) -> String {
-    key.to_string()
 }
 
 #[cfg(test)]
@@ -490,7 +776,9 @@ mod tests {
     fn ttl_and_expiry_via_tick() {
         let clock = SimClock::new(0);
         let store = KvStore::open(
-            StoreConfig::in_memory().clock(clock.clone()).expiry_mode(ExpiryMode::Strict),
+            StoreConfig::in_memory()
+                .clock(clock.clone())
+                .expiry_mode(ExpiryMode::Strict),
         )
         .unwrap();
         store.set("k", b"v".to_vec()).unwrap();
@@ -521,7 +809,33 @@ mod tests {
         let reopened = KvStore::open(StoreConfig::with_aof(&path)).unwrap();
         assert_eq!(reopened.get("persistent").unwrap(), Some(b"yes".to_vec()));
         assert_eq!(reopened.get("deleted").unwrap(), None);
-        assert_eq!(reopened.hget("user", "email").unwrap(), Some(b"a@b.c".to_vec()));
+        assert_eq!(
+            reopened.hget("user", "email").unwrap(),
+            Some(b"a@b.c".to_vec())
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_aof_replay_recovers_state() {
+        let dir = std::env::temp_dir().join(format!("kvstore-shardrep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sharded.aof");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = KvStore::open(StoreConfig::with_aof(&path).shards(4)).unwrap();
+            for i in 0..64 {
+                store.set(&format!("user{i:03}"), vec![i as u8]).unwrap();
+            }
+            store.delete("user000").unwrap();
+            store.fsync().unwrap();
+        }
+        // Replay at a different shard count: routing is a runtime choice.
+        let reopened = KvStore::open(StoreConfig::with_aof(&path).shards(8)).unwrap();
+        assert_eq!(reopened.shard_count(), 8);
+        assert_eq!(reopened.len(), 63);
+        assert_eq!(reopened.get("user000").unwrap(), None);
+        assert_eq!(reopened.get("user063").unwrap(), Some(vec![63]));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -548,7 +862,8 @@ mod tests {
 
     #[test]
     fn read_logging_journals_reads() {
-        let store = KvStore::open(StoreConfig::in_memory().aof_in_memory().log_reads(true)).unwrap();
+        let store =
+            KvStore::open(StoreConfig::in_memory().aof_in_memory().log_reads(true)).unwrap();
         store.set("k", b"v".to_vec()).unwrap();
         store.get("k").unwrap();
         store.get("k").unwrap();
@@ -558,7 +873,11 @@ mod tests {
         let plain = KvStore::open(StoreConfig::in_memory().aof_in_memory()).unwrap();
         plain.set("k", b"v".to_vec()).unwrap();
         plain.get("k").unwrap();
-        assert_eq!(plain.aof_stats().unwrap().records_appended, 1, "reads not journaled by default");
+        assert_eq!(
+            plain.aof_stats().unwrap().records_appended,
+            1,
+            "reads not journaled by default"
+        );
     }
 
     #[test]
@@ -586,14 +905,20 @@ mod tests {
     #[test]
     fn auto_rewrite_triggers_at_threshold() {
         let store = KvStore::open(
-            StoreConfig::in_memory().aof_in_memory().aof_rewrite_threshold(10),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .aof_rewrite_threshold(10),
         )
         .unwrap();
         for i in 0..25 {
             store.set("k", vec![i as u8]).unwrap();
         }
         let stats = store.stats();
-        assert!(stats.auto_rewrites >= 2, "expected at least 2 auto rewrites, got {}", stats.auto_rewrites);
+        assert!(
+            stats.auto_rewrites >= 2,
+            "expected at least 2 auto rewrites, got {}",
+            stats.auto_rewrites
+        );
     }
 
     #[test]
@@ -628,6 +953,26 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_is_portable_across_shard_counts() {
+        let sharded = KvStore::open(StoreConfig::in_memory().shards(4)).unwrap();
+        for i in 0..40 {
+            sharded.set(&format!("user{i:02}"), vec![i as u8]).unwrap();
+        }
+        sharded.expire_at("user00", 10_000_000_000_000).unwrap();
+        let blob = sharded.snapshot();
+
+        let single = KvStore::open(StoreConfig::in_memory()).unwrap();
+        single.restore_snapshot(&blob).unwrap();
+        assert_eq!(single.len(), 40);
+        assert_eq!(single.get("user39").unwrap(), Some(vec![39]));
+        assert!(single.ttl("user00").unwrap().is_some());
+
+        let wider = KvStore::open(StoreConfig::in_memory().shards(16)).unwrap();
+        wider.restore_snapshot(&blob).unwrap();
+        assert_eq!(wider.len(), 40);
+    }
+
+    #[test]
     fn stats_track_reads_writes_and_hits() {
         let store = KvStore::open(StoreConfig::in_memory()).unwrap();
         store.set("k", b"v".to_vec()).unwrap();
@@ -651,5 +996,77 @@ mod tests {
         }
         assert_eq!(store.keys("user*").unwrap().len(), 5);
         assert_eq!(store.scan("user2", 2).unwrap(), vec!["user2", "user3"]);
+    }
+
+    #[test]
+    fn scan_and_keys_merge_across_shards_in_order() {
+        let store = KvStore::open(StoreConfig::in_memory().shards(8)).unwrap();
+        for i in 0..50 {
+            store.set(&format!("user{i:02}"), b"v".to_vec()).unwrap();
+        }
+        assert_eq!(store.shard_count(), 8);
+        let keys = store.keys("user*").unwrap();
+        assert_eq!(keys.len(), 50);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merged KEYS must stay globally ordered");
+        assert_eq!(
+            store.scan("user10", 4).unwrap(),
+            vec!["user10", "user11", "user12", "user13"]
+        );
+    }
+
+    #[test]
+    fn flushall_clears_every_shard() {
+        let store = KvStore::open(StoreConfig::in_memory().shards(4)).unwrap();
+        for i in 0..32 {
+            store.set(&format!("k{i}"), b"v".to_vec()).unwrap();
+        }
+        let reply = store.execute(Command::FlushAll).unwrap();
+        assert_eq!(reply, Reply::Int(32));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn sharded_strict_expiry_sweeps_every_shard() {
+        let clock = SimClock::new(0);
+        let store = KvStore::open(
+            StoreConfig::in_memory()
+                .shards(4)
+                .clock(clock.clone())
+                .expiry_mode(ExpiryMode::Strict),
+        )
+        .unwrap();
+        for i in 0..64 {
+            let key = format!("temp{i:02}");
+            store.set(&key, b"v".to_vec()).unwrap();
+            store.expire_in(&key, Duration::from_millis(100)).unwrap();
+        }
+        clock.advance_millis(200);
+        assert_eq!(store.pending_expired(), 64);
+        let outcome = store.tick().unwrap();
+        assert_eq!(outcome.removed.len(), 64);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_on_different_shards() {
+        let store = KvStore::open(StoreConfig::in_memory().shards(8)).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("t{t}:k{i}");
+                        store.set(&key, vec![t as u8]).unwrap();
+                        assert_eq!(store.get(&key).unwrap(), Some(vec![t as u8]));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 8 * 200);
+        let stats = store.stats();
+        assert_eq!(stats.writes, 8 * 200);
+        assert_eq!(stats.reads, 8 * 200);
     }
 }

@@ -131,16 +131,22 @@ impl RemoteClient {
 
     /// `SET key value`.
     pub fn set(&mut self, key: &str, value: &[u8]) -> Result<()> {
-        self.roundtrip(&Frame::command([key_bytes("SET"), key_bytes(key), value.to_vec()]))
-            .map(|_| ())
+        self.roundtrip(&Frame::command([
+            key_bytes("SET"),
+            key_bytes(key),
+            value.to_vec(),
+        ]))
+        .map(|_| ())
     }
 
     /// `GET key`.
     pub fn get(&mut self, key: &str) -> Result<Option<Vec<u8>>> {
-        Ok(match self.roundtrip(&Frame::command([key_bytes("GET"), key_bytes(key)]))? {
-            Frame::Bulk(b) => Some(b),
-            _ => None,
-        })
+        Ok(
+            match self.roundtrip(&Frame::command([key_bytes("GET"), key_bytes(key)]))? {
+                Frame::Bulk(b) => Some(b),
+                _ => None,
+            },
+        )
     }
 
     /// `DEL key`; returns whether the key existed.
@@ -230,7 +236,10 @@ mod tests {
         secure.set("key", &[7u8; 256]).unwrap();
         let plain_bytes = plain.link_stats().0.payload_bytes;
         let secure_bytes = secure.link_stats().0.payload_bytes;
-        assert!(secure_bytes > plain_bytes, "{secure_bytes} vs {plain_bytes}");
+        assert!(
+            secure_bytes > plain_bytes,
+            "{secure_bytes} vs {plain_bytes}"
+        );
     }
 
     #[test]

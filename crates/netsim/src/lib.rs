@@ -101,6 +101,8 @@ mod tests {
             assert!(!e.to_string().is_empty());
         }
         assert!(NetError::Server("x".into()).source().is_none());
-        assert!(NetError::Crypto(gdpr_crypto::CryptoError::TagMismatch).source().is_some());
+        assert!(NetError::Crypto(gdpr_crypto::CryptoError::TagMismatch)
+            .source()
+            .is_some());
     }
 }

@@ -103,7 +103,10 @@ impl Link {
     /// Create a link with the given configuration.
     #[must_use]
     pub fn new(config: LinkConfig) -> Self {
-        Link { config, stats: LinkStats::default() }
+        Link {
+            config,
+            stats: LinkStats::default(),
+        }
     }
 
     /// The link configuration.
@@ -195,14 +198,12 @@ mod tests {
 
     #[test]
     fn imposed_delay_actually_elapses() {
-        let mut link = Link::new(
-            LinkConfig {
-                bandwidth_gbps: 0.001, // pathologically slow so the wait is measurable
-                latency: Duration::from_millis(1),
-                per_message_overhead: 0,
-                impose_delay: true,
-            },
-        );
+        let mut link = Link::new(LinkConfig {
+            bandwidth_gbps: 0.001, // pathologically slow so the wait is measurable
+            latency: Duration::from_millis(1),
+            per_message_overhead: 0,
+            impose_delay: true,
+        });
         let start = Instant::now();
         link.transfer(1_000);
         assert!(start.elapsed() >= Duration::from_millis(1));

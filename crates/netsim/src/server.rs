@@ -34,7 +34,10 @@ impl RespKvServer {
     /// Wrap an already-opened engine.
     #[must_use]
     pub fn new(store: KvStore) -> Self {
-        RespKvServer { store, stats: std::sync::Arc::new(parking_lot::Mutex::new(ServerStats::default())) }
+        RespKvServer {
+            store,
+            stats: std::sync::Arc::new(parking_lot::Mutex::new(ServerStats::default())),
+        }
     }
 
     /// The wrapped engine (e.g. for the benchmark driver to call `tick`).
@@ -79,10 +82,22 @@ impl RespKvServer {
     /// the command is handled at the protocol level (currently only PING).
     fn translate(&self, cmd: &WireCommand) -> std::result::Result<Option<Command>, String> {
         let arity_err = |need: usize| {
-            Err(format!("ERR wrong number of arguments for '{}' ({} given, {need} needed)", cmd.name, cmd.arity()))
+            Err(format!(
+                "ERR wrong number of arguments for '{}' ({} given, {need} needed)",
+                cmd.name,
+                cmd.arity()
+            ))
         };
-        let s = |i: usize| cmd.arg_str(i).map(str::to_string).map_err(|e| format!("ERR {e}"));
-        let b = |i: usize| cmd.arg_bytes(i).map(<[u8]>::to_vec).map_err(|e| format!("ERR {e}"));
+        let s = |i: usize| {
+            cmd.arg_str(i)
+                .map(str::to_string)
+                .map_err(|e| format!("ERR {e}"))
+        };
+        let b = |i: usize| {
+            cmd.arg_bytes(i)
+                .map(<[u8]>::to_vec)
+                .map_err(|e| format!("ERR {e}"))
+        };
         let n = |i: usize| cmd.arg_u64(i).map_err(|e| format!("ERR {e}"));
 
         let command = match cmd.name.as_str() {
@@ -91,7 +106,10 @@ impl RespKvServer {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::Set { key: s(0)?, value: b(1)? }
+                Command::Set {
+                    key: s(0)?,
+                    value: b(1)?,
+                }
             }
             "GET" => {
                 if cmd.arity() != 1 {
@@ -115,19 +133,28 @@ impl RespKvServer {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::Expire { key: s(0)?, ttl_ms: n(1)? }
+                Command::Expire {
+                    key: s(0)?,
+                    ttl_ms: n(1)?,
+                }
             }
             "EXPIRE" => {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::Expire { key: s(0)?, ttl_ms: n(1)? * 1_000 }
+                Command::Expire {
+                    key: s(0)?,
+                    ttl_ms: n(1)? * 1_000,
+                }
             }
             "PEXPIREAT" => {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::ExpireAt { key: s(0)?, at_ms: n(1)? }
+                Command::ExpireAt {
+                    key: s(0)?,
+                    at_ms: n(1)?,
+                }
             }
             "PTTL" | "TTL" => {
                 if cmd.arity() != 1 {
@@ -145,16 +172,20 @@ impl RespKvServer {
                 if cmd.arity() != 3 {
                     return arity_err(3);
                 }
-                Command::HSet { key: s(0)?, field: s(1)?, value: b(2)? }
+                Command::HSet {
+                    key: s(0)?,
+                    field: s(1)?,
+                    value: b(2)?,
+                }
             }
             "HMSET" => {
-                if cmd.arity() < 3 || cmd.arity() % 2 == 0 {
+                if cmd.arity() < 3 || cmd.arity().is_multiple_of(2) {
                     return arity_err(3);
                 }
                 let key = s(0)?;
                 let mut fields = BTreeMap::new();
                 let mut i = 1;
-                while i + 1 < cmd.arity() + 1 && i + 1 <= cmd.arity() {
+                while i < cmd.arity() {
                     fields.insert(s(i)?, b(i + 1)?);
                     i += 2;
                 }
@@ -164,7 +195,10 @@ impl RespKvServer {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::HGet { key: s(0)?, field: s(1)? }
+                Command::HGet {
+                    key: s(0)?,
+                    field: s(1)?,
+                }
             }
             "HGETALL" => {
                 if cmd.arity() != 1 {
@@ -176,19 +210,28 @@ impl RespKvServer {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::HDel { key: s(0)?, field: s(1)? }
+                Command::HDel {
+                    key: s(0)?,
+                    field: s(1)?,
+                }
             }
             "SADD" => {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::SAdd { key: s(0)?, member: b(1)? }
+                Command::SAdd {
+                    key: s(0)?,
+                    member: b(1)?,
+                }
             }
             "SREM" => {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::SRem { key: s(0)?, member: b(1)? }
+                Command::SRem {
+                    key: s(0)?,
+                    member: b(1)?,
+                }
             }
             "SMEMBERS" => {
                 if cmd.arity() != 1 {
@@ -206,7 +249,10 @@ impl RespKvServer {
                 if cmd.arity() != 2 {
                     return arity_err(2);
                 }
-                Command::Scan { start: s(0)?, count: n(1)? }
+                Command::Scan {
+                    start: s(0)?,
+                    count: n(1)?,
+                }
             }
             "DBSIZE" => Command::DbSize,
             "FLUSHALL" | "FLUSHDB" => Command::FlushAll,
@@ -225,9 +271,11 @@ pub fn reply_to_frame(reply: Reply) -> Frame {
         Reply::Int(i) => Frame::Integer(i),
         Reply::Bytes(b) => Frame::Bulk(b),
         Reply::Array(items) => Frame::Array(items.into_iter().map(Frame::Bulk).collect()),
-        Reply::StringArray(keys) => {
-            Frame::Array(keys.into_iter().map(|k| Frame::Bulk(k.into_bytes())).collect())
-        }
+        Reply::StringArray(keys) => Frame::Array(
+            keys.into_iter()
+                .map(|k| Frame::Bulk(k.into_bytes()))
+                .collect(),
+        ),
         Reply::Map(map) => {
             let mut items = Vec::with_capacity(map.len() * 2);
             for (field, value) in map {
@@ -252,7 +300,10 @@ mod tests {
     #[test]
     fn ping_pong() {
         let s = server();
-        assert_eq!(s.handle_frame(&Frame::command(["PING"])), Frame::Simple("PONG".into()));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["PING"])),
+            Frame::Simple("PONG".into())
+        );
     }
 
     #[test]
@@ -266,8 +317,14 @@ mod tests {
             s.handle_frame(&Frame::command(["GET", "user:1"])),
             Frame::Bulk(b"alice".to_vec())
         );
-        assert_eq!(s.handle_frame(&Frame::command(["DEL", "user:1"])), Frame::Integer(1));
-        assert_eq!(s.handle_frame(&Frame::command(["GET", "user:1"])), Frame::Null);
+        assert_eq!(
+            s.handle_frame(&Frame::command(["DEL", "user:1"])),
+            Frame::Integer(1)
+        );
+        assert_eq!(
+            s.handle_frame(&Frame::command(["GET", "user:1"])),
+            Frame::Null
+        );
         assert_eq!(s.stats().requests, 4);
         assert_eq!(s.stats().errors, 0);
     }
@@ -276,25 +333,40 @@ mod tests {
     fn hash_commands_over_resp() {
         let s = server();
         s.handle_frame(&Frame::command(["HMSET", "u", "f0", "a", "f1", "b"]));
-        assert_eq!(s.handle_frame(&Frame::command(["HGET", "u", "f1"])), Frame::Bulk(b"b".to_vec()));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["HGET", "u", "f1"])),
+            Frame::Bulk(b"b".to_vec())
+        );
         match s.handle_frame(&Frame::command(["HGETALL", "u"])) {
             Frame::Array(items) => assert_eq!(items.len(), 4),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(s.handle_frame(&Frame::command(["HDEL", "u", "f0"])), Frame::Integer(1));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["HDEL", "u", "f0"])),
+            Frame::Integer(1)
+        );
     }
 
     #[test]
     fn ttl_commands_over_resp() {
         let s = server();
         s.handle_frame(&Frame::command(["SET", "k", "v"]));
-        assert_eq!(s.handle_frame(&Frame::command(["PEXPIRE", "k", "5000"])), Frame::Integer(1));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["PEXPIRE", "k", "5000"])),
+            Frame::Integer(1)
+        );
         match s.handle_frame(&Frame::command(["PTTL", "k"])) {
             Frame::Integer(ms) => assert!(ms > 0 && ms <= 5_000),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(s.handle_frame(&Frame::command(["PERSIST", "k"])), Frame::Integer(1));
-        assert_eq!(s.handle_frame(&Frame::command(["EXPIRE", "k", "10"])), Frame::Integer(1));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["PERSIST", "k"])),
+            Frame::Integer(1)
+        );
+        assert_eq!(
+            s.handle_frame(&Frame::command(["EXPIRE", "k", "10"])),
+            Frame::Integer(1)
+        );
     }
 
     #[test]
@@ -303,7 +375,10 @@ mod tests {
         for i in 0..4 {
             s.handle_frame(&Frame::command(["SET", &format!("key{i}"), "v"]));
         }
-        assert_eq!(s.handle_frame(&Frame::command(["DBSIZE"])), Frame::Integer(4));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["DBSIZE"])),
+            Frame::Integer(4)
+        );
         match s.handle_frame(&Frame::command(["SCAN", "key1", "2"])) {
             Frame::Array(items) => assert_eq!(items.len(), 2),
             other => panic!("unexpected {other:?}"),
@@ -312,17 +387,35 @@ mod tests {
             Frame::Array(items) => assert_eq!(items.len(), 4),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(s.handle_frame(&Frame::command(["FLUSHALL"])), Frame::Integer(4));
-        assert_eq!(s.handle_frame(&Frame::command(["DBSIZE"])), Frame::Integer(0));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["FLUSHALL"])),
+            Frame::Integer(4)
+        );
+        assert_eq!(
+            s.handle_frame(&Frame::command(["DBSIZE"])),
+            Frame::Integer(0)
+        );
     }
 
     #[test]
     fn errors_for_unknown_commands_and_bad_arity() {
         let s = server();
-        assert!(matches!(s.handle_frame(&Frame::command(["BOGUS"])), Frame::Error(_)));
-        assert!(matches!(s.handle_frame(&Frame::command(["GET"])), Frame::Error(_)));
-        assert!(matches!(s.handle_frame(&Frame::command(["SET", "only-key"])), Frame::Error(_)));
-        assert!(matches!(s.handle_frame(&Frame::Integer(3)), Frame::Error(_)));
+        assert!(matches!(
+            s.handle_frame(&Frame::command(["BOGUS"])),
+            Frame::Error(_)
+        ));
+        assert!(matches!(
+            s.handle_frame(&Frame::command(["GET"])),
+            Frame::Error(_)
+        ));
+        assert!(matches!(
+            s.handle_frame(&Frame::command(["SET", "only-key"])),
+            Frame::Error(_)
+        ));
+        assert!(matches!(
+            s.handle_frame(&Frame::Integer(3)),
+            Frame::Error(_)
+        ));
         assert_eq!(s.stats().errors, 4);
     }
 
@@ -330,18 +423,30 @@ mod tests {
     fn wrongtype_error_propagates_as_resp_error() {
         let s = server();
         s.handle_frame(&Frame::command(["HSET", "h", "f", "v"]));
-        assert!(matches!(s.handle_frame(&Frame::command(["GET", "h"])), Frame::Error(_)));
+        assert!(matches!(
+            s.handle_frame(&Frame::command(["GET", "h"])),
+            Frame::Error(_)
+        ));
     }
 
     #[test]
     fn set_commands_over_resp() {
         let s = server();
-        assert_eq!(s.handle_frame(&Frame::command(["SADD", "tags", "red"])), Frame::Integer(1));
-        assert_eq!(s.handle_frame(&Frame::command(["SADD", "tags", "red"])), Frame::Integer(0));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["SADD", "tags", "red"])),
+            Frame::Integer(1)
+        );
+        assert_eq!(
+            s.handle_frame(&Frame::command(["SADD", "tags", "red"])),
+            Frame::Integer(0)
+        );
         match s.handle_frame(&Frame::command(["SMEMBERS", "tags"])) {
             Frame::Array(items) => assert_eq!(items, vec![Frame::Bulk(b"red".to_vec())]),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(s.handle_frame(&Frame::command(["SREM", "tags", "red"])), Frame::Integer(1));
+        assert_eq!(
+            s.handle_frame(&Frame::command(["SREM", "tags", "red"])),
+            Frame::Integer(1)
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct WireCommand {
 impl WireCommand {
     /// Build a command from name and arguments.
     pub fn new(name: &str, args: Vec<Vec<u8>>) -> Self {
-        WireCommand { name: name.to_ascii_uppercase(), args }
+        WireCommand {
+            name: name.to_ascii_uppercase(),
+            args,
+        }
     }
 
     /// Parse a decoded RESP frame into a command.
@@ -30,7 +33,9 @@ impl WireCommand {
     /// non-empty array of bulk strings.
     pub fn from_frame(frame: &Frame) -> Result<Self, RespError> {
         let Frame::Array(items) = frame else {
-            return Err(RespError::InvalidCommand("command must be an array".to_string()));
+            return Err(RespError::InvalidCommand(
+                "command must be an array".to_string(),
+            ));
         };
         if items.is_empty() {
             return Err(RespError::InvalidCommand("empty command array".to_string()));
@@ -51,7 +56,10 @@ impl WireCommand {
         let name = String::from_utf8(name_bytes).map_err(|_| {
             RespError::InvalidCommand("command name is not valid utf-8".to_string())
         })?;
-        Ok(WireCommand { name: name.to_ascii_uppercase(), args: parts })
+        Ok(WireCommand {
+            name: name.to_ascii_uppercase(),
+            args: parts,
+        })
     }
 
     /// Encode the command back into a RESP array frame.
@@ -76,12 +84,12 @@ impl WireCommand {
     /// Returns [`RespError::InvalidCommand`] if the argument is missing or
     /// not valid UTF-8.
     pub fn arg_str(&self, i: usize) -> Result<&str, RespError> {
-        let bytes = self
-            .args
-            .get(i)
-            .ok_or_else(|| RespError::InvalidCommand(format!("{} missing argument {i}", self.name)))?;
-        std::str::from_utf8(bytes)
-            .map_err(|_| RespError::InvalidCommand(format!("{} argument {i} is not utf-8", self.name)))
+        let bytes = self.args.get(i).ok_or_else(|| {
+            RespError::InvalidCommand(format!("{} missing argument {i}", self.name))
+        })?;
+        std::str::from_utf8(bytes).map_err(|_| {
+            RespError::InvalidCommand(format!("{} argument {i} is not utf-8", self.name))
+        })
     }
 
     /// Argument `i` interpreted as an unsigned integer.
@@ -91,9 +99,9 @@ impl WireCommand {
     /// Returns [`RespError::InvalidCommand`] if the argument is missing or
     /// not a number.
     pub fn arg_u64(&self, i: usize) -> Result<u64, RespError> {
-        self.arg_str(i)?
-            .parse::<u64>()
-            .map_err(|_| RespError::InvalidCommand(format!("{} argument {i} is not an integer", self.name)))
+        self.arg_str(i)?.parse::<u64>().map_err(|_| {
+            RespError::InvalidCommand(format!("{} argument {i} is not an integer", self.name))
+        })
     }
 
     /// Raw bytes of argument `i`.

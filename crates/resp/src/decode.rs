@@ -22,7 +22,9 @@ impl Decoder {
     /// Create an empty decoder.
     #[must_use]
     pub fn new() -> Self {
-        Decoder { buf: BytesMut::new() }
+        Decoder {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Append newly received bytes.
@@ -65,7 +67,10 @@ pub fn decode_one(data: &[u8]) -> Result<Frame> {
     let mut pos = 0usize;
     match parse_frame(data, &mut pos)? {
         Some(frame) if pos == data.len() => Ok(frame),
-        Some(_) => Err(RespError::Protocol(format!("{} trailing bytes", data.len() - pos))),
+        Some(_) => Err(RespError::Protocol(format!(
+            "{} trailing bytes",
+            data.len() - pos
+        ))),
         None => Err(RespError::Protocol("incomplete frame".to_string())),
     }
 }
@@ -97,7 +102,12 @@ fn parse_int(line: &[u8]) -> Result<i64> {
     std::str::from_utf8(line)
         .ok()
         .and_then(|s| s.parse::<i64>().ok())
-        .ok_or_else(|| RespError::Protocol(format!("invalid integer {:?}", String::from_utf8_lossy(line))))
+        .ok_or_else(|| {
+            RespError::Protocol(format!(
+                "invalid integer {:?}",
+                String::from_utf8_lossy(line)
+            ))
+        })
 }
 
 fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
@@ -107,14 +117,22 @@ fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
     let type_byte = data[*pos];
     *pos += 1;
     match type_byte {
-        b'+' => Ok(parse_line(data, pos)?.map(|l| Frame::Simple(String::from_utf8_lossy(l).into_owned()))),
-        b'-' => Ok(parse_line(data, pos)?.map(|l| Frame::Error(String::from_utf8_lossy(l).into_owned()))),
+        b'+' => {
+            Ok(parse_line(data, pos)?
+                .map(|l| Frame::Simple(String::from_utf8_lossy(l).into_owned())))
+        }
+        b'-' => {
+            Ok(parse_line(data, pos)?
+                .map(|l| Frame::Error(String::from_utf8_lossy(l).into_owned())))
+        }
         b':' => match parse_line(data, pos)? {
             Some(line) => Ok(Some(Frame::Integer(parse_int(line)?))),
             None => Ok(None),
         },
         b'$' => {
-            let Some(line) = parse_line(data, pos)? else { return Ok(None) };
+            let Some(line) = parse_line(data, pos)? else {
+                return Ok(None);
+            };
             let len = parse_int(line)?;
             if len < 0 {
                 return Ok(Some(Frame::Null));
@@ -125,13 +143,17 @@ fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
             }
             let payload = data[*pos..*pos + len].to_vec();
             if &data[*pos + len..*pos + len + 2] != b"\r\n" {
-                return Err(RespError::Protocol("bulk string missing terminator".to_string()));
+                return Err(RespError::Protocol(
+                    "bulk string missing terminator".to_string(),
+                ));
             }
             *pos += len + 2;
             Ok(Some(Frame::Bulk(payload)))
         }
         b'*' => {
-            let Some(line) = parse_line(data, pos)? else { return Ok(None) };
+            let Some(line) = parse_line(data, pos)? else {
+                return Ok(None);
+            };
             let count = parse_int(line)?;
             if count < 0 {
                 return Ok(Some(Frame::Null));
@@ -145,7 +167,9 @@ fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
             }
             Ok(Some(Frame::Array(items)))
         }
-        other => Err(RespError::Protocol(format!("unknown type byte 0x{other:02x}"))),
+        other => Err(RespError::Protocol(format!(
+            "unknown type byte 0x{other:02x}"
+        ))),
     }
 }
 
@@ -166,7 +190,11 @@ mod tests {
             Frame::Array(vec![]),
         ];
         for frame in frames {
-            assert_eq!(decode_one(&encode_frame(&frame)).unwrap(), frame, "{frame:?}");
+            assert_eq!(
+                decode_one(&encode_frame(&frame)).unwrap(),
+                frame,
+                "{frame:?}"
+            );
         }
     }
 
@@ -187,7 +215,10 @@ mod tests {
     fn multiple_frames_in_one_buffer() {
         let mut decoder = Decoder::new();
         decoder.feed(b"+OK\r\n:7\r\n$2\r\nhi\r\n");
-        assert_eq!(decoder.next_frame().unwrap(), Some(Frame::Simple("OK".into())));
+        assert_eq!(
+            decoder.next_frame().unwrap(),
+            Some(Frame::Simple("OK".into()))
+        );
         assert_eq!(decoder.next_frame().unwrap(), Some(Frame::Integer(7)));
         assert_eq!(decoder.next_frame().unwrap(), Some(Frame::bulk("hi")));
         assert_eq!(decoder.next_frame().unwrap(), None);
@@ -199,7 +230,10 @@ mod tests {
         decoder.feed(b"$10\r\nhello");
         assert_eq!(decoder.next_frame().unwrap(), None);
         decoder.feed(b"world\r\n");
-        assert_eq!(decoder.next_frame().unwrap(), Some(Frame::bulk("helloworld")));
+        assert_eq!(
+            decoder.next_frame().unwrap(),
+            Some(Frame::bulk("helloworld"))
+        );
     }
 
     #[test]

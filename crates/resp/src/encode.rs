@@ -57,7 +57,10 @@ mod tests {
     #[test]
     fn simple_and_error() {
         assert_eq!(encode_frame(&Frame::Simple("OK".into())), b"+OK\r\n");
-        assert_eq!(encode_frame(&Frame::Error("ERR boom".into())), b"-ERR boom\r\n");
+        assert_eq!(
+            encode_frame(&Frame::Error("ERR boom".into())),
+            b"-ERR boom\r\n"
+        );
     }
 
     #[test]
@@ -88,7 +91,10 @@ mod tests {
             Frame::Array(vec![Frame::bulk("x")]),
             Frame::Null,
         ]);
-        assert_eq!(encode_frame(&frame), b"*3\r\n:1\r\n*1\r\n$1\r\nx\r\n$-1\r\n");
+        assert_eq!(
+            encode_frame(&frame),
+            b"*3\r\n:1\r\n*1\r\n$1\r\nx\r\n$-1\r\n"
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ mod tests {
         let cmd = Frame::command(["GET", "k"]);
         assert_eq!(
             cmd,
-            Frame::Array(vec![Frame::Bulk(b"GET".to_vec()), Frame::Bulk(b"k".to_vec())])
+            Frame::Array(vec![
+                Frame::Bulk(b"GET".to_vec()),
+                Frame::Bulk(b"k".to_vec())
+            ])
         );
     }
 

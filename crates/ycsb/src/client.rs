@@ -49,7 +49,11 @@ impl Driver {
     /// (so two configurations see the same request stream).
     #[must_use]
     pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
-        Driver { workload: CoreWorkload::new(spec), rng: StdRng::seed_from_u64(seed), tick_every: 100 }
+        Driver {
+            workload: CoreWorkload::new(spec),
+            rng: StdRng::seed_from_u64(seed),
+            tick_every: 100,
+        }
     }
 
     /// The workload specification being driven.
@@ -97,7 +101,10 @@ impl Driver {
     ///
     /// Propagates adapter errors raised by `tick`; per-operation errors are
     /// counted in the report instead of aborting the run (as YCSB does).
-    pub fn run_transactions<S: KvInterface + ?Sized>(&mut self, store: &mut S) -> Result<RunReport> {
+    pub fn run_transactions<S: KvInterface + ?Sized>(
+        &mut self,
+        store: &mut S,
+    ) -> Result<RunReport> {
         let operation_count = self.workload.spec().operation_count;
         let mut latency = LatencyHistogram::new();
         let mut errors = 0u64;
@@ -135,7 +142,7 @@ impl Driver {
     }
 
     fn maybe_tick<S: KvInterface + ?Sized>(&self, store: &mut S, op_index: u64) -> Result<()> {
-        if self.tick_every > 0 && op_index % self.tick_every == 0 {
+        if self.tick_every > 0 && op_index.is_multiple_of(self.tick_every) {
             store.tick()?;
         }
         Ok(())
@@ -178,7 +185,7 @@ impl MemoryKv {
     fn maybe_fail(&mut self) -> Result<()> {
         self.ops += 1;
         if let Some(n) = self.fail_every {
-            if n > 0 && self.ops % n == 0 {
+            if n > 0 && self.ops.is_multiple_of(n) {
                 return Err(WorkloadError::new("injected failure"));
             }
         }
@@ -209,7 +216,12 @@ impl KvInterface for MemoryKv {
 
     fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>> {
         self.maybe_fail()?;
-        Ok(self.records.range(start_key.to_string()..).take(count).map(|(k, _)| k.clone()).collect())
+        Ok(self
+            .records
+            .range(start_key.to_string()..)
+            .take(count)
+            .map(|(k, _)| k.clone())
+            .collect())
     }
 
     fn tick(&mut self) -> Result<()> {
@@ -253,7 +265,10 @@ mod tests {
             let mut store = MemoryKv::new();
             driver.run_load(&mut store).unwrap();
             driver.run_transactions(&mut store).unwrap();
-            assert!(store.len() > 100, "workload {name} should insert new records");
+            assert!(
+                store.len() > 100,
+                "workload {name} should insert new records"
+            );
         }
     }
 
@@ -268,7 +283,10 @@ mod tests {
         d2.run_load(&mut s2).unwrap();
         d1.run_transactions(&mut s1).unwrap();
         d2.run_transactions(&mut s2).unwrap();
-        assert_eq!(s1.records, s2.records, "identical seeds must produce identical state");
+        assert_eq!(
+            s1.records, s2.records,
+            "identical seeds must produce identical state"
+        );
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Multi-threaded workload driving.
+//!
+//! The single-threaded [`crate::client::Driver`] measures the *per
+//! operation* cost of compliance; GDPRBench-style workloads are
+//! throughput-bound and must also be measured under concurrency, which is
+//! what the sharded engine exists for. [`ConcurrentDriver`] runs M client
+//! threads against one store through [`SharedKvInterface`] (the `&self`
+//! sibling of [`crate::client::KvInterface`]) and merges the per-thread
+//! reports.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::client::Driver;
+use crate::stats::{LatencyHistogram, RunReport};
+use crate::workload::{CoreWorkload, WorkloadOp, WorkloadSpec};
+use crate::Result;
+
+/// The operations a store must support to run YCSB from several threads at
+/// once. Identical to [`crate::client::KvInterface`] but over `&self`, so
+/// one store instance can be shared without external locking.
+pub trait SharedKvInterface: Sync {
+    /// Insert a new record with the given fields.
+    fn insert(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()>;
+
+    /// Read a record; returns `None` if it does not exist.
+    fn read(&self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>>;
+
+    /// Overwrite the given fields of an existing record.
+    fn update(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()>;
+
+    /// Read up to `count` records in key order starting at `start_key`.
+    fn scan(&self, start_key: &str, count: usize) -> Result<Vec<String>>;
+
+    /// Background-duty hook (expiry cycles, batched fsyncs). Called by one
+    /// driving thread at a time, roughly every `tick_every` operations.
+    fn tick(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Which half of a YCSB run a phase executes (drives whether threads draw
+/// sequenced load inserts or mixed transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    Load,
+    Transactions,
+}
+
+/// Drives a workload from M threads against a [`SharedKvInterface`].
+///
+/// Each thread owns an independent [`CoreWorkload`] (seeded from the
+/// driver seed and the thread index) and a disjoint slice of the
+/// load-phase key range, so the combined load phase inserts exactly the
+/// spec's `record_count` records. Transaction-phase inserts (workloads
+/// D/E/F) draw from per-thread sequences and may collide across threads —
+/// the same approximation real YCSB makes with multiple client threads.
+#[derive(Debug)]
+pub struct ConcurrentDriver {
+    spec: WorkloadSpec,
+    threads: usize,
+    seed: u64,
+    /// Have thread 0 call the store's `tick` every this many of its own
+    /// operations (0 = never).
+    pub tick_every: u64,
+}
+
+impl ConcurrentDriver {
+    /// Create a driver running `threads` client threads.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, threads: usize, seed: u64) -> Self {
+        ConcurrentDriver {
+            spec,
+            threads: threads.max(1),
+            seed,
+            tick_every: 100,
+        }
+    }
+
+    /// The workload specification being driven.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of client threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run the load phase: the record range is striped across threads so
+    /// every record is inserted exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `tick` errors; per-operation store errors are counted in
+    /// the report.
+    pub fn run_load<S: SharedKvInterface>(&self, store: &S) -> Result<RunReport> {
+        let record_count = self.spec.record_count;
+        let threads = self.threads as u64;
+        self.run_phase(
+            store,
+            format!("Load-{}x{}", self.spec.name, self.threads),
+            PhaseKind::Load,
+            move |t| (t as u64..record_count).step_by(threads as usize).collect(),
+        )
+    }
+
+    /// Run the transaction phase: `operation_count` operations split
+    /// across threads, each drawing from the workload mix.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run_load`].
+    pub fn run_transactions<S: SharedKvInterface>(&self, store: &S) -> Result<RunReport> {
+        let total = self.spec.operation_count;
+        let threads = self.threads as u64;
+        let per_thread = total / threads;
+        let remainder = total % threads;
+        self.run_phase(
+            store,
+            format!("{}x{}", self.spec.name, self.threads),
+            PhaseKind::Transactions,
+            move |t| {
+                let extra = u64::from((t as u64) < remainder);
+                // A transaction slice is a count, not index set; encode as 0..n.
+                (0..per_thread + extra).collect()
+            },
+        )
+    }
+
+    /// Shared phase runner: `slice_of` yields, per thread, the load-phase
+    /// record indices — or, for transactions, one dummy index per
+    /// operation to perform.
+    fn run_phase<S, F>(
+        &self,
+        store: &S,
+        phase: String,
+        kind: PhaseKind,
+        slice_of: F,
+    ) -> Result<RunReport>
+    where
+        S: SharedKvInterface,
+        F: Fn(usize) -> Vec<u64> + Sync,
+    {
+        let started = Instant::now();
+        let mut merged_latency = LatencyHistogram::new();
+        let mut operations = 0u64;
+        let mut errors = 0u64;
+
+        let results: Vec<Result<(LatencyHistogram, u64, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|t| {
+                    let slice = slice_of(t);
+                    let spec = self.spec.clone();
+                    let seed = self.seed.wrapping_add(t as u64).wrapping_mul(0x9e37_79b9);
+                    let tick_every = if t == 0 { self.tick_every } else { 0 };
+                    scope.spawn(move || run_thread(store, spec, seed, &slice, kind, tick_every))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        for result in results {
+            let (latency, ops, errs) = result?;
+            merged_latency.merge(&latency);
+            operations += ops;
+            errors += errs;
+        }
+
+        Ok(RunReport {
+            phase,
+            operations,
+            errors,
+            elapsed: started.elapsed(),
+            latency: merged_latency,
+        })
+    }
+}
+
+fn run_thread<S: SharedKvInterface>(
+    store: &S,
+    spec: WorkloadSpec,
+    seed: u64,
+    slice: &[u64],
+    kind: PhaseKind,
+    tick_every: u64,
+) -> Result<(LatencyHistogram, u64, u64)> {
+    let mut workload = CoreWorkload::new(spec);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latency = LatencyHistogram::new();
+    let mut errors = 0u64;
+
+    for (n, &index) in slice.iter().enumerate() {
+        let op = match kind {
+            PhaseKind::Load => workload.load_op(&mut rng, index),
+            PhaseKind::Transactions => workload.next_op(&mut rng),
+        };
+        let op_start = Instant::now();
+        let outcome = apply(store, &op);
+        latency.record(op_start.elapsed());
+        if outcome.is_err() {
+            errors += 1;
+        }
+        if tick_every > 0 && (n as u64).is_multiple_of(tick_every) {
+            store.tick()?;
+        }
+    }
+    Ok((latency, slice.len() as u64, errors))
+}
+
+fn apply<S: SharedKvInterface>(store: &S, op: &WorkloadOp) -> Result<()> {
+    match op {
+        WorkloadOp::Read { key } => store.read(key).map(|_| ()),
+        WorkloadOp::Update { key, fields } => store.update(key, fields),
+        WorkloadOp::Insert { key, fields } => store.insert(key, fields),
+        WorkloadOp::Scan { start_key, count } => store.scan(start_key, *count).map(|_| ()),
+        WorkloadOp::ReadModifyWrite { key, fields } => {
+            store.read(key)?;
+            store.update(key, fields)
+        }
+    }
+}
+
+/// Run the classic single-threaded driver through a shared-store adapter,
+/// so sequential and concurrent runs measure the same store type.
+#[derive(Debug)]
+pub struct SharedAsMut<'a, S: SharedKvInterface>(pub &'a S);
+
+impl<S: SharedKvInterface> crate::client::KvInterface for SharedAsMut<'_, S> {
+    fn insert(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        self.0.insert(key, fields)
+    }
+
+    fn read(&mut self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
+        self.0.read(key)
+    }
+
+    fn update(&mut self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+        self.0.update(key, fields)
+    }
+
+    fn scan(&mut self, start_key: &str, count: usize) -> Result<Vec<String>> {
+        self.0.scan(start_key, count)
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        self.0.tick()
+    }
+}
+
+impl ConcurrentDriver {
+    /// Convenience: when `threads == 1`, callers can compare against the
+    /// deterministic sequential driver over the same shared store.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::client::Driver::run_load`].
+    pub fn run_sequential_baseline<S: SharedKvInterface>(
+        &self,
+        store: &S,
+    ) -> Result<(RunReport, RunReport)> {
+        let mut driver = Driver::new(self.spec.clone(), self.seed);
+        driver.tick_every = self.tick_every;
+        let mut adapter = SharedAsMut(store);
+        let load = driver.run_load(&mut adapter)?;
+        let run = driver.run_transactions(&mut adapter)?;
+        Ok((load, run))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// A shared in-memory store guarded by one mutex (the concurrency
+    /// *correctness* reference; throughput scaling is the engine's job).
+    #[derive(Debug, Default)]
+    struct SharedMemoryKv {
+        records: Mutex<BTreeMap<String, BTreeMap<String, Vec<u8>>>>,
+        ticks: Mutex<u64>,
+    }
+
+    impl SharedKvInterface for SharedMemoryKv {
+        fn insert(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+            self.records.lock().insert(key.to_string(), fields.clone());
+            Ok(())
+        }
+
+        fn read(&self, key: &str) -> Result<Option<BTreeMap<String, Vec<u8>>>> {
+            Ok(self.records.lock().get(key).cloned())
+        }
+
+        fn update(&self, key: &str, fields: &BTreeMap<String, Vec<u8>>) -> Result<()> {
+            let mut records = self.records.lock();
+            let entry = records.entry(key.to_string()).or_default();
+            for (f, v) in fields {
+                entry.insert(f.clone(), v.clone());
+            }
+            Ok(())
+        }
+
+        fn scan(&self, start_key: &str, count: usize) -> Result<Vec<String>> {
+            Ok(self
+                .records
+                .lock()
+                .range(start_key.to_string()..)
+                .take(count)
+                .map(|(k, _)| k.clone())
+                .collect())
+        }
+
+        fn tick(&self) -> Result<()> {
+            *self.ticks.lock() += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_load_inserts_every_record_exactly_once() {
+        let store = SharedMemoryKv::default();
+        let driver = ConcurrentDriver::new(WorkloadSpec::workload_a(500, 100), 4, 7);
+        let report = driver.run_load(&store).unwrap();
+        assert_eq!(report.operations, 500);
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            store.records.lock().len(),
+            500,
+            "striped load covers the whole range"
+        );
+        assert!(report.phase.starts_with("Load-"));
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn transaction_phase_splits_operations_across_threads() {
+        let store = SharedMemoryKv::default();
+        let driver = ConcurrentDriver::new(WorkloadSpec::workload_a(200, 1_001), 4, 9);
+        driver.run_load(&store).unwrap();
+        let report = driver.run_transactions(&store).unwrap();
+        assert_eq!(
+            report.operations, 1_001,
+            "remainder ops must not be dropped"
+        );
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 1_001);
+    }
+
+    #[test]
+    fn tick_runs_from_the_driving_thread() {
+        let store = SharedMemoryKv::default();
+        let mut driver = ConcurrentDriver::new(WorkloadSpec::workload_c(100, 400), 2, 3);
+        driver.tick_every = 50;
+        driver.run_load(&store).unwrap();
+        driver.run_transactions(&store).unwrap();
+        assert!(*store.ticks.lock() >= 2);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let driver = ConcurrentDriver::new(WorkloadSpec::workload_c(10, 10), 0, 1);
+        assert_eq!(driver.threads(), 1);
+        let store = SharedMemoryKv::default();
+        assert_eq!(driver.run_load(&store).unwrap().operations, 10);
+    }
+
+    #[test]
+    fn sequential_baseline_runs_over_the_shared_store() {
+        let store = SharedMemoryKv::default();
+        let driver = ConcurrentDriver::new(WorkloadSpec::workload_b(50, 120), 1, 5);
+        let (load, run) = driver.run_sequential_baseline(&store).unwrap();
+        assert_eq!(load.operations, 50);
+        assert_eq!(run.operations, 120);
+        assert_eq!(run.errors, 0);
+    }
+}

@@ -126,13 +126,24 @@ impl ZipfianGenerator {
     #[must_use]
     pub fn with_constant(items: u64, constant: f64) -> Self {
         assert!(items > 0, "zipfian generator requires at least one item");
-        assert!(constant > 0.0 && constant < 1.0, "zipfian constant must be in (0,1)");
+        assert!(
+            constant > 0.0 && constant < 1.0,
+            "zipfian constant must be in (0,1)"
+        );
         let theta = constant;
         let zeta2theta = zeta(2, theta);
         let zetan = zeta(items, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        ZipfianGenerator { items, base: 0, theta, zeta2theta, alpha, zetan, eta }
+        ZipfianGenerator {
+            items,
+            base: 0,
+            theta,
+            zeta2theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Number of items in the distribution's support.
@@ -201,7 +212,10 @@ impl ScrambledZipfianGenerator {
     /// Scrambled zipfian over `[0, items)`.
     #[must_use]
     pub fn new(items: u64) -> Self {
-        ScrambledZipfianGenerator { items, zipfian: ZipfianGenerator::new(items) }
+        ScrambledZipfianGenerator {
+            items,
+            zipfian: ZipfianGenerator::new(items),
+        }
     }
 }
 
@@ -226,7 +240,10 @@ impl SkewedLatestGenerator {
     /// Create a latest-skewed generator whose hottest item is `max`.
     #[must_use]
     pub fn new(max: u64) -> Self {
-        SkewedLatestGenerator { zipfian: ZipfianGenerator::new(max.max(1)), max }
+        SkewedLatestGenerator {
+            zipfian: ZipfianGenerator::new(max.max(1)),
+            max,
+        }
     }
 
     /// Inform the generator that the newest item index is now `max`.
@@ -266,7 +283,11 @@ impl HotspotGenerator {
         assert!((0.0..=1.0).contains(&hot_set_fraction));
         assert!((0.0..=1.0).contains(&hot_opn_fraction));
         let hot_items = ((items as f64 * hot_set_fraction) as u64).max(1);
-        HotspotGenerator { items, hot_items, hot_opn_fraction }
+        HotspotGenerator {
+            items,
+            hot_items,
+            hot_opn_fraction,
+        }
     }
 }
 
@@ -351,7 +372,10 @@ mod tests {
         let reference = ZipfianGenerator::new(100);
         g.grow(100);
         assert_eq!(g.item_count(), 100);
-        assert!((g.zetan - reference.zetan).abs() < 1e-9, "incremental zeta must match direct zeta");
+        assert!(
+            (g.zetan - reference.zetan).abs() < 1e-9,
+            "incremental zeta must match direct zeta"
+        );
         // Growing to a smaller size is a no-op.
         g.grow(5);
         assert_eq!(g.item_count(), 100);
@@ -368,7 +392,10 @@ mod tests {
         // The most popular item should NOT be item 0 specifically (it is
         // hashed somewhere), but some item should clearly dominate.
         let max = *counts.iter().max().unwrap();
-        assert!(max > 1_000, "scrambled zipfian should still be skewed (max={max})");
+        assert!(
+            max > 1_000,
+            "scrambled zipfian should still be skewed (max={max})"
+        );
         let nonzero = counts.iter().filter(|&&c| c > 0).count();
         assert!(nonzero > 300, "popularity should be spread over many items");
     }
@@ -385,7 +412,10 @@ mod tests {
                 recent += 1;
             }
         }
-        assert!(recent > 5_000, "latest distribution should hit the newest 10% most of the time");
+        assert!(
+            recent > 5_000,
+            "latest distribution should hit the newest 10% most of the time"
+        );
         g.observe_insert(1_999);
         for _ in 0..1_000 {
             assert!(g.next_value(&mut rng) <= 1_999);

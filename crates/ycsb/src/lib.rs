@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod concurrent;
 pub mod generator;
 pub mod stats;
 pub mod workload;
@@ -40,7 +41,9 @@ pub struct WorkloadError {
 impl WorkloadError {
     /// Create an error from anything displayable.
     pub fn new(message: impl fmt::Display) -> Self {
-        WorkloadError { message: message.to_string() }
+        WorkloadError {
+            message: message.to_string(),
+        }
     }
 }
 

@@ -27,7 +27,13 @@ impl LatencyHistogram {
         // 1, 2, 4, ... µs up to 2^26 µs (~67 s), plus an overflow bucket.
         let bounds: Vec<u64> = (0..27).map(|i| 1u64 << i).collect();
         let buckets = bounds.len() + 1;
-        LatencyHistogram { bounds, counts: vec![0; buckets], total: 0, sum_micros: 0, max_micros: 0 }
+        LatencyHistogram {
+            bounds,
+            counts: vec![0; buckets],
+            total: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
     }
 
     /// Record one operation latency.
@@ -134,7 +140,11 @@ impl RunReport {
             self.latency.percentile_micros(0.95),
             self.latency.percentile_micros(0.99),
             self.latency.max_micros(),
-            if self.errors > 0 { format!("  ({} errors)", self.errors) } else { String::new() },
+            if self.errors > 0 {
+                format!("  ({} errors)", self.errors)
+            } else {
+                String::new()
+            },
         )
     }
 }

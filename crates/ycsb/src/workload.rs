@@ -274,7 +274,10 @@ impl CoreWorkload {
             + spec.insert_proportion
             + spec.scan_proportion
             + spec.read_modify_write_proportion;
-        assert!((total - 1.0).abs() < 1e-6, "operation proportions must sum to 1 (got {total})");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "operation proportions must sum to 1 (got {total})"
+        );
 
         let request_chooser = match spec.request_distribution {
             RequestDistribution::Uniform => {
@@ -283,7 +286,8 @@ impl CoreWorkload {
             RequestDistribution::Zipfian => {
                 // Size the distribution for records that will be inserted
                 // during the run too, as YCSB does.
-                let expected_new = (spec.operation_count as f64 * spec.insert_proportion * 2.0) as u64;
+                let expected_new =
+                    (spec.operation_count as f64 * spec.insert_proportion * 2.0) as u64;
                 RequestChooser::Zipfian(ScrambledZipfianGenerator::new(
                     spec.record_count + expected_new.max(1),
                 ))
@@ -322,7 +326,12 @@ impl CoreWorkload {
     /// Generate the full field map for a new record.
     pub fn build_record<R: Rng + ?Sized>(&self, rng: &mut R) -> BTreeMap<String, Vec<u8>> {
         (0..self.spec.field_count)
-            .map(|i| (format!("field{i}"), random_field(rng, self.spec.field_length)))
+            .map(|i| {
+                (
+                    format!("field{i}"),
+                    random_field(rng, self.spec.field_length),
+                )
+            })
             .collect()
     }
 
@@ -334,31 +343,36 @@ impl CoreWorkload {
         } else {
             let field = self.field_chooser.next_value(rng);
             let mut map = BTreeMap::new();
-            map.insert(format!("field{field}"), random_field(rng, self.spec.field_length));
+            map.insert(
+                format!("field{field}"),
+                random_field(rng, self.spec.field_length),
+            );
             map
         }
     }
 
     /// The sequence of operations for the load phase: one insert per record.
     pub fn load_op<R: Rng + ?Sized>(&self, rng: &mut R, index: u64) -> WorkloadOp {
-        WorkloadOp::Insert { key: self.key_for(index), fields: self.build_record(rng) }
+        WorkloadOp::Insert {
+            key: self.key_for(index),
+            fields: self.build_record(rng),
+        }
     }
 
     /// Choose an existing record respecting the request distribution.
     fn choose_existing_key<R: Rng + ?Sized>(&mut self, rng: &mut R) -> String {
-        let index = loop {
-            let candidate = match &mut self.request_chooser {
-                RequestChooser::Uniform(g) => g.next_value(rng),
-                RequestChooser::Zipfian(g) => g.next_value(rng),
-                RequestChooser::Latest(g) => g.next_value(rng),
-                RequestChooser::Hotspot(g) => g.next_value(rng),
-            };
-            // The zipfian chooser is sized past the current insert point;
-            // fold overshoot back into the existing keyspace as YCSB does.
-            if candidate < self.inserted {
-                break candidate;
-            }
-            break candidate % self.inserted;
+        let candidate = match &mut self.request_chooser {
+            RequestChooser::Uniform(g) => g.next_value(rng),
+            RequestChooser::Zipfian(g) => g.next_value(rng),
+            RequestChooser::Latest(g) => g.next_value(rng),
+            RequestChooser::Hotspot(g) => g.next_value(rng),
+        };
+        // The zipfian chooser is sized past the current insert point;
+        // fold overshoot back into the existing keyspace as YCSB does.
+        let index = if candidate < self.inserted {
+            candidate
+        } else {
+            candidate % self.inserted
         };
         self.key_for(index)
     }
@@ -369,7 +383,9 @@ impl CoreWorkload {
         let roll: f64 = rng.gen();
         let mut threshold = spec.read_proportion;
         if roll < threshold {
-            return WorkloadOp::Read { key: self.choose_existing_key(rng) };
+            return WorkloadOp::Read {
+                key: self.choose_existing_key(rng),
+            };
         }
         threshold += spec.update_proportion;
         if roll < threshold {
@@ -384,7 +400,10 @@ impl CoreWorkload {
             if let RequestChooser::Latest(g) = &mut self.request_chooser {
                 g.observe_insert(index);
             }
-            return WorkloadOp::Insert { key: self.key_for(index), fields: self.build_record(rng) };
+            return WorkloadOp::Insert {
+                key: self.key_for(index),
+                fields: self.build_record(rng),
+            };
         }
         threshold += spec.scan_proportion;
         if roll < threshold {
@@ -401,7 +420,9 @@ impl CoreWorkload {
 /// Random printable field value of the given length.
 fn random_field<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
     const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
-    (0..len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())]).collect()
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect()
 }
 
 #[cfg(test)]
@@ -484,7 +505,10 @@ mod tests {
         let reads = f64::from(*counts.get(&OperationType::Read).unwrap_or(&0));
         let updates = f64::from(*counts.get(&OperationType::Update).unwrap_or(&0));
         assert!((0.45..0.55).contains(&(reads / 10_000.0)), "reads {reads}");
-        assert!((0.45..0.55).contains(&(updates / 10_000.0)), "updates {updates}");
+        assert!(
+            (0.45..0.55).contains(&(updates / 10_000.0)),
+            "updates {updates}"
+        );
         assert_eq!(*counts.get(&OperationType::Scan).unwrap_or(&0), 0);
     }
 

@@ -24,8 +24,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     store.grant(Grant::new("billing-service", "billing"));
     let billing = AccessContext::new("billing-service", "billing");
     for (i, subject) in ["alice", "bob", "carol", "dave"].iter().enumerate() {
-        let metadata = PersonalMetadata::new(subject).with_purpose("billing").with_location(Region::Eu);
-        store.put(&billing, &format!("user:{subject}:card"), vec![b'0' + i as u8; 16], metadata)?;
+        let metadata = PersonalMetadata::new(subject)
+            .with_purpose("billing")
+            .with_location(Region::Eu);
+        store.put(
+            &billing,
+            &format!("user:{subject}:card"),
+            vec![b'0' + i as u8; 16],
+            metadata,
+        )?;
     }
 
     // The incident: a compromised support credential reads several records
@@ -54,7 +61,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  trail integrity verified: {}", report.trail_verified);
     println!("  affected data subjects:   {:?}", report.affected_subjects);
     println!("  affected records:         {:?}", report.affected_keys);
-    println!("  reads / writes / deletes: {} / {} / {}", report.reads, report.writes, report.deletes);
+    println!(
+        "  reads / writes / deletes: {} / {} / {}",
+        report.reads, report.writes, report.deletes
+    );
     println!("  denied access attempts:   {}", report.denied_accesses);
     println!(
         "  time left to notify the supervisory authority: {:.1} hours",

@@ -53,7 +53,11 @@ fn run_workload(store: &GdprStore) -> Result<f64, Box<dyn Error>> {
 fn main() -> Result<(), Box<dyn Error>> {
     println!("compliance spectrum — {RECORDS} records, {OPERATIONS} operations (50% reads / 50% updates)\n");
     let mut baseline = 0.0f64;
-    for policy in [CompliancePolicy::unmodified(), CompliancePolicy::eventual(), CompliancePolicy::strict()] {
+    for policy in [
+        CompliancePolicy::unmodified(),
+        CompliancePolicy::eventual(),
+        CompliancePolicy::strict(),
+    ] {
         let name = policy.name.clone();
         let assessment = assess(&policy);
         let store = GdprStore::open_in_memory(policy)?;

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 1. Open a store enforcing the strict end of the compliance spectrum:
     //    every feature on, every GDPR task performed in real time.
     let store = GdprStore::open_in_memory(CompliancePolicy::strict())?;
-    println!("opened store with policy {:?} (strict: {})", store.policy().name, store.policy().is_strict());
+    println!(
+        "opened store with policy {:?} (strict: {})",
+        store.policy().name,
+        store.policy().is_strict()
+    );
 
     // 2. Access is closed by default (Article 25). Grant the web frontend
     //    the right to process data for account management.
@@ -34,12 +38,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_recipient("email-delivery-provider")
         .with_ttl_millis(Duration::from_secs(30 * 24 * 3600).as_millis() as u64)
         .with_location(Region::Eu);
-    store.put(&ctx, "user:alice:email", b"alice@example.com".to_vec(), metadata)?;
+    store.put(
+        &ctx,
+        "user:alice:email",
+        b"alice@example.com".to_vec(),
+        metadata,
+    )?;
     println!("stored user:alice:email with a 30-day retention period");
 
     // 4. Reads are checked against the purpose whitelist and audited.
     let value = store.get(&ctx, "user:alice:email")?;
-    println!("read back: {:?}", value.map(|v| String::from_utf8_lossy(&v).into_owned()));
+    println!(
+        "read back: {:?}",
+        value.map(|v| String::from_utf8_lossy(&v).into_owned())
+    );
 
     // 5. A different purpose is refused — purpose limitation (Article 5).
     store.grant(Grant::new("ad-service", "marketing"));
@@ -61,7 +73,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 7. Everything that happened above is evidence (Article 30).
     let trail = store.audit_trail().unwrap_or_default();
-    println!("audit trail holds {} records; chain tip {:?}", trail.len(), store.audit_chain_tip());
+    println!(
+        "audit trail holds {} records; chain tip {:?}",
+        trail.len(),
+        store.audit_chain_tip()
+    );
 
     // 8. Print the compliance self-assessment (the paper's Table 1).
     println!("\n{}", assess(store.policy()).render_table());

@@ -39,15 +39,24 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
     println!("loaded {} keys for 3 data subjects", store.len());
-    println!("engine journal currently holds {} bytes\n", store.engine().aof_len());
+    println!(
+        "engine journal currently holds {} bytes\n",
+        store.engine().aof_len()
+    );
 
     // Article 20 first: hand bob a machine-readable copy of his data.
     let export = store.right_to_portability(&ctx, "bob")?;
-    println!("portability export for bob ({} bytes of JSON):\n{export}\n", export.len());
+    println!(
+        "portability export for bob ({} bytes of JSON):\n{export}\n",
+        export.len()
+    );
 
     // Article 15: what does the store know about alice?
     let access = store.right_of_access(&ctx, "alice")?;
-    println!("access report for alice lists {} items:", access.items.len());
+    println!(
+        "access report for alice lists {} items:",
+        access.items.len()
+    );
     for item in &access.items {
         println!(
             "  {:<28} purposes={:?} expires={:?}",
@@ -72,13 +81,25 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The other subjects are untouched, and alice is really gone.
     println!("remaining keys: {}", store.len());
-    println!("alice lookup now returns: {:?}", store.get(&ctx, "user:alice:email")?);
-    println!("bob lookup still returns:  {:?}", store.get(&ctx, "user:bob:email")?.map(|v| String::from_utf8_lossy(&v).into_owned()));
+    println!(
+        "alice lookup now returns: {:?}",
+        store.get(&ctx, "user:alice:email")?
+    );
+    println!(
+        "bob lookup still returns:  {:?}",
+        store
+            .get(&ctx, "user:bob:email")?
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
+    );
 
     // And the whole episode is in the audit trail (Article 5(2): be able to
     // demonstrate compliance).
     let trail = store.audit_trail().unwrap_or_default();
     let erasure_records = trail.iter().filter(|l| l.contains("art.17")).count();
-    println!("\naudit trail holds {} records, {} of them about the erasure request", trail.len(), erasure_records);
+    println!(
+        "\naudit trail holds {} records, {} of them about the erasure request",
+        trail.len(),
+        erasure_records
+    );
     Ok(())
 }

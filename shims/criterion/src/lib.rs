@@ -1,0 +1,277 @@
+//! Offline stand-in for `criterion`: a wall-clock micro-benchmark harness
+//! with the group/bencher API shape the workspace's benches use.
+//!
+//! Statistics are intentionally simple (median of timed batches); the
+//! benches exist to compare configurations relative to each other, and the
+//! full criterion experience is unavailable without registry access.
+//! Passing `--test` (as `cargo test --benches` does) runs every benchmark
+//! body once for a smoke check instead of timing it.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup allocations (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark (accepted, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id like `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke_only: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            smoke_only: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.settings, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.sample_size = samples.max(1);
+        self
+    }
+
+    /// Target measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.measurement_time = time;
+        self
+    }
+
+    /// Warm-up time (accepted, folded into the first sample).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.settings, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.settings, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.settings.smoke_only {
+            black_box(routine());
+            return;
+        }
+        let per_sample = self.settings.measurement_time / self.settings.sample_size as u32;
+        for _ in 0..self.settings.sample_size {
+            let started = Instant::now();
+            let mut iters = 0u32;
+            while started.elapsed() < per_sample || iters == 0 {
+                black_box(routine());
+                iters += 1;
+            }
+            self.samples.push(started.elapsed() / iters);
+        }
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.settings.smoke_only {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            self.samples.push(started.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut f: F) {
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if settings.smoke_only {
+        println!("bench {label}: ok (smoke)");
+        return;
+    }
+    let mut samples = bencher.samples;
+    samples.sort();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    println!(
+        "bench {label}: median {median:?} over {} samples",
+        samples.len()
+    );
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        c.settings.sample_size = 2;
+        c.settings.measurement_time = Duration::from_millis(4);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `[T; N]` from an element strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// An array of the given size filled from `element`.
+        #[must_use]
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+
+uniform_fn! {
+    uniform12 => 12,
+    uniform16 => 16,
+    uniform24 => 24,
+    uniform32 => 32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn arrays_have_the_right_size_and_vary() {
+        let mut rng = TestRng::deterministic("array");
+        let a: [u8; 32] = uniform32(any::<u8>()).generate(&mut rng);
+        let b: [u8; 32] = uniform32(any::<u8>()).generate(&mut rng);
+        assert_ne!(a, b, "two draws should differ");
+        let _: [u8; 12] = uniform12(any::<u8>()).generate(&mut rng);
+    }
+}

@@ -1,0 +1,101 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Vec`s whose length is drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Vectors of values from `element` with a length in `size`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing `BTreeSet`s with *up to* `size.end - 1` elements
+/// (duplicates collapse, as in real proptest).
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Sets of values from `element` with a drawn size in `size`.
+#[must_use]
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(
+        size.start < size.end,
+        "collection::btree_set: empty size range"
+    );
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.gen_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        // Bounded attempts: a small element domain may not be able to fill
+        // the target size with distinct values.
+        for _ in 0..target.saturating_mul(4) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_length_is_in_range() {
+        let mut rng = TestRng::deterministic("collection::vec");
+        let strat = vec(any::<u8>(), 2..6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_bounded() {
+        let mut rng = TestRng::deterministic("collection::btree_set");
+        let strat = btree_set(any::<u64>(), 0..5);
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng).len() < 5);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Concurrency stress tests for the sharded stack: N threads performing
+//! puts, gets, erasures and objections at once, with the invariants that
+//! matter for compliance checked afterwards:
+//!
+//! * the metadata index stays consistent with the keyspace (every indexed
+//!   key exists and carries metadata naming the right subject; every data
+//!   key in the keyspace is indexed under its subject);
+//! * denied operations never mutate state (an actor without a grant leaves
+//!   no keys, no metadata and no index postings behind);
+//! * under the strict (real-time) policy the audit hash chain still
+//!   verifies end to end after concurrent emission.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gdpr_storage::gdpr_core::acl::Grant;
+use gdpr_storage::gdpr_core::metadata::{PersonalMetadata, Region};
+use gdpr_storage::gdpr_core::policy::CompliancePolicy;
+use gdpr_storage::gdpr_core::store::{AccessContext, GdprStore};
+use gdpr_storage::gdpr_core::GdprError;
+use gdpr_storage::kvstore::config::StoreConfig;
+
+const WRITER_THREADS: usize = 4;
+const KEYS_PER_WRITER: usize = 120;
+
+fn ctx() -> AccessContext {
+    AccessContext::new("app", "service")
+}
+
+fn subject(thread: usize) -> String {
+    format!("subject{thread}")
+}
+
+fn meta(thread: usize) -> PersonalMetadata {
+    PersonalMetadata::new(&subject(thread))
+        .with_purpose("service")
+        .with_purpose("analytics")
+        .with_location(Region::Eu)
+}
+
+fn open_sharded(policy: CompliancePolicy) -> GdprStore {
+    let store = GdprStore::open(
+        policy,
+        StoreConfig::in_memory().aof_in_memory().shards(8),
+        Box::new(gdpr_storage::audit::sink::MemorySink::new()),
+    )
+    .unwrap();
+    store.grant(Grant::new("app", "service"));
+    store.grant(Grant::new("app", "analytics"));
+    store
+}
+
+#[test]
+fn concurrent_put_get_erasure_objection_keeps_index_consistent() {
+    let store = open_sharded(CompliancePolicy::eventual());
+    let denied_attempts = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Writers: each owns a subject and fills its key range, reading
+        // back as it goes.
+        for t in 0..WRITER_THREADS {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..KEYS_PER_WRITER {
+                    let key = format!("user:{}:k{i:03}", subject(t));
+                    store
+                        .put(&ctx(), &key, format!("v{i}").into_bytes(), meta(t))
+                        .unwrap();
+                    if i % 3 == 0 {
+                        let _ = store.get(&ctx(), &key);
+                    }
+                }
+            });
+        }
+
+        // Eraser: repeatedly exercises the right to be forgotten against
+        // writer 0's subject while that writer is still inserting.
+        {
+            let store = &store;
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    store.right_to_erasure(&ctx(), &subject(0)).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // Objector: races metadata rewrites against writer 1.
+        {
+            let store = &store;
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    store
+                        .right_to_object(&ctx(), &subject(1), "analytics")
+                        .unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // Rogue: no grant — every attempt must be denied and must not
+        // mutate anything.
+        {
+            let store = &store;
+            let denied = &denied_attempts;
+            scope.spawn(move || {
+                let rogue = AccessContext::new("rogue", "service");
+                for i in 0..100 {
+                    let key = format!("user:mallory:k{i:03}");
+                    let meta = PersonalMetadata::new("mallory")
+                        .with_purpose("service")
+                        .with_location(Region::Eu);
+                    let err = store
+                        .put(&rogue, &key, b"stolen".to_vec(), meta)
+                        .unwrap_err();
+                    assert!(matches!(err, GdprError::AccessDenied { .. }));
+                    denied.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Background duties run concurrently too (expiry cycles, audit
+        // buffer drains).
+        {
+            let store = &store;
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    store.tick().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    // --- invariant: denied ops never mutate state -------------------------
+    assert_eq!(denied_attempts.load(Ordering::Relaxed), 100);
+    assert!(store.stats().denied_ops >= 100);
+    assert!(store.keys_of_subject("mallory").unwrap().is_empty());
+    let all_keys = store.scan(&ctx(), "", 10_000).unwrap();
+    assert!(
+        all_keys.iter().all(|k| !k.contains("mallory")),
+        "denied writes must leave no keys behind"
+    );
+
+    // --- invariant: index ↔ keyspace consistency --------------------------
+    // Every indexed key exists with metadata naming the right subject.
+    for t in 0..WRITER_THREADS {
+        for key in store.keys_of_subject(&subject(t)).unwrap() {
+            let meta = store
+                .metadata(&ctx(), &key)
+                .unwrap()
+                .unwrap_or_else(|| panic!("indexed key {key} has no metadata"));
+            assert_eq!(meta.subject, subject(t));
+            assert!(
+                store.get(&ctx(), &key).unwrap().is_some(),
+                "indexed key {key} missing from keyspace"
+            );
+        }
+    }
+    // Every data key in the keyspace is indexed under its subject.
+    for key in &all_keys {
+        let meta = store
+            .metadata(&ctx(), key)
+            .unwrap()
+            .expect("data key without metadata");
+        assert!(
+            store.keys_of_subject(&meta.subject).unwrap().contains(key),
+            "key {key} not indexed for subject {}",
+            meta.subject
+        );
+    }
+
+    // --- erasure settles deterministically once writers stop --------------
+    let report = store.right_to_erasure(&ctx(), &subject(0)).unwrap();
+    let _ = report;
+    assert!(store.keys_of_subject(&subject(0)).unwrap().is_empty());
+    assert!(store
+        .scan(&ctx(), "", 10_000)
+        .unwrap()
+        .iter()
+        .all(|k| !k.contains(&subject(0))));
+
+    // Untouched writers keep their full key range.
+    for t in 2..WRITER_THREADS {
+        assert_eq!(
+            store.keys_of_subject(&subject(t)).unwrap().len(),
+            KEYS_PER_WRITER
+        );
+    }
+
+    // Objections stuck: analytics reads on subject 1 are refused, service
+    // reads still work. One settle pass covers keys inserted after the
+    // objector thread's final concurrent pass.
+    store
+        .right_to_object(&ctx(), &subject(1), "analytics")
+        .unwrap();
+    let analytics = AccessContext::new("app", "analytics");
+    if let Some(key) = store.keys_of_subject(&subject(1)).unwrap().first() {
+        assert!(
+            store.get(&analytics, key).is_err(),
+            "objection must block analytics reads"
+        );
+        assert!(store.get(&ctx(), key).is_ok());
+    }
+
+    assert!(store.stats().allowed_ops > 0);
+    assert!(store.stats().erased_by_request > 0);
+}
+
+#[test]
+fn strict_policy_audit_chain_survives_concurrent_emission() {
+    let store = GdprStore::open_in_memory(CompliancePolicy::strict()).unwrap();
+    store.grant(Grant::new("app", "service"));
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..25 {
+                    let key = format!("user:{}:k{i:02}", subject(t));
+                    let meta = PersonalMetadata::new(&subject(t))
+                        .with_purpose("service")
+                        .with_location(Region::Eu);
+                    store.put(&ctx(), &key, b"v".to_vec(), meta).unwrap();
+                    store.get(&ctx(), &key).unwrap();
+                }
+            });
+        }
+    });
+
+    // 4 threads × 25 puts+gets, plus the grant record.
+    let trail = store.audit_trail().unwrap();
+    assert!(
+        trail.len() >= 201,
+        "expected ≥201 audit lines, got {}",
+        trail.len()
+    );
+
+    // The hash chain must verify end to end despite interleaved writers.
+    let parsed = gdpr_storage::audit::reader::parse_trail(&trail.join("\n")).unwrap();
+    gdpr_storage::audit::reader::verify_trail(&parsed).unwrap();
+    assert!(store.audit_chain_tip().is_some());
+
+    assert_eq!(store.len(), 100);
+    assert_eq!(store.stats().denied_ops, 0);
+}

@@ -2,7 +2,7 @@
 //! trail, engine journal, encrypted device) working against real files,
 //! including crash-recovery by replaying the append-only file.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use gdpr_storage::audit::reader::{parse_trail, verify_trail_segments, TrailQuery};
 use gdpr_storage::audit::record::Operation;
@@ -26,10 +26,12 @@ fn ctx() -> AccessContext {
 }
 
 fn metadata(subject: &str) -> PersonalMetadata {
-    PersonalMetadata::new(subject).with_purpose("integration-testing").with_location(Region::Eu)
+    PersonalMetadata::new(subject)
+        .with_purpose("integration-testing")
+        .with_location(Region::Eu)
 }
 
-fn open_store(dir: &PathBuf, policy: CompliancePolicy) -> GdprStore {
+fn open_store(dir: &Path, policy: CompliancePolicy) -> GdprStore {
     let kv_config = StoreConfig::with_aof(dir.join("engine.aof"));
     let sink = FileSink::open(dir.join("audit.trail")).unwrap();
     let store = GdprStore::open(policy, kv_config, Box::new(sink)).unwrap();
@@ -47,7 +49,12 @@ fn full_lifecycle_with_file_persistence_and_recovery() {
         for i in 0..50 {
             let subject = format!("subject-{}", i % 5);
             store
-                .put(&ctx(), &format!("user:{i:03}"), format!("value-{i}").into_bytes(), metadata(&subject))
+                .put(
+                    &ctx(),
+                    &format!("user:{i:03}"),
+                    format!("value-{i}").into_bytes(),
+                    metadata(&subject),
+                )
                 .unwrap();
         }
         store.delete(&ctx(), "user:007").unwrap();
@@ -59,8 +66,15 @@ fn full_lifecycle_with_file_persistence_and_recovery() {
     {
         let store = open_store(&dir, CompliancePolicy::strict());
         assert_eq!(store.len(), 49, "state must survive a restart");
-        assert_eq!(store.get(&ctx(), "user:001").unwrap(), Some(b"value-1".to_vec()));
-        assert_eq!(store.get(&ctx(), "user:007").unwrap(), None, "deletes must survive too");
+        assert_eq!(
+            store.get(&ctx(), "user:001").unwrap(),
+            Some(b"value-1".to_vec())
+        );
+        assert_eq!(
+            store.get(&ctx(), "user:007").unwrap(),
+            None,
+            "deletes must survive too"
+        );
         // Subject index rebuilt: each of the 5 subjects owns ~10 keys.
         let keys = store.keys_of_subject("subject-1").unwrap();
         assert!(!keys.is_empty());
@@ -70,13 +84,20 @@ fn full_lifecycle_with_file_persistence_and_recovery() {
     // Phase 3: the on-disk journal must not contain plaintext personal data
     // (the strict policy encrypts at rest).
     let raw = std::fs::read(dir.join("engine.aof")).unwrap();
-    assert!(!raw.windows(7).any(|w| w == b"value-1"), "AOF must be encrypted at rest");
+    assert!(
+        !raw.windows(7).any(|w| w == b"value-1"),
+        "AOF must be encrypted at rest"
+    );
 
     // Phase 4: the audit trail on disk parses, verifies (one hash chain per
     // process lifetime) and contains the whole history.
     let trail_text = std::fs::read_to_string(dir.join("audit.trail")).unwrap();
     let trail = parse_trail(&trail_text).unwrap();
-    assert_eq!(verify_trail_segments(&trail).unwrap(), 2, "two sessions appended to the trail");
+    assert_eq!(
+        verify_trail_segments(&trail).unwrap(),
+        2,
+        "two sessions appended to the trail"
+    );
     let writes = TrailQuery::any().operation(Operation::Write).select(&trail);
     assert!(writes.len() >= 50);
 
@@ -91,7 +112,12 @@ fn erasure_request_survives_restart_and_scrubs_the_journal() {
         for subject in ["alice", "bob"] {
             for attr in ["email", "phone"] {
                 store
-                    .put(&ctx(), &format!("user:{subject}:{attr}"), format!("{subject}-{attr}").into_bytes(), metadata(subject))
+                    .put(
+                        &ctx(),
+                        &format!("user:{subject}:{attr}"),
+                        format!("{subject}-{attr}").into_bytes(),
+                        metadata(subject),
+                    )
                     .unwrap();
             }
         }
@@ -103,7 +129,10 @@ fn erasure_request_survives_restart_and_scrubs_the_journal() {
     {
         let store = open_store(&dir, CompliancePolicy::strict());
         assert_eq!(store.get(&ctx(), "user:alice:email").unwrap(), None);
-        assert_eq!(store.get(&ctx(), "user:bob:email").unwrap(), Some(b"bob-email".to_vec()));
+        assert_eq!(
+            store.get(&ctx(), "user:bob:email").unwrap(),
+            Some(b"bob-email".to_vec())
+        );
         assert!(store.keys_of_subject("alice").unwrap().is_empty());
     }
     // No trace of alice's values in the journal bytes (they were scrubbed
@@ -119,10 +148,27 @@ fn eventual_policy_defers_scrub_but_strict_does_not() {
     let strict = open_store(&test_dir("spectrum-strict"), CompliancePolicy::strict());
     let eventual = open_store(&dir, CompliancePolicy::eventual());
     for store in [&strict, &eventual] {
-        store.put(&ctx(), "user:x:email", b"x@example.com".to_vec(), metadata("x")).unwrap();
+        store
+            .put(
+                &ctx(),
+                "user:x:email",
+                b"x@example.com".to_vec(),
+                metadata("x"),
+            )
+            .unwrap();
     }
-    assert!(strict.right_to_erasure(&ctx(), "x").unwrap().completed_in_real_time);
-    assert!(!eventual.right_to_erasure(&ctx(), "x").unwrap().completed_in_real_time);
+    assert!(
+        strict
+            .right_to_erasure(&ctx(), "x")
+            .unwrap()
+            .completed_in_real_time
+    );
+    assert!(
+        !eventual
+            .right_to_erasure(&ctx(), "x")
+            .unwrap()
+            .completed_in_real_time
+    );
 }
 
 #[test]
@@ -137,7 +183,14 @@ fn compliance_assessment_matches_policy_capabilities() {
 fn denied_operations_leave_evidence_in_the_trail() {
     let dir = test_dir("denied");
     let store = open_store(&dir, CompliancePolicy::strict());
-    store.put(&ctx(), "user:eve:email", b"eve@example.com".to_vec(), metadata("eve")).unwrap();
+    store
+        .put(
+            &ctx(),
+            "user:eve:email",
+            b"eve@example.com".to_vec(),
+            metadata("eve"),
+        )
+        .unwrap();
 
     // An actor with no grant is refused and the refusal is audited.
     let rogue = AccessContext::new("rogue-service", "exfiltration");

@@ -18,7 +18,8 @@ fn server() -> RespKvServer {
 #[test]
 fn plain_and_secure_clients_agree_on_semantics() {
     let mut plain = RemoteClient::connect_plain(server(), LinkConfig::plain_44gbps());
-    let mut secure = RemoteClient::connect_secure(server(), LinkConfig::tls_proxied_4_9gbps(), b"s");
+    let mut secure =
+        RemoteClient::connect_secure(server(), LinkConfig::tls_proxied_4_9gbps(), b"s");
 
     for client in [&mut plain, &mut secure] {
         client.set("user:1", b"alice").unwrap();
@@ -38,7 +39,9 @@ fn plain_and_secure_clients_agree_on_semantics() {
 #[test]
 fn raw_resp_frames_roundtrip_through_the_whole_stack() {
     let mut client = RemoteClient::connect_secure(server(), LinkConfig::plain_44gbps(), b"secret");
-    let reply = client.roundtrip(&Frame::command(["SET", "k", "v"])).unwrap();
+    let reply = client
+        .roundtrip(&Frame::command(["SET", "k", "v"]))
+        .unwrap();
     assert_eq!(reply, Frame::Simple("OK".into()));
     let reply = client.roundtrip(&Frame::command(["GET", "k"])).unwrap();
     assert_eq!(reply, Frame::Bulk(b"v".to_vec()));
@@ -54,27 +57,52 @@ fn raw_resp_frames_roundtrip_through_the_whole_stack() {
 fn ycsb_workloads_run_cleanly_over_the_simulated_network() {
     struct Adapter(RemoteClient);
     impl gdpr_storage::ycsb::client::KvInterface for Adapter {
-        fn insert(&mut self, key: &str, fields: &std::collections::BTreeMap<String, Vec<u8>>) -> gdpr_storage::ycsb::Result<()> {
+        fn insert(
+            &mut self,
+            key: &str,
+            fields: &std::collections::BTreeMap<String, Vec<u8>>,
+        ) -> gdpr_storage::ycsb::Result<()> {
             let blob: Vec<u8> = fields.values().flatten().copied().collect();
-            self.0.set(key, &blob).map_err(gdpr_storage::ycsb::WorkloadError::new)
+            self.0
+                .set(key, &blob)
+                .map_err(gdpr_storage::ycsb::WorkloadError::new)
         }
-        fn read(&mut self, key: &str) -> gdpr_storage::ycsb::Result<Option<std::collections::BTreeMap<String, Vec<u8>>>> {
-            Ok(self.0.get(key).map_err(gdpr_storage::ycsb::WorkloadError::new)?.map(|v| {
-                let mut m = std::collections::BTreeMap::new();
-                m.insert("blob".to_string(), v);
-                m
-            }))
+        fn read(
+            &mut self,
+            key: &str,
+        ) -> gdpr_storage::ycsb::Result<Option<std::collections::BTreeMap<String, Vec<u8>>>>
+        {
+            Ok(self
+                .0
+                .get(key)
+                .map_err(gdpr_storage::ycsb::WorkloadError::new)?
+                .map(|v| {
+                    let mut m = std::collections::BTreeMap::new();
+                    m.insert("blob".to_string(), v);
+                    m
+                }))
         }
-        fn update(&mut self, key: &str, fields: &std::collections::BTreeMap<String, Vec<u8>>) -> gdpr_storage::ycsb::Result<()> {
+        fn update(
+            &mut self,
+            key: &str,
+            fields: &std::collections::BTreeMap<String, Vec<u8>>,
+        ) -> gdpr_storage::ycsb::Result<()> {
             self.insert(key, fields)
         }
-        fn scan(&mut self, start_key: &str, count: usize) -> gdpr_storage::ycsb::Result<Vec<String>> {
-            self.0.scan(start_key, count).map_err(gdpr_storage::ycsb::WorkloadError::new)
+        fn scan(
+            &mut self,
+            start_key: &str,
+            count: usize,
+        ) -> gdpr_storage::ycsb::Result<Vec<String>> {
+            self.0
+                .scan(start_key, count)
+                .map_err(gdpr_storage::ycsb::WorkloadError::new)
         }
     }
 
     for workload in ["A", "B", "C", "D", "E", "F"] {
-        let client = RemoteClient::connect_secure(server(), LinkConfig::tls_proxied_4_9gbps(), b"ycsb");
+        let client =
+            RemoteClient::connect_secure(server(), LinkConfig::tls_proxied_4_9gbps(), b"ycsb");
         let mut adapter = Adapter(client);
         let mut driver = Driver::new(WorkloadSpec::by_name(workload, 100, 200), 99);
         let load = driver.run_load(&mut adapter).unwrap();
@@ -96,5 +124,8 @@ fn bandwidth_model_orders_the_links_correctly() {
     }
     let fast_time = fast.link_stats().0.modelled_time();
     let slow_time = slow.link_stats().0.modelled_time();
-    assert!(slow_time > fast_time, "4.9 Gb/s must model slower than 44 Gb/s ({slow_time:?} vs {fast_time:?})");
+    assert!(
+        slow_time > fast_time,
+        "4.9 Gb/s must model slower than 44 Gb/s ({slow_time:?} vs {fast_time:?})"
+    );
 }

@@ -6,8 +6,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gdpr_storage::gdpr_crypto::aead::ChaCha20Poly1305;
 use gdpr_storage::gdpr_core::metadata::{PersonalMetadata, Region};
+use gdpr_storage::gdpr_crypto::aead::ChaCha20Poly1305;
 use gdpr_storage::kvstore::clock::SimClock;
 use gdpr_storage::kvstore::commands::Command;
 use gdpr_storage::kvstore::config::StoreConfig;
@@ -37,7 +37,11 @@ fn key_strategy() -> impl Strategy<Value = String> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..32)).prop_map(|(k, v)| Op::Set(k, v)),
+        (
+            key_strategy(),
+            proptest::collection::vec(any::<u8>(), 0..32)
+        )
+            .prop_map(|(k, v)| Op::Set(k, v)),
         key_strategy().prop_map(Op::Del),
         key_strategy().prop_map(Op::ExpireFar),
         key_strategy().prop_map(Op::Persist),

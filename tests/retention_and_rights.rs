@@ -23,7 +23,9 @@ fn strict_store_with_clock(clock: &SimClock) -> (GdprStore, MemorySink) {
     let trail_view = sink.share();
     let store = GdprStore::open(
         CompliancePolicy::strict(),
-        StoreConfig::in_memory().aof_in_memory().clock(clock.clone()),
+        StoreConfig::in_memory()
+            .aof_in_memory()
+            .clock(clock.clone()),
         Box::new(sink),
     )
     .unwrap();
@@ -38,8 +40,12 @@ fn retention_erases_only_what_has_expired() {
     // 30 short-lived keys, 20 long-lived ones.
     for i in 0..50 {
         let ttl = if i < 30 { 1_000 } else { 1_000_000 };
-        let meta = PersonalMetadata::new(&format!("s{i}")).with_purpose("service").with_ttl_millis(ttl);
-        store.put(&ctx(), &format!("k{i:02}"), b"v".to_vec(), meta).unwrap();
+        let meta = PersonalMetadata::new(&format!("s{i}"))
+            .with_purpose("service")
+            .with_ttl_millis(ttl);
+        store
+            .put(&ctx(), &format!("k{i:02}"), b"v".to_vec(), meta)
+            .unwrap();
     }
     clock.advance_millis(2_000);
     let report = store.enforce_retention(5).unwrap();
@@ -55,7 +61,9 @@ fn retention_erases_only_what_has_expired() {
 fn expired_data_is_invisible_even_before_the_sweep_runs() {
     let clock = SimClock::new(1_000);
     let (store, _trail) = strict_store_with_clock(&clock);
-    let meta = PersonalMetadata::new("s").with_purpose("service").with_ttl_millis(500);
+    let meta = PersonalMetadata::new("s")
+        .with_purpose("service")
+        .with_ttl_millis(500);
     store.put(&ctx(), "ephemeral", b"v".to_vec(), meta).unwrap();
     clock.advance_millis(1_000);
     // Lazy expiration on access hides the key even though no cycle ran.
@@ -71,7 +79,11 @@ fn figure2_shape_holds_in_miniature() {
     for &size in &sizes {
         let lazy = ErasureDelayExperiment::figure2(size, ExpiryMode::LazyProbabilistic).run(5);
         let strict = ErasureDelayExperiment::figure2(size, ExpiryMode::Strict).run(5);
-        assert!(strict.erase_seconds() < 1.0, "strict at {size}: {}", strict.erase_seconds());
+        assert!(
+            strict.erase_seconds() < 1.0,
+            "strict at {size}: {}",
+            strict.erase_seconds()
+        );
         assert_eq!(lazy.erased_keys, size / 5);
         lazy_delays.push(lazy.erase_seconds());
     }
@@ -85,12 +97,22 @@ fn rights_interact_correctly_with_retention() {
     let (store, _trail) = strict_store_with_clock(&clock);
     // Alice has one key about to expire and one long-lived key.
     store
-        .put(&ctx(), "user:alice:session", b"token".to_vec(),
-             PersonalMetadata::new("alice").with_purpose("service").with_ttl_millis(500))
+        .put(
+            &ctx(),
+            "user:alice:session",
+            b"token".to_vec(),
+            PersonalMetadata::new("alice")
+                .with_purpose("service")
+                .with_ttl_millis(500),
+        )
         .unwrap();
     store
-        .put(&ctx(), "user:alice:email", b"a@b.c".to_vec(),
-             PersonalMetadata::new("alice").with_purpose("service"))
+        .put(
+            &ctx(),
+            "user:alice:email",
+            b"a@b.c".to_vec(),
+            PersonalMetadata::new("alice").with_purpose("service"),
+        )
         .unwrap();
 
     clock.advance_millis(1_000);
@@ -116,7 +138,9 @@ fn objection_and_portability_work_under_the_eventual_policy_too() {
         .with_purpose("service")
         .with_purpose("analytics")
         .with_location(Region::Eu);
-    store.put(&ctx(), "user:bob:profile", b"profile".to_vec(), meta).unwrap();
+    store
+        .put(&ctx(), "user:bob:profile", b"profile".to_vec(), meta)
+        .unwrap();
 
     // Portability export contains the value.
     let export = store.right_to_portability(&ctx(), "bob").unwrap();
@@ -125,7 +149,9 @@ fn objection_and_portability_work_under_the_eventual_policy_too() {
     // After an objection to analytics, analytics reads fail but service
     // reads keep working.
     store.right_to_object(&ctx(), "bob", "analytics").unwrap();
-    assert!(store.get(&AccessContext::new("app", "analytics"), "user:bob:profile").is_err());
+    assert!(store
+        .get(&AccessContext::new("app", "analytics"), "user:bob:profile")
+        .is_err());
     assert!(store.get(&ctx(), "user:bob:profile").is_ok());
 }
 
@@ -133,15 +159,17 @@ fn objection_and_portability_work_under_the_eventual_policy_too() {
 fn location_inventory_tracks_regions_and_violations() {
     // A policy that allows EU and US, with data in both.
     let mut policy = CompliancePolicy::eventual();
-    policy.location_policy = gdpr_storage::gdpr_core::location::LocationPolicy::restricted_to([
-        Region::Eu,
-        Region::Us,
-    ]);
+    policy.location_policy =
+        gdpr_storage::gdpr_core::location::LocationPolicy::restricted_to([Region::Eu, Region::Us]);
     policy.enforce_access_control = false;
     let store = GdprStore::open_in_memory(policy).unwrap();
     for (i, region) in [Region::Eu, Region::Eu, Region::Us].iter().enumerate() {
-        let meta = PersonalMetadata::new("s").with_purpose("service").with_location(*region);
-        store.put(&ctx(), &format!("k{i}"), b"v".to_vec(), meta).unwrap();
+        let meta = PersonalMetadata::new("s")
+            .with_purpose("service")
+            .with_location(*region);
+        store
+            .put(&ctx(), &format!("k{i}"), b"v".to_vec(), meta)
+            .unwrap();
     }
     let inventory = store.location_inventory().unwrap();
     assert_eq!(inventory.count(Region::Eu), 2);
@@ -152,7 +180,9 @@ fn location_inventory_tracks_regions_and_violations() {
     assert_eq!(inventory.violations(&eu_only), vec![(Region::Us, 1)]);
 
     // And an APAC write is refused outright by the active policy.
-    let apac = PersonalMetadata::new("s").with_purpose("service").with_location(Region::Apac);
+    let apac = PersonalMetadata::new("s")
+        .with_purpose("service")
+        .with_location(Region::Apac);
     assert!(store.put(&ctx(), "k-apac", b"v".to_vec(), apac).is_err());
 }
 
@@ -163,7 +193,9 @@ fn ttl_visible_through_engine_matches_metadata_deadline() {
     let epoch = 1_700_000_000_000u64;
     let clock = SimClock::new(epoch);
     let (store, _trail) = strict_store_with_clock(&clock);
-    let meta = PersonalMetadata::new("s").with_purpose("service").with_ttl_millis(60_000);
+    let meta = PersonalMetadata::new("s")
+        .with_purpose("service")
+        .with_ttl_millis(60_000);
     store.put(&ctx(), "k", b"v".to_vec(), meta).unwrap();
     let ttl = store.engine().ttl("k").unwrap().unwrap();
     assert!(ttl <= Duration::from_millis(60_000));

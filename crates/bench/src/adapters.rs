@@ -12,32 +12,15 @@ use std::collections::BTreeMap;
 use gdpr_core::acl::Grant;
 use gdpr_core::metadata::PersonalMetadata;
 use gdpr_core::store::{AccessContext, GdprStore};
-use kvstore::object::Value;
-use kvstore::serialize::{decode_value, encode_value, Reader};
 use kvstore::store::KvStore;
 use netsim::client::RemoteClient;
 use ycsb::client::KvInterface;
 use ycsb::concurrent::SharedKvInterface;
 use ycsb::{Result, WorkloadError};
 
-/// Serialize a YCSB field map into one opaque blob (what travels over the
-/// simulated wire for the remote adapter).
-#[must_use]
-pub fn encode_fields(fields: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
-    let mut out = Vec::new();
-    encode_value(&mut out, &Value::Hash(fields.clone()));
-    out
-}
-
-/// Decode a blob produced by [`encode_fields`].
-#[must_use]
-pub fn decode_fields(bytes: &[u8]) -> Option<BTreeMap<String, Vec<u8>>> {
-    let mut reader = Reader::new(bytes);
-    match decode_value(&mut reader, "ycsb record").ok()? {
-        Value::Hash(map) => Some(map),
-        _ => None,
-    }
-}
+// The single-blob field codec lives with the TCP client so the simulated
+// and real remote adapters share one wire representation by construction.
+pub use gdpr_server::client::{decode_fields, encode_fields};
 
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,160 @@
+//! TCP throughput sweep: YCSB-A-style mixed workload driven over *real*
+//! sockets against a live `gdpr-server`, varying the client-thread count,
+//! to measure what the networked deployment shape (the one the paper's
+//! YCSB + Redis measurements used) costs on top of the embedded path.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin tcp_throughput \
+//!     [records=N] [ops=N] [seed=N] [shards=N] [maxthreads=N] [policy=0|1|2]
+//! ```
+//!
+//! `policy` selects 0 = raw engine (no compliance), 1 = eventual
+//! (default), 2 = strict. Emits a human table and writes
+//! `BENCH_tcp_throughput.json` into the current directory. As with
+//! `shard_scaling`, `host_cores` is recorded: on a single-core container
+//! the sweep demonstrates parity, not speedup.
+
+use std::sync::Arc;
+
+use bench::arg_value;
+use gdpr_core::acl::Grant;
+use gdpr_core::policy::CompliancePolicy;
+use gdpr_core::store::GdprStore;
+use gdpr_server::client::TcpRemoteAdapter;
+use gdpr_server::dispatch::Dispatcher;
+use gdpr_server::tcp::{ServerConfig, TcpServer, TcpServerHandle};
+use kvstore::config::StoreConfig;
+use kvstore::store::KvStore;
+use ycsb::concurrent::ConcurrentDriver;
+use ycsb::stats::RunReport;
+use ycsb::workload::WorkloadSpec;
+
+struct Cell {
+    threads: usize,
+    load: RunReport,
+    run: RunReport,
+}
+
+const ACTOR: &str = "ycsb";
+const PURPOSE: &str = "benchmarking";
+
+fn start_server(policy_id: u64, shards: usize) -> TcpServerHandle {
+    let config = StoreConfig::in_memory().aof_in_memory().shards(shards);
+    let dispatcher = if policy_id == 0 {
+        Dispatcher::kv(KvStore::open(config).expect("open engine"))
+    } else {
+        let policy = if policy_id >= 2 {
+            CompliancePolicy::strict()
+        } else {
+            CompliancePolicy::eventual()
+        };
+        let store = GdprStore::open(policy, config, Box::new(audit::sink::NullSink::new()))
+            .expect("open GDPR store");
+        store.grant(Grant::new(ACTOR, PURPOSE));
+        Dispatcher::gdpr(Arc::new(store))
+    };
+    let server_config = ServerConfig {
+        max_connections: 256,
+        ..ServerConfig::default()
+    };
+    TcpServer::bind(dispatcher, "127.0.0.1:0", server_config).expect("bind server")
+}
+
+fn sweep_axis(max: u64) -> Vec<usize> {
+    let mut axis = Vec::new();
+    let mut v = 1usize;
+    while v as u64 <= max.max(1) {
+        axis.push(v);
+        v *= 2;
+    }
+    axis
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records = arg_value(&args, "records").unwrap_or(4_000);
+    let ops = arg_value(&args, "ops").unwrap_or(12_000);
+    let seed = arg_value(&args, "seed").unwrap_or(42);
+    let shards = arg_value(&args, "shards").unwrap_or(4) as usize;
+    let max_threads = arg_value(&args, "maxthreads").unwrap_or(8);
+    let policy_id = arg_value(&args, "policy").unwrap_or(1);
+    let policy_name = match policy_id {
+        0 => "none",
+        2 => "strict",
+        _ => "eventual",
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "tcp_throughput — YCSB-A mix over real sockets, policy={policy_name}, \
+         records={records}, ops={ops}, shards={shards}, cores={cores}"
+    );
+    if cores == 1 {
+        println!("  note: single-core host — expect parity, not speedup, across thread counts");
+    }
+
+    let mut cells = Vec::new();
+    for &threads in &sweep_axis(max_threads) {
+        // A fresh server per cell keeps the cells independent.
+        let server = start_server(policy_id, shards);
+        let adapter = TcpRemoteAdapter::connect(server.local_addr())
+            .expect("connect adapter")
+            .with_auth(ACTOR, PURPOSE);
+        let driver = ConcurrentDriver::new(WorkloadSpec::workload_a(records, ops), threads, seed);
+        let load = driver.run_load(&adapter).expect("load phase");
+        let run = driver
+            .run_transactions(&adapter)
+            .expect("transaction phase");
+        println!(
+            "  threads={threads:<3}  load {:>10.0} ops/s   run {:>10.0} ops/s   p99 {:>6} µs   errors {}",
+            load.throughput(),
+            run.throughput(),
+            run.latency.percentile_micros(0.99),
+            load.errors + run.errors,
+        );
+        server.shutdown();
+        cells.push(Cell { threads, load, run });
+    }
+
+    let json = render_json(policy_name, records, ops, seed, shards, cores, &cells);
+    std::fs::write("BENCH_tcp_throughput.json", &json).expect("write BENCH_tcp_throughput.json");
+    println!("\nwrote BENCH_tcp_throughput.json ({} cells)", cells.len());
+}
+
+fn render_json(
+    policy: &str,
+    records: u64,
+    ops: u64,
+    seed: u64,
+    shards: usize,
+    cores: usize,
+    cells: &[Cell],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"tcp_throughput\",\n");
+    out.push_str("  \"workload\": \"A\",\n");
+    out.push_str("  \"transport\": \"tcp-loopback\",\n");
+    out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
+    out.push_str(&format!("  \"records\": {records},\n"));
+    out.push_str(&format!("  \"operations\": {ops},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"load_ops_per_sec\": {:.1}, \"run_ops_per_sec\": {:.1}, \"run_p99_micros\": {}, \"errors\": {}}}{}\n",
+            cell.threads,
+            cell.load.throughput(),
+            cell.run.throughput(),
+            cell.run.latency.percentile_micros(0.99),
+            cell.load.errors + cell.run.errors,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

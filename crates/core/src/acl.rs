@@ -160,6 +160,19 @@ impl AccessController {
         )
     }
 
+    /// Whether any unexpired grant exists for `actor` under `purpose`,
+    /// regardless of subject scoping. Used for connection-time session
+    /// auth, where the subject of future operations is not yet known;
+    /// per-operation checks still apply afterwards.
+    #[must_use]
+    pub fn has_grant(&self, actor: &str, purpose: &str, now_ms: u64) -> bool {
+        self.grants.get(actor).is_some_and(|list| {
+            list.iter().any(|g| {
+                g.purpose == purpose && g.expires_at_ms.is_none_or(|deadline| now_ms <= deadline)
+            })
+        })
+    }
+
     /// Decide whether `actor` may process `subject`'s data under `purpose`
     /// at time `now_ms`. Takes `&self` so concurrent checks share a read
     /// lock.
@@ -205,6 +218,18 @@ mod tests {
         );
         assert!(!acl.check("app", "marketing", "alice", 0).is_allowed());
         assert!(!acl.check("other-app", "billing", "alice", 0).is_allowed());
+    }
+
+    #[test]
+    fn has_grant_ignores_subject_scope_but_honours_expiry() {
+        let mut acl = AccessController::new();
+        acl.grant(Grant::new("support", "recovery").for_subject("alice"));
+        acl.grant(Grant::new("contractor", "audit").until(1_000));
+        assert!(acl.has_grant("support", "recovery", 0));
+        assert!(!acl.has_grant("support", "billing", 0));
+        assert!(!acl.has_grant("nobody", "recovery", 0));
+        assert!(acl.has_grant("contractor", "audit", 1_000));
+        assert!(!acl.has_grant("contractor", "audit", 1_001));
     }
 
     #[test]

@@ -136,6 +136,12 @@ pub enum GdprError {
         /// Decoder detail.
         detail: String,
     },
+    /// The operation referenced a key that holds no value (e.g. replacing
+    /// the metadata of a key that was never stored or already erased).
+    NoSuchKey {
+        /// The missing key.
+        key: String,
+    },
 }
 
 impl fmt::Display for GdprError {
@@ -167,6 +173,9 @@ impl fmt::Display for GdprError {
             }
             GdprError::CorruptMetadata { key, detail } => {
                 write!(f, "metadata for key {key:?} is corrupt: {detail}")
+            }
+            GdprError::NoSuchKey { key } => {
+                write!(f, "key {key:?} does not exist")
             }
         }
     }

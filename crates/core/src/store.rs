@@ -263,6 +263,19 @@ impl GdprStore {
         );
     }
 
+    /// Whether `actor` currently holds any unexpired grant for `purpose`
+    /// (always `true` when the policy does not enforce access control).
+    /// Used by the RESP server's `GDPR.AUTH` to reject a session up front;
+    /// per-operation checks still apply afterwards.
+    #[must_use]
+    pub fn has_grant(&self, actor: &str, purpose: &str) -> bool {
+        if !self.policy.enforce_access_control {
+            return true;
+        }
+        let now = self.now_ms();
+        self.acl.read().has_grant(actor, purpose, now)
+    }
+
     /// Revoke every grant of `actor` for `purpose`. Returns how many were
     /// removed.
     pub fn revoke(&self, actor: &str, purpose: &str) -> usize {
@@ -631,6 +644,93 @@ impl GdprStore {
         );
         self.flush_audit_if_strict()?;
         Ok(record)
+    }
+
+    /// Replace the GDPR metadata of an existing key (subject transfer,
+    /// purpose re-consent, retention change) without rewriting its value.
+    /// The metadata shadow record, the key's retention deadline and the
+    /// subject/purpose index postings change together under the key's
+    /// segment lock.
+    ///
+    /// The actor must be permitted to act on the key's *current* subject
+    /// as well as the new one (re-stamping someone else's data to a
+    /// subject you hold a grant for is itself an access to their data),
+    /// the writer's purpose must be whitelisted in the new metadata
+    /// (Article 5, as for [`Self::put`]), and recorded objections survive
+    /// the replacement (Article 21: a rights request cannot be undone by a
+    /// writer re-stamping metadata).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdprError::NoSuchKey`] when the key holds no value, plus
+    /// access, purpose, location and storage errors.
+    pub fn set_metadata(
+        &self,
+        ctx: &AccessContext,
+        key: &str,
+        mut meta: PersonalMetadata,
+    ) -> Result<()> {
+        let now = self.now_ms();
+        if !self.policy.location_policy.allows(meta.location) {
+            self.stats.inc_denied();
+            return Err(GdprError::LocationViolation {
+                region: meta.location.to_string(),
+            });
+        }
+        if let Some(existing) = self.load_metadata(key)? {
+            self.check_access(ctx, &existing.subject, key)?;
+        }
+        self.check_access(ctx, &meta.subject, key)?;
+        if self.policy.enforce_purpose_limitation && !meta.purposes.contains(&ctx.purpose) {
+            self.stats.inc_denied();
+            return Err(GdprError::PurposeViolation {
+                key: key.to_string(),
+                purpose: ctx.purpose.clone(),
+            });
+        }
+        self.resolve_retention(&mut meta);
+        self.index.with_key_segment(key, |segment| -> Result<()> {
+            if !self.kv.exists(key)? {
+                return Err(GdprError::NoSuchKey {
+                    key: key.to_string(),
+                });
+            }
+            // Article 21: objections outlive metadata replacement. Re-read
+            // inside the bracket so a racing objection cannot be lost.
+            if let Some(existing) = self.load_metadata(key)? {
+                for objection in existing.objections {
+                    meta.objections.insert(objection);
+                }
+            }
+            self.store_metadata(key, &meta)?;
+            match meta.expires_at_ms {
+                Some(at) => {
+                    self.kv.expire_at(key, at)?;
+                }
+                None => {
+                    // Lifting retention must also clear the value key's old
+                    // engine-level deadline, or the engine would still erase
+                    // it while the metadata claims indefinite retention.
+                    self.kv.execute(kvstore::commands::Command::Persist {
+                        key: key.to_string(),
+                    })?;
+                }
+            }
+            if self.policy.maintain_indexes {
+                segment.remove(key);
+                segment.insert(key, &meta.subject, meta.purposes.iter().cloned());
+            }
+            Ok(())
+        })?;
+        self.stats.inc_allowed();
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::Write)
+                .key(key)
+                .subject(&meta.subject)
+                .purpose(&ctx.purpose)
+                .detail("metadata replaced"),
+        );
+        self.flush_audit_if_strict()
     }
 
     /// Read the GDPR metadata of a key (itself an audited read).
@@ -1082,6 +1182,131 @@ mod tests {
         let inventory = store.location_inventory().unwrap();
         assert_eq!(inventory.count(Region::Eu), 1);
         assert_eq!(inventory.total(), 1);
+    }
+
+    #[test]
+    fn set_metadata_reindexes_and_respects_existence() {
+        let store = permissive_store();
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        assert_eq!(store.index.keys_of_subject("alice"), vec!["k"]);
+
+        // Transfer the key to a new subject with new purposes.
+        let new_meta = PersonalMetadata::new("bob")
+            .with_purpose("billing")
+            .with_location(Region::Eu);
+        store.set_metadata(&ctx(), "k", new_meta).unwrap();
+        assert!(store.index.keys_of_subject("alice").is_empty());
+        assert_eq!(store.index.keys_of_subject("bob"), vec!["k"]);
+        assert_eq!(store.load_metadata("k").unwrap().unwrap().subject, "bob");
+        // The value itself is untouched.
+        assert_eq!(store.get(&ctx(), "k").unwrap(), Some(b"v".to_vec()));
+
+        // Setting metadata on a missing key is refused.
+        let err = store.set_metadata(&ctx(), "missing", meta()).unwrap_err();
+        assert!(matches!(err, GdprError::NoSuchKey { .. }));
+    }
+
+    #[test]
+    fn set_metadata_applies_retention_deadline() {
+        let clock = SimClock::new(1_000_000);
+        let store = GdprStore::open(
+            CompliancePolicy::strict(),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .clock(clock.clone()),
+            Box::new(MemorySink::new()),
+        )
+        .unwrap();
+        store.grant(Grant::new("app", "billing"));
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        store
+            .set_metadata(&ctx(), "k", meta().with_ttl_millis(5_000))
+            .unwrap();
+        clock.advance_millis(6_000);
+        store.tick().unwrap();
+        assert_eq!(store.get(&ctx(), "k").unwrap(), None);
+        assert!(store.load_metadata("k").unwrap().is_none());
+    }
+
+    #[test]
+    fn set_metadata_requires_access_to_the_current_subject() {
+        // An actor whose grant is scoped to bob must not be able to
+        // re-stamp alice's key onto bob (stealing it from alice's index).
+        let store = GdprStore::open_in_memory(CompliancePolicy::strict()).unwrap();
+        store.grant(Grant::new("app", "billing"));
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        store.revoke("app", "billing");
+        store.grant(Grant::new("app", "billing").for_subject("bob"));
+        let bob_meta = PersonalMetadata::new("bob").with_purpose("billing");
+        let err = store.set_metadata(&ctx(), "k", bob_meta).unwrap_err();
+        assert!(matches!(err, GdprError::AccessDenied { .. }));
+        assert_eq!(store.index.keys_of_subject("alice"), vec!["k"]);
+        assert!(store.index.keys_of_subject("bob").is_empty());
+    }
+
+    #[test]
+    fn set_metadata_requires_the_writer_purpose_to_be_whitelisted() {
+        let store = permissive_store();
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        // New metadata whitelists only "analytics"; the writer claims
+        // "billing" — the same shape put() refuses.
+        let m = PersonalMetadata::new("alice").with_purpose("analytics");
+        let err = store.set_metadata(&ctx(), "k", m).unwrap_err();
+        assert!(matches!(err, GdprError::PurposeViolation { .. }));
+    }
+
+    #[test]
+    fn set_metadata_preserves_recorded_objections() {
+        let store = permissive_store();
+        store.grant(Grant::new("app", "analytics"));
+        let m = meta().with_purpose("analytics");
+        store.put(&ctx(), "k", b"v".to_vec(), m.clone()).unwrap();
+        store.right_to_object(&ctx(), "alice", "analytics").unwrap();
+        // Re-stamping the metadata must not wash away the objection.
+        store.set_metadata(&ctx(), "k", m).unwrap();
+        let stored = store.load_metadata("k").unwrap().unwrap();
+        assert!(stored.objections.contains("analytics"));
+        let analytics = AccessContext::new("app", "analytics");
+        assert!(store.get(&analytics, "k").is_err());
+    }
+
+    #[test]
+    fn set_metadata_without_ttl_lifts_the_engine_deadline() {
+        let clock = SimClock::new(1_000_000);
+        let store = GdprStore::open(
+            CompliancePolicy::strict(),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .clock(clock.clone()),
+            Box::new(MemorySink::new()),
+        )
+        .unwrap();
+        store.grant(Grant::new("app", "billing"));
+        store
+            .put(&ctx(), "k", b"v".to_vec(), meta().with_ttl_millis(5_000))
+            .unwrap();
+        // Lift retention: no deadline in the new metadata.
+        store.set_metadata(&ctx(), "k", meta()).unwrap();
+        clock.advance_millis(6_000);
+        store.tick().unwrap();
+        assert_eq!(
+            store.get(&ctx(), "k").unwrap(),
+            Some(b"v".to_vec()),
+            "value must survive its old deadline once retention is lifted"
+        );
+        assert!(store.load_metadata("k").unwrap().is_some());
+    }
+
+    #[test]
+    fn has_grant_follows_policy_and_acl() {
+        let store = GdprStore::open_in_memory(CompliancePolicy::strict()).unwrap();
+        assert!(!store.has_grant("app", "billing"));
+        store.grant(Grant::new("app", "billing"));
+        assert!(store.has_grant("app", "billing"));
+        assert!(!store.has_grant("app", "marketing"));
+        // Without access-control enforcement every session is acceptable.
+        let open = GdprStore::open_in_memory(CompliancePolicy::unmodified()).unwrap();
+        assert!(open.has_grant("anyone", "anything"));
     }
 
     #[test]

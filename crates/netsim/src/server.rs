@@ -1,33 +1,32 @@
 //! A RESP front-end over the storage engine.
 //!
-//! [`RespKvServer`] is the "Redis server" of the reproduction: it accepts
-//! decoded RESP frames, maps them onto the engine's typed commands,
-//! executes them and produces RESP replies. The client in
-//! [`crate::client`] drives it through the simulated link, which is how the
-//! YCSB harness exercises the full networked data path for Figure 1's
-//! encrypted configuration.
+//! [`RespKvServer`] is the "Redis server" of the in-process simulation:
+//! it accepts decoded RESP frames and produces RESP replies, while the
+//! client in [`crate::client`] models the wire (bandwidth, latency, the
+//! TLS-style channel). The actual RESP → engine command mapping is **not**
+//! implemented here: it delegates to the shared
+//! [`gdpr_server::dispatch::Dispatcher`], the same mapper the real TCP
+//! server uses, so the simulated and networked paths accept exactly the
+//! same command surface and cannot drift.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use kvstore::commands::{Command, Reply};
+use gdpr_server::dispatch::{Dispatcher, Session};
 use kvstore::store::KvStore;
-use resp::command::WireCommand;
+use parking_lot::Mutex;
 use resp::Frame;
 
-/// Counters describing server activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Requests handled (including errors).
-    pub requests: u64,
-    /// Requests that produced an error reply.
-    pub errors: u64,
-}
+pub use gdpr_server::dispatch::reply_to_frame;
+pub use gdpr_server::dispatch::DispatchStats as ServerStats;
 
-/// A RESP-speaking server wrapping a [`KvStore`].
+/// A RESP-speaking server wrapping a [`KvStore`], driven in-process
+/// through the simulated link.
 #[derive(Debug, Clone)]
 pub struct RespKvServer {
-    store: KvStore,
-    stats: std::sync::Arc<parking_lot::Mutex<ServerStats>>,
+    dispatcher: Dispatcher,
+    /// The simulated path serves one logical client; its session state
+    /// (e.g. `GDPR.AUTH`) lives with the server object.
+    session: Arc<Mutex<Session>>,
 }
 
 impl RespKvServer {
@@ -35,256 +34,27 @@ impl RespKvServer {
     #[must_use]
     pub fn new(store: KvStore) -> Self {
         RespKvServer {
-            store,
-            stats: std::sync::Arc::new(parking_lot::Mutex::new(ServerStats::default())),
+            dispatcher: Dispatcher::kv(store),
+            session: Arc::new(Mutex::new(Session::new())),
         }
     }
 
     /// The wrapped engine (e.g. for the benchmark driver to call `tick`).
     #[must_use]
     pub fn store(&self) -> &KvStore {
-        &self.store
+        self.dispatcher.raw_engine()
     }
 
     /// Server activity counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        *self.stats.lock()
+        self.dispatcher.stats()
     }
 
     /// Handle one decoded request frame and produce the reply frame.
     pub fn handle_frame(&self, frame: &Frame) -> Frame {
-        let mut stats = self.stats.lock();
-        stats.requests += 1;
-        drop(stats);
-        let reply = match WireCommand::from_frame(frame) {
-            Ok(cmd) => self.dispatch(&cmd),
-            Err(e) => Frame::Error(format!("ERR {e}")),
-        };
-        if matches!(reply, Frame::Error(_)) {
-            self.stats.lock().errors += 1;
-        }
-        reply
-    }
-
-    fn dispatch(&self, cmd: &WireCommand) -> Frame {
-        match self.translate(cmd) {
-            Ok(Some(command)) => match self.store.execute(command) {
-                Ok(reply) => reply_to_frame(reply),
-                Err(e) => Frame::Error(format!("ERR {e}")),
-            },
-            Ok(None) => Frame::Simple("PONG".to_string()),
-            Err(message) => Frame::Error(message),
-        }
-    }
-
-    /// Translate a wire command into an engine command. `Ok(None)` means
-    /// the command is handled at the protocol level (currently only PING).
-    fn translate(&self, cmd: &WireCommand) -> std::result::Result<Option<Command>, String> {
-        let arity_err = |need: usize| {
-            Err(format!(
-                "ERR wrong number of arguments for '{}' ({} given, {need} needed)",
-                cmd.name,
-                cmd.arity()
-            ))
-        };
-        let s = |i: usize| {
-            cmd.arg_str(i)
-                .map(str::to_string)
-                .map_err(|e| format!("ERR {e}"))
-        };
-        let b = |i: usize| {
-            cmd.arg_bytes(i)
-                .map(<[u8]>::to_vec)
-                .map_err(|e| format!("ERR {e}"))
-        };
-        let n = |i: usize| cmd.arg_u64(i).map_err(|e| format!("ERR {e}"));
-
-        let command = match cmd.name.as_str() {
-            "PING" => return Ok(None),
-            "SET" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::Set {
-                    key: s(0)?,
-                    value: b(1)?,
-                }
-            }
-            "GET" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::Get { key: s(0)? }
-            }
-            "DEL" | "UNLINK" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::Del { key: s(0)? }
-            }
-            "EXISTS" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::Exists { key: s(0)? }
-            }
-            "PEXPIRE" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::Expire {
-                    key: s(0)?,
-                    ttl_ms: n(1)?,
-                }
-            }
-            "EXPIRE" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::Expire {
-                    key: s(0)?,
-                    ttl_ms: n(1)? * 1_000,
-                }
-            }
-            "PEXPIREAT" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::ExpireAt {
-                    key: s(0)?,
-                    at_ms: n(1)?,
-                }
-            }
-            "PTTL" | "TTL" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::Ttl { key: s(0)? }
-            }
-            "PERSIST" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::Persist { key: s(0)? }
-            }
-            "HSET" => {
-                if cmd.arity() != 3 {
-                    return arity_err(3);
-                }
-                Command::HSet {
-                    key: s(0)?,
-                    field: s(1)?,
-                    value: b(2)?,
-                }
-            }
-            "HMSET" => {
-                if cmd.arity() < 3 || cmd.arity().is_multiple_of(2) {
-                    return arity_err(3);
-                }
-                let key = s(0)?;
-                let mut fields = BTreeMap::new();
-                let mut i = 1;
-                while i < cmd.arity() {
-                    fields.insert(s(i)?, b(i + 1)?);
-                    i += 2;
-                }
-                Command::HSetMulti { key, fields }
-            }
-            "HGET" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::HGet {
-                    key: s(0)?,
-                    field: s(1)?,
-                }
-            }
-            "HGETALL" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::HGetAll { key: s(0)? }
-            }
-            "HDEL" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::HDel {
-                    key: s(0)?,
-                    field: s(1)?,
-                }
-            }
-            "SADD" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::SAdd {
-                    key: s(0)?,
-                    member: b(1)?,
-                }
-            }
-            "SREM" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::SRem {
-                    key: s(0)?,
-                    member: b(1)?,
-                }
-            }
-            "SMEMBERS" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::SMembers { key: s(0)? }
-            }
-            "KEYS" => {
-                if cmd.arity() != 1 {
-                    return arity_err(1);
-                }
-                Command::Keys { pattern: s(0)? }
-            }
-            "SCAN" => {
-                if cmd.arity() != 2 {
-                    return arity_err(2);
-                }
-                Command::Scan {
-                    start: s(0)?,
-                    count: n(1)?,
-                }
-            }
-            "DBSIZE" => Command::DbSize,
-            "FLUSHALL" | "FLUSHDB" => Command::FlushAll,
-            other => return Err(format!("ERR unknown command '{other}'")),
-        };
-        Ok(Some(command))
-    }
-}
-
-/// Convert an engine reply into a RESP frame.
-#[must_use]
-pub fn reply_to_frame(reply: Reply) -> Frame {
-    match reply {
-        Reply::Ok => Frame::Simple("OK".to_string()),
-        Reply::Nil => Frame::Null,
-        Reply::Int(i) => Frame::Integer(i),
-        Reply::Bytes(b) => Frame::Bulk(b),
-        Reply::Array(items) => Frame::Array(items.into_iter().map(Frame::Bulk).collect()),
-        Reply::StringArray(keys) => Frame::Array(
-            keys.into_iter()
-                .map(|k| Frame::Bulk(k.into_bytes()))
-                .collect(),
-        ),
-        Reply::Map(map) => {
-            let mut items = Vec::with_capacity(map.len() * 2);
-            for (field, value) in map {
-                items.push(Frame::Bulk(field.into_bytes()));
-                items.push(Frame::Bulk(value));
-            }
-            Frame::Array(items)
-        }
-        _ => Frame::Error("ERR unsupported reply".to_string()),
+        let mut session = self.session.lock();
+        self.dispatcher.handle_frame(frame, &mut session)
     }
 }
 

@@ -2,8 +2,14 @@
 //!
 //! Redis clients send every command as an array of bulk strings
 //! (`*3\r\n$3\r\nSET\r\n…`). [`WireCommand`] is that representation with
-//! the command name normalised to upper case; the `netsim` server maps it
+//! the command name normalised to upper case; the shared dispatcher (used
+//! by both the simulated `netsim` server and the real TCP server) maps it
 //! onto the engine's typed command set.
+//!
+//! [`GdprRequest`] extends the wire surface beyond plain Redis commands:
+//! it gives every GDPR operation of the compliance layer (session auth,
+//! grants, metadata get/set, subject rights) a `GDPR.*` command form, so
+//! remote clients can exercise the full compliance surface over a socket.
 
 use crate::{Frame, RespError};
 
@@ -117,6 +123,304 @@ impl WireCommand {
     }
 }
 
+/// The GDPR operations expressible on the wire, as `GDPR.*` commands.
+///
+/// Multi-valued purpose lists travel as one comma-separated argument;
+/// values are raw bulk strings. [`GdprRequest::to_wire`] and
+/// [`GdprRequest::from_wire`] round-trip, so client and server agree on
+/// the encoding by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GdprRequest {
+    /// `GDPR.AUTH actor purpose` — bind this connection to an access
+    /// context (actor + declared processing purpose).
+    Auth {
+        /// The acting entity.
+        actor: String,
+        /// The declared processing purpose.
+        purpose: String,
+    },
+    /// `GDPR.GRANT actor purpose` — install an access grant (Article 25).
+    Grant {
+        /// The acting entity being granted access.
+        actor: String,
+        /// The purpose the grant covers.
+        purpose: String,
+    },
+    /// `GDPR.REVOKE actor purpose` — revoke every matching grant.
+    Revoke {
+        /// The acting entity whose grants are revoked.
+        actor: String,
+        /// The purpose whose grants are revoked.
+        purpose: String,
+    },
+    /// `GDPR.PUT key subject purposes value [ttl_ms]` — store personal
+    /// data together with its metadata in one round trip.
+    Put {
+        /// Key to write.
+        key: String,
+        /// The data subject the value is about.
+        subject: String,
+        /// Whitelisted processing purposes.
+        purposes: Vec<String>,
+        /// The value to store.
+        value: Vec<u8>,
+        /// Optional retention TTL in milliseconds.
+        ttl_ms: Option<u64>,
+    },
+    /// `GDPR.GETMETA key` — read the metadata shadow record of a key.
+    GetMeta {
+        /// Key whose metadata is read.
+        key: String,
+    },
+    /// `GDPR.SETMETA key subject purposes [ttl_ms]` — replace the
+    /// metadata of an existing key.
+    SetMeta {
+        /// Key whose metadata is replaced.
+        key: String,
+        /// The (possibly new) data subject.
+        subject: String,
+        /// Whitelisted processing purposes.
+        purposes: Vec<String>,
+        /// Optional retention TTL in milliseconds.
+        ttl_ms: Option<u64>,
+    },
+    /// `GDPR.KEYSOF subject` — every key owned by a subject (Article 15
+    /// lookup through the metadata index).
+    KeysOf {
+        /// The data subject.
+        subject: String,
+    },
+    /// `GDPR.ERASE subject` — the right to be forgotten (Article 17).
+    Erase {
+        /// The data subject whose keys are erased.
+        subject: String,
+    },
+    /// `GDPR.EXPORT subject` — the right to data portability (Article 20),
+    /// returning a machine-readable JSON export.
+    Export {
+        /// The data subject whose data is exported.
+        subject: String,
+    },
+    /// `GDPR.OBJECT subject purpose` — record an objection (Article 21).
+    Object {
+        /// The data subject objecting.
+        subject: String,
+        /// The purpose objected to.
+        purpose: String,
+    },
+    /// `GDPR.STATS` — compliance-layer counters.
+    Stats,
+}
+
+/// Join a purpose list into its one-argument wire form.
+fn purposes_to_arg(purposes: &[String]) -> Vec<u8> {
+    purposes.join(",").into_bytes()
+}
+
+/// Split the one-argument wire form back into a purpose list.
+fn purposes_from_arg(arg: &str) -> Vec<String> {
+    arg.split(',')
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+impl GdprRequest {
+    /// Whether a command name belongs to the GDPR wire surface.
+    #[must_use]
+    pub fn is_gdpr_command(name: &str) -> bool {
+        name.starts_with("GDPR.")
+    }
+
+    /// Parse a [`WireCommand`] into a GDPR request.
+    ///
+    /// Returns `None` when the command is not a `GDPR.*` command at all
+    /// (the caller should fall through to the plain Redis surface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RespError::InvalidCommand`] (inside `Some`) for a
+    /// `GDPR.*` command with an unknown name, wrong arity or malformed
+    /// arguments.
+    pub fn from_wire(cmd: &WireCommand) -> Option<Result<Self, RespError>> {
+        if !Self::is_gdpr_command(&cmd.name) {
+            return None;
+        }
+        Some(Self::parse_gdpr(cmd))
+    }
+
+    fn parse_gdpr(cmd: &WireCommand) -> Result<Self, RespError> {
+        let arity = |need: &str| {
+            RespError::InvalidCommand(format!(
+                "wrong number of arguments for '{}' (usage: {} {need})",
+                cmd.name, cmd.name
+            ))
+        };
+        let request = match cmd.name.as_str() {
+            "GDPR.AUTH" | "GDPR.GRANT" | "GDPR.REVOKE" => {
+                if cmd.arity() != 2 {
+                    return Err(arity("actor purpose"));
+                }
+                let actor = cmd.arg_str(0)?.to_string();
+                let purpose = cmd.arg_str(1)?.to_string();
+                match cmd.name.as_str() {
+                    "GDPR.AUTH" => GdprRequest::Auth { actor, purpose },
+                    "GDPR.GRANT" => GdprRequest::Grant { actor, purpose },
+                    _ => GdprRequest::Revoke { actor, purpose },
+                }
+            }
+            "GDPR.PUT" => {
+                if cmd.arity() != 4 && cmd.arity() != 5 {
+                    return Err(arity("key subject purposes value [ttl_ms]"));
+                }
+                GdprRequest::Put {
+                    key: cmd.arg_str(0)?.to_string(),
+                    subject: cmd.arg_str(1)?.to_string(),
+                    purposes: purposes_from_arg(cmd.arg_str(2)?),
+                    value: cmd.arg_bytes(3)?.to_vec(),
+                    ttl_ms: if cmd.arity() == 5 {
+                        Some(cmd.arg_u64(4)?)
+                    } else {
+                        None
+                    },
+                }
+            }
+            "GDPR.GETMETA" => {
+                if cmd.arity() != 1 {
+                    return Err(arity("key"));
+                }
+                GdprRequest::GetMeta {
+                    key: cmd.arg_str(0)?.to_string(),
+                }
+            }
+            "GDPR.SETMETA" => {
+                if cmd.arity() != 3 && cmd.arity() != 4 {
+                    return Err(arity("key subject purposes [ttl_ms]"));
+                }
+                GdprRequest::SetMeta {
+                    key: cmd.arg_str(0)?.to_string(),
+                    subject: cmd.arg_str(1)?.to_string(),
+                    purposes: purposes_from_arg(cmd.arg_str(2)?),
+                    ttl_ms: if cmd.arity() == 4 {
+                        Some(cmd.arg_u64(3)?)
+                    } else {
+                        None
+                    },
+                }
+            }
+            "GDPR.KEYSOF" | "GDPR.ERASE" | "GDPR.EXPORT" => {
+                if cmd.arity() != 1 {
+                    return Err(arity("subject"));
+                }
+                let subject = cmd.arg_str(0)?.to_string();
+                match cmd.name.as_str() {
+                    "GDPR.KEYSOF" => GdprRequest::KeysOf { subject },
+                    "GDPR.ERASE" => GdprRequest::Erase { subject },
+                    _ => GdprRequest::Export { subject },
+                }
+            }
+            "GDPR.OBJECT" => {
+                if cmd.arity() != 2 {
+                    return Err(arity("subject purpose"));
+                }
+                GdprRequest::Object {
+                    subject: cmd.arg_str(0)?.to_string(),
+                    purpose: cmd.arg_str(1)?.to_string(),
+                }
+            }
+            "GDPR.STATS" => {
+                if cmd.arity() != 0 {
+                    return Err(arity(""));
+                }
+                GdprRequest::Stats
+            }
+            other => {
+                return Err(RespError::InvalidCommand(format!(
+                    "unknown GDPR command '{other}'"
+                )))
+            }
+        };
+        Ok(request)
+    }
+
+    /// Encode the request as a [`WireCommand`] ready for transmission.
+    #[must_use]
+    pub fn to_wire(&self) -> WireCommand {
+        match self {
+            GdprRequest::Auth { actor, purpose } => WireCommand::new(
+                "GDPR.AUTH",
+                vec![actor.clone().into_bytes(), purpose.clone().into_bytes()],
+            ),
+            GdprRequest::Grant { actor, purpose } => WireCommand::new(
+                "GDPR.GRANT",
+                vec![actor.clone().into_bytes(), purpose.clone().into_bytes()],
+            ),
+            GdprRequest::Revoke { actor, purpose } => WireCommand::new(
+                "GDPR.REVOKE",
+                vec![actor.clone().into_bytes(), purpose.clone().into_bytes()],
+            ),
+            GdprRequest::Put {
+                key,
+                subject,
+                purposes,
+                value,
+                ttl_ms,
+            } => {
+                let mut args = vec![
+                    key.clone().into_bytes(),
+                    subject.clone().into_bytes(),
+                    purposes_to_arg(purposes),
+                    value.clone(),
+                ];
+                if let Some(ttl) = ttl_ms {
+                    args.push(ttl.to_string().into_bytes());
+                }
+                WireCommand::new("GDPR.PUT", args)
+            }
+            GdprRequest::GetMeta { key } => {
+                WireCommand::new("GDPR.GETMETA", vec![key.clone().into_bytes()])
+            }
+            GdprRequest::SetMeta {
+                key,
+                subject,
+                purposes,
+                ttl_ms,
+            } => {
+                let mut args = vec![
+                    key.clone().into_bytes(),
+                    subject.clone().into_bytes(),
+                    purposes_to_arg(purposes),
+                ];
+                if let Some(ttl) = ttl_ms {
+                    args.push(ttl.to_string().into_bytes());
+                }
+                WireCommand::new("GDPR.SETMETA", args)
+            }
+            GdprRequest::KeysOf { subject } => {
+                WireCommand::new("GDPR.KEYSOF", vec![subject.clone().into_bytes()])
+            }
+            GdprRequest::Erase { subject } => {
+                WireCommand::new("GDPR.ERASE", vec![subject.clone().into_bytes()])
+            }
+            GdprRequest::Export { subject } => {
+                WireCommand::new("GDPR.EXPORT", vec![subject.clone().into_bytes()])
+            }
+            GdprRequest::Object { subject, purpose } => WireCommand::new(
+                "GDPR.OBJECT",
+                vec![subject.clone().into_bytes(), purpose.clone().into_bytes()],
+            ),
+            GdprRequest::Stats => WireCommand::new("GDPR.STATS", Vec::new()),
+        }
+    }
+
+    /// Encode the request directly into a RESP frame.
+    #[must_use]
+    pub fn to_frame(&self) -> Frame {
+        self.to_wire().to_frame()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +465,115 @@ mod tests {
         let cmd = WireCommand::from_frame(&frame).unwrap();
         assert_eq!(cmd.name, "PING");
         assert_eq!(cmd.arity(), 0);
+    }
+
+    fn all_gdpr_requests() -> Vec<GdprRequest> {
+        vec![
+            GdprRequest::Auth {
+                actor: "app".into(),
+                purpose: "billing".into(),
+            },
+            GdprRequest::Grant {
+                actor: "app".into(),
+                purpose: "billing".into(),
+            },
+            GdprRequest::Revoke {
+                actor: "app".into(),
+                purpose: "billing".into(),
+            },
+            GdprRequest::Put {
+                key: "user:alice:email".into(),
+                subject: "alice".into(),
+                purposes: vec!["billing".into(), "analytics".into()],
+                value: b"alice@example.com".to_vec(),
+                ttl_ms: Some(60_000),
+            },
+            GdprRequest::Put {
+                key: "k".into(),
+                subject: "bob".into(),
+                purposes: vec!["billing".into()],
+                value: b"\x00binary\r\n".to_vec(),
+                ttl_ms: None,
+            },
+            GdprRequest::GetMeta { key: "k".into() },
+            GdprRequest::SetMeta {
+                key: "k".into(),
+                subject: "carol".into(),
+                purposes: vec!["ops".into()],
+                ttl_ms: Some(5),
+            },
+            GdprRequest::KeysOf {
+                subject: "alice".into(),
+            },
+            GdprRequest::Erase {
+                subject: "alice".into(),
+            },
+            GdprRequest::Export {
+                subject: "alice".into(),
+            },
+            GdprRequest::Object {
+                subject: "alice".into(),
+                purpose: "marketing".into(),
+            },
+            GdprRequest::Stats,
+        ]
+    }
+
+    #[test]
+    fn gdpr_requests_roundtrip_through_the_wire_form() {
+        for request in all_gdpr_requests() {
+            let wire = request.to_wire();
+            assert!(GdprRequest::is_gdpr_command(&wire.name), "{wire:?}");
+            let reparsed = GdprRequest::from_wire(&wire)
+                .expect("GDPR command recognised")
+                .expect("GDPR command parses");
+            assert_eq!(reparsed, request);
+            // And through a full frame encode/parse cycle.
+            let cmd = WireCommand::from_frame(&request.to_frame()).unwrap();
+            assert_eq!(GdprRequest::from_wire(&cmd).unwrap().unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn non_gdpr_commands_fall_through() {
+        let cmd = WireCommand::new("SET", vec![b"k".to_vec(), b"v".to_vec()]);
+        assert!(GdprRequest::from_wire(&cmd).is_none());
+        assert!(!GdprRequest::is_gdpr_command("GET"));
+    }
+
+    #[test]
+    fn gdpr_parse_errors() {
+        // Unknown GDPR command.
+        let cmd = WireCommand::new("GDPR.NOPE", vec![]);
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+        // Wrong arity.
+        let cmd = WireCommand::new("GDPR.AUTH", vec![b"app".to_vec()]);
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+        let cmd = WireCommand::new("GDPR.STATS", vec![b"extra".to_vec()]);
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+        // Bad TTL argument.
+        let cmd = WireCommand::new(
+            "GDPR.PUT",
+            vec![
+                b"k".to_vec(),
+                b"s".to_vec(),
+                b"p".to_vec(),
+                b"v".to_vec(),
+                b"soon".to_vec(),
+            ],
+        );
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+    }
+
+    #[test]
+    fn empty_purpose_list_roundtrips() {
+        let request = GdprRequest::SetMeta {
+            key: "k".into(),
+            subject: "s".into(),
+            purposes: Vec::new(),
+            ttl_ms: None,
+        };
+        let reparsed = GdprRequest::from_wire(&request.to_wire()).unwrap().unwrap();
+        assert_eq!(reparsed, request);
     }
 }

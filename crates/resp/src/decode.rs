@@ -12,19 +12,49 @@ use crate::{Frame, RespError};
 /// Result alias for decoding operations.
 pub type Result<T> = std::result::Result<T, RespError>;
 
+/// Default cap on the size of a single frame accepted by [`Decoder`]
+/// (64 MiB). A remote peer must not be able to make the server buffer
+/// unboundedly by declaring a huge bulk length or never finishing a line.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
 /// An incremental frame decoder.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Decoder {
     buf: BytesMut,
+    max_frame_bytes: usize,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Decoder::new()
+    }
 }
 
 impl Decoder {
-    /// Create an empty decoder.
+    /// Create an empty decoder with the default frame-size limit
+    /// ([`DEFAULT_MAX_FRAME_BYTES`]).
     #[must_use]
     pub fn new() -> Self {
         Decoder {
             buf: BytesMut::new(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
         }
+    }
+
+    /// Create an empty decoder that rejects frames larger than
+    /// `max_frame_bytes` with a protocol error.
+    #[must_use]
+    pub fn with_max_frame_bytes(max_frame_bytes: usize) -> Self {
+        Decoder {
+            buf: BytesMut::new(),
+            max_frame_bytes: max_frame_bytes.max(1),
+        }
+    }
+
+    /// The configured frame-size limit in bytes.
+    #[must_use]
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
     }
 
     /// Append newly received bytes.
@@ -43,15 +73,22 @@ impl Decoder {
     ///
     /// # Errors
     ///
-    /// Returns [`RespError::Protocol`] on malformed input. The buffer is
-    /// left untouched after an error (the connection should be dropped).
+    /// Returns [`RespError::Protocol`] on malformed input, on a frame that
+    /// declares a payload larger than the configured limit, and when the
+    /// buffer grows past the limit without containing a complete frame.
+    /// The buffer is left untouched after an error (the connection should
+    /// be dropped).
     pub fn next_frame(&mut self) -> Result<Option<Frame>> {
         let mut pos = 0usize;
-        match parse_frame(&self.buf, &mut pos)? {
+        match parse_frame_limited(&self.buf, &mut pos, self.max_frame_bytes)? {
             Some(frame) => {
                 self.buf.advance(pos);
                 Ok(Some(frame))
             }
+            None if self.buf.len() > self.max_frame_bytes => Err(RespError::Protocol(format!(
+                "frame exceeds the {} byte limit",
+                self.max_frame_bytes
+            ))),
             None => Ok(None),
         }
     }
@@ -111,6 +148,14 @@ fn parse_int(line: &[u8]) -> Result<i64> {
 }
 
 fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
+    parse_frame_limited(data, pos, usize::MAX)
+}
+
+/// The smallest possible encoded frame (`+\r\n`) is three bytes; used to
+/// bound the believable element count of an array header.
+const MIN_FRAME_BYTES: usize = 3;
+
+fn parse_frame_limited(data: &[u8], pos: &mut usize, limit: usize) -> Result<Option<Frame>> {
     if *pos >= data.len() {
         return Ok(None);
     }
@@ -138,6 +183,11 @@ fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
                 return Ok(Some(Frame::Null));
             }
             let len = len as usize;
+            if len > limit {
+                return Err(RespError::Protocol(format!(
+                    "bulk string of {len} bytes exceeds the {limit} byte limit"
+                )));
+            }
             if data.len() < *pos + len + 2 {
                 return Ok(None);
             }
@@ -158,9 +208,22 @@ fn parse_frame(data: &[u8], pos: &mut usize) -> Result<Option<Frame>> {
             if count < 0 {
                 return Ok(Some(Frame::Null));
             }
-            let mut items = Vec::with_capacity(count as usize);
+            let count = count as usize;
+            // Every element needs at least MIN_FRAME_BYTES on the wire, so
+            // a count this large can never fit inside the frame limit —
+            // reject it before reserving any memory for it.
+            if count > limit / MIN_FRAME_BYTES {
+                return Err(RespError::Protocol(format!(
+                    "array of {count} elements exceeds the {limit} byte limit"
+                )));
+            }
+            // Cap the pre-allocation by what the buffered bytes could
+            // plausibly hold, so a huge declared count on a short buffer
+            // cannot reserve unbounded memory before parsing fails.
+            let plausible = data.len().saturating_sub(*pos) / MIN_FRAME_BYTES;
+            let mut items = Vec::with_capacity(count.min(plausible.max(1)));
             for _ in 0..count {
-                match parse_frame(data, pos)? {
+                match parse_frame_limited(data, pos, limit)? {
                     Some(frame) => items.push(frame),
                     None => return Ok(None),
                 }
@@ -251,5 +314,51 @@ mod tests {
     fn null_array_decodes_to_null() {
         assert_eq!(decode_one(b"*-1\r\n").unwrap(), Frame::Null);
         assert_eq!(decode_one(b"$-1\r\n").unwrap(), Frame::Null);
+    }
+
+    #[test]
+    fn oversized_declared_bulk_is_rejected_immediately() {
+        // The header alone declares a payload beyond the limit; the decoder
+        // must error without waiting for (or buffering) the payload.
+        let mut decoder = Decoder::with_max_frame_bytes(1024);
+        decoder.feed(b"$1000000000\r\n");
+        assert!(matches!(decoder.next_frame(), Err(RespError::Protocol(_))));
+    }
+
+    #[test]
+    fn oversized_array_count_is_rejected_immediately() {
+        let mut decoder = Decoder::with_max_frame_bytes(1024);
+        decoder.feed(b"*999999999\r\n");
+        assert!(matches!(decoder.next_frame(), Err(RespError::Protocol(_))));
+    }
+
+    #[test]
+    fn unterminated_frame_cannot_buffer_past_the_limit() {
+        // A simple string that never sends its CRLF must not make the
+        // decoder accumulate bytes forever.
+        let mut decoder = Decoder::with_max_frame_bytes(64);
+        decoder.feed(b"+");
+        decoder.feed(&[b'x'; 128]);
+        assert!(matches!(decoder.next_frame(), Err(RespError::Protocol(_))));
+    }
+
+    #[test]
+    fn frames_under_the_limit_still_decode() {
+        let mut decoder = Decoder::with_max_frame_bytes(1024);
+        assert_eq!(decoder.max_frame_bytes(), 1024);
+        let frame = Frame::command(["SET", "key", "value"]);
+        decoder.feed(&encode_frame(&frame));
+        assert_eq!(decoder.next_frame().unwrap(), Some(frame));
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn default_limit_is_applied_by_new() {
+        let decoder = Decoder::new();
+        assert_eq!(decoder.max_frame_bytes(), DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(
+            Decoder::default().max_frame_bytes(),
+            DEFAULT_MAX_FRAME_BYTES
+        );
     }
 }

@@ -1,0 +1,127 @@
+//! The `gdpr-server` binary: a real RESP-over-TCP server over the
+//! reproduction's storage engine, with the compliance layer optional.
+//!
+//! Usage (all arguments optional, `key=value` form):
+//!
+//! ```text
+//! gdpr-server [addr=127.0.0.1:6379] [shards=1] [fsync=everysec]
+//!             [compliance=1] [maxconns=64] [aof=mem|none|<path>]
+//!             [grant=actor:purpose[,actor:purpose...]] [duration=secs]
+//! ```
+//!
+//! * `compliance` — 0 = raw engine (plain Redis surface only), 1 =
+//!   eventual policy, 2 = strict policy.
+//! * `fsync` — `always`, `everysec` or `none` (journal fsync policy).
+//! * `aof` — `mem` (default: in-memory journal), `none`, or a file path.
+//! * `grant` — access grants to install at startup, e.g.
+//!   `grant=ycsb:benchmarking` (grants can also be installed over the wire
+//!   with `GDPR.GRANT`).
+//! * `duration` — auto-shutdown after N seconds (0 = run until a client
+//!   sends `SHUTDOWN` or the process is signalled).
+//!
+//! The server exits cleanly when a client sends `SHUTDOWN`: in-flight
+//! requests are answered, every connection thread is joined, and the final
+//! request counters are printed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use audit::sink::NullSink;
+use gdpr_core::acl::Grant;
+use gdpr_core::policy::CompliancePolicy;
+use gdpr_core::store::GdprStore;
+use gdpr_server::dispatch::Dispatcher;
+use gdpr_server::tcp::{ServerConfig, TcpServer};
+use kvstore::aof::FsyncPolicy;
+use kvstore::config::StoreConfig;
+use kvstore::store::KvStore;
+
+fn arg_str<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter().find_map(|a| a.strip_prefix(&format!("{key}=")))
+}
+
+fn arg_u64(args: &[String], key: &str) -> Option<u64> {
+    arg_str(args, key).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = arg_str(&args, "addr")
+        .unwrap_or("127.0.0.1:6379")
+        .to_string();
+    let shards = arg_u64(&args, "shards").unwrap_or(1) as usize;
+    let compliance = arg_u64(&args, "compliance").unwrap_or(1);
+    let max_connections = arg_u64(&args, "maxconns").unwrap_or(64) as usize;
+    let duration_secs = arg_u64(&args, "duration").unwrap_or(0);
+
+    let fsync = match arg_str(&args, "fsync").unwrap_or("everysec") {
+        "always" => FsyncPolicy::Always,
+        "none" | "never" | "no" => FsyncPolicy::Never,
+        _ => FsyncPolicy::EverySec,
+    };
+
+    let mut config = StoreConfig::in_memory().shards(shards).fsync(fsync);
+    match arg_str(&args, "aof").unwrap_or("mem") {
+        "mem" => config = config.aof_in_memory(),
+        "none" => {}
+        path => config.persistence = kvstore::config::Persistence::AofFile(path.into()),
+    }
+
+    let dispatcher = if compliance == 0 {
+        let store = KvStore::open(config).expect("open storage engine");
+        println!("gdpr-server: raw engine, {shards} shard(s), fsync {fsync:?}");
+        Dispatcher::kv(store)
+    } else {
+        let mut policy = if compliance >= 2 {
+            CompliancePolicy::strict()
+        } else {
+            CompliancePolicy::eventual()
+        };
+        policy.journal_fsync = fsync;
+        println!(
+            "gdpr-server: compliance policy '{}', {shards} shard(s), fsync {fsync:?}",
+            policy.name
+        );
+        let store =
+            GdprStore::open(policy, config, Box::new(NullSink::new())).expect("open GDPR store");
+        if let Some(grants) = arg_str(&args, "grant") {
+            for pair in grants.split(',').filter(|p| !p.is_empty()) {
+                if let Some((actor, purpose)) = pair.split_once(':') {
+                    store.grant(Grant::new(actor, purpose));
+                    println!("  grant installed: {actor} -> {purpose}");
+                } else {
+                    eprintln!("  ignoring malformed grant {pair:?} (want actor:purpose)");
+                }
+            }
+        }
+        Dispatcher::gdpr(Arc::new(store))
+    };
+
+    let server_config = ServerConfig {
+        max_connections,
+        ..ServerConfig::default()
+    };
+    let server = TcpServer::bind(dispatcher, addr.as_str(), server_config).expect("bind listener");
+    println!(
+        "gdpr-server: listening on {} (maxconns={max_connections}); send SHUTDOWN to stop",
+        server.local_addr()
+    );
+
+    if duration_secs > 0 {
+        let deadline = std::time::Instant::now() + Duration::from_secs(duration_secs);
+        while !server.is_shutdown_requested() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        server.request_shutdown();
+    } else {
+        server.wait_for_shutdown_request(Duration::from_millis(100));
+    }
+
+    let dispatch = server.dispatcher().stats();
+    let transport = server.transport_stats();
+    server.shutdown();
+    println!(
+        "gdpr-server: stopped; {} requests ({} errors), {} connections accepted, {} rejected",
+        dispatch.requests, dispatch.errors, transport.accepted, transport.rejected
+    );
+}

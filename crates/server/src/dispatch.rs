@@ -1,0 +1,1091 @@
+//! The single RESP → engine command mapper.
+//!
+//! Both RESP front-ends — the in-process simulated server in
+//! `netsim::server` and the real TCP server in [`crate::tcp`] — delegate
+//! every decoded frame to [`Dispatcher`], so the two paths execute the
+//! same commands the same way and cannot drift. The dispatcher serves one
+//! of two engines:
+//!
+//! * [`Engine::Kv`] — the raw storage engine, speaking the plain Redis
+//!   command surface (the paper's unmodified baseline);
+//! * [`Engine::Gdpr`] — the full compliance layer, where data commands
+//!   run through access control, purpose limitation, metadata and audit,
+//!   and the `GDPR.*` commands (see [`resp::command::GdprRequest`])
+//!   expose grants, session auth, metadata get/set and the Chapter 3
+//!   subject rights on the wire.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gdpr_core::acl::Grant;
+use gdpr_core::metadata::PersonalMetadata;
+use gdpr_core::store::{AccessContext, GdprStore};
+use kvstore::commands::{Command, Reply};
+use kvstore::store::KvStore;
+use resp::command::{GdprRequest, WireCommand};
+use resp::Frame;
+
+/// Counters describing dispatcher activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Requests handled (including errors).
+    pub requests: u64,
+    /// Requests that produced an error reply.
+    pub errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct DispatchStatsCells {
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Per-connection state: the access context bound by `GDPR.AUTH`.
+///
+/// The simulated server keeps one session for its single in-process
+/// client; the TCP server keeps one per connection.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    ctx: Option<AccessContext>,
+}
+
+impl Session {
+    /// A fresh, unauthenticated session.
+    #[must_use]
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// The access context bound to this session, if authenticated.
+    #[must_use]
+    pub fn context(&self) -> Option<&AccessContext> {
+        self.ctx.as_ref()
+    }
+}
+
+/// The storage engine a dispatcher serves.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// The raw key-value engine (plain Redis surface).
+    Kv(KvStore),
+    /// The full GDPR compliance layer.
+    Gdpr(Arc<GdprStore>),
+}
+
+/// Maps decoded RESP frames onto engine commands and executes them.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    engine: Engine,
+    stats: Arc<DispatchStatsCells>,
+}
+
+impl Dispatcher {
+    /// Dispatch onto the raw key-value engine.
+    #[must_use]
+    pub fn kv(store: KvStore) -> Self {
+        Dispatcher {
+            engine: Engine::Kv(store),
+            stats: Arc::new(DispatchStatsCells::default()),
+        }
+    }
+
+    /// Dispatch onto the GDPR compliance layer.
+    #[must_use]
+    pub fn gdpr(store: Arc<GdprStore>) -> Self {
+        Dispatcher {
+            engine: Engine::Gdpr(store),
+            stats: Arc::new(DispatchStatsCells::default()),
+        }
+    }
+
+    /// The engine being served.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The underlying raw engine, whichever front the dispatcher serves
+    /// (the compliance layer wraps the same engine type).
+    #[must_use]
+    pub fn raw_engine(&self) -> &KvStore {
+        match &self.engine {
+            Engine::Kv(store) => store,
+            Engine::Gdpr(store) => store.engine(),
+        }
+    }
+
+    /// The compliance store, when the dispatcher serves one.
+    #[must_use]
+    pub fn gdpr_store(&self) -> Option<&Arc<GdprStore>> {
+        match &self.engine {
+            Engine::Kv(_) => None,
+            Engine::Gdpr(store) => Some(store),
+        }
+    }
+
+    /// Dispatcher activity counters.
+    #[must_use]
+    pub fn stats(&self) -> DispatchStats {
+        DispatchStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run the engine's background duties (expiry cycle, batched fsyncs,
+    /// audit flush). Exposed on the wire as the `TICK` command so remote
+    /// drivers can exercise the same duty cycle embedded drivers do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine (and, for the compliance engine, audit) errors as
+    /// a displayable message.
+    pub fn tick(&self) -> std::result::Result<u64, String> {
+        match &self.engine {
+            Engine::Kv(store) => store
+                .tick()
+                .map(|o| o.removed.len() as u64)
+                .map_err(|e| e.to_string()),
+            Engine::Gdpr(store) => store
+                .tick()
+                .map(|o| o.removed.len() as u64)
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Handle one decoded request frame and produce the reply frame.
+    pub fn handle_frame(&self, frame: &Frame, session: &mut Session) -> Frame {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = match WireCommand::from_frame(frame) {
+            Ok(cmd) => self.dispatch(&cmd, session),
+            Err(e) => Frame::Error(format!("ERR {e}")),
+        };
+        if matches!(reply, Frame::Error(_)) {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        reply
+    }
+
+    /// Handle one parsed wire command.
+    pub fn dispatch(&self, cmd: &WireCommand, session: &mut Session) -> Frame {
+        // Protocol-level commands, identical for both engines.
+        match cmd.name.as_str() {
+            "PING" => return Frame::Simple("PONG".to_string()),
+            // SHUTDOWN is acknowledged here; the transport layer watches
+            // for the name and begins its graceful shutdown after the
+            // reply is flushed.
+            "SHUTDOWN" => return Frame::Simple("OK".to_string()),
+            "TICK" => {
+                return match self.tick() {
+                    Ok(removed) => Frame::Integer(removed as i64),
+                    Err(e) => Frame::Error(format!("ERR {e}")),
+                }
+            }
+            _ => {}
+        }
+        if let Some(parsed) = GdprRequest::from_wire(cmd) {
+            let request = match parsed {
+                Ok(request) => request,
+                Err(e) => return Frame::Error(format!("ERR {e}")),
+            };
+            return match &self.engine {
+                Engine::Kv(_) => {
+                    Frame::Error("ERR compliance layer not enabled on this server".to_string())
+                }
+                Engine::Gdpr(store) => dispatch_gdpr(store, &request, session),
+            };
+        }
+        match &self.engine {
+            Engine::Kv(store) => match translate(cmd) {
+                Ok(command) => match store.execute(command) {
+                    Ok(reply) => reply_to_frame(reply),
+                    Err(e) => Frame::Error(format!("ERR {e}")),
+                },
+                Err(message) => Frame::Error(message),
+            },
+            Engine::Gdpr(store) => dispatch_gdpr_kv(store, cmd, session),
+        }
+    }
+}
+
+/// Translate a plain Redis wire command into an engine command.
+///
+/// This is the mapping formerly private to `netsim::server`; it is shared
+/// here so the simulated and TCP servers accept exactly the same surface.
+///
+/// # Errors
+///
+/// Returns a ready-to-send RESP error message for unknown commands, bad
+/// arity and malformed arguments.
+pub fn translate(cmd: &WireCommand) -> std::result::Result<Command, String> {
+    let arity_err = |need: usize| {
+        Err(format!(
+            "ERR wrong number of arguments for '{}' ({} given, {need} needed)",
+            cmd.name,
+            cmd.arity()
+        ))
+    };
+    let s = |i: usize| {
+        cmd.arg_str(i)
+            .map(str::to_string)
+            .map_err(|e| format!("ERR {e}"))
+    };
+    let b = |i: usize| {
+        cmd.arg_bytes(i)
+            .map(<[u8]>::to_vec)
+            .map_err(|e| format!("ERR {e}"))
+    };
+    let n = |i: usize| cmd.arg_u64(i).map_err(|e| format!("ERR {e}"));
+
+    let command = match cmd.name.as_str() {
+        "SET" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::Set {
+                key: s(0)?,
+                value: b(1)?,
+            }
+        }
+        "GET" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::Get { key: s(0)? }
+        }
+        "DEL" | "UNLINK" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::Del { key: s(0)? }
+        }
+        "EXISTS" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::Exists { key: s(0)? }
+        }
+        "PEXPIRE" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::Expire {
+                key: s(0)?,
+                ttl_ms: n(1)?,
+            }
+        }
+        "EXPIRE" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::Expire {
+                key: s(0)?,
+                ttl_ms: n(1)? * 1_000,
+            }
+        }
+        "PEXPIREAT" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::ExpireAt {
+                key: s(0)?,
+                at_ms: n(1)?,
+            }
+        }
+        "PTTL" | "TTL" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::Ttl { key: s(0)? }
+        }
+        "PERSIST" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::Persist { key: s(0)? }
+        }
+        "HSET" => {
+            if cmd.arity() != 3 {
+                return arity_err(3);
+            }
+            Command::HSet {
+                key: s(0)?,
+                field: s(1)?,
+                value: b(2)?,
+            }
+        }
+        "HMSET" => {
+            if cmd.arity() < 3 || cmd.arity().is_multiple_of(2) {
+                return arity_err(3);
+            }
+            let key = s(0)?;
+            let mut fields = BTreeMap::new();
+            let mut i = 1;
+            while i < cmd.arity() {
+                fields.insert(s(i)?, b(i + 1)?);
+                i += 2;
+            }
+            Command::HSetMulti { key, fields }
+        }
+        "HGET" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::HGet {
+                key: s(0)?,
+                field: s(1)?,
+            }
+        }
+        "HGETALL" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::HGetAll { key: s(0)? }
+        }
+        "HDEL" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::HDel {
+                key: s(0)?,
+                field: s(1)?,
+            }
+        }
+        "SADD" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::SAdd {
+                key: s(0)?,
+                member: b(1)?,
+            }
+        }
+        "SREM" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::SRem {
+                key: s(0)?,
+                member: b(1)?,
+            }
+        }
+        "SMEMBERS" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::SMembers { key: s(0)? }
+        }
+        "KEYS" => {
+            if cmd.arity() != 1 {
+                return arity_err(1);
+            }
+            Command::Keys { pattern: s(0)? }
+        }
+        "SCAN" => {
+            if cmd.arity() != 2 {
+                return arity_err(2);
+            }
+            Command::Scan {
+                start: s(0)?,
+                count: n(1)?,
+            }
+        }
+        "DBSIZE" => Command::DbSize,
+        "FLUSHALL" | "FLUSHDB" => Command::FlushAll,
+        other => return Err(format!("ERR unknown command '{other}'")),
+    };
+    Ok(command)
+}
+
+/// Convert an engine reply into a RESP frame.
+#[must_use]
+pub fn reply_to_frame(reply: Reply) -> Frame {
+    match reply {
+        Reply::Ok => Frame::Simple("OK".to_string()),
+        Reply::Nil => Frame::Null,
+        Reply::Int(i) => Frame::Integer(i),
+        Reply::Bytes(b) => Frame::Bulk(b),
+        Reply::Array(items) => Frame::Array(items.into_iter().map(Frame::Bulk).collect()),
+        Reply::StringArray(keys) => Frame::Array(
+            keys.into_iter()
+                .map(|k| Frame::Bulk(k.into_bytes()))
+                .collect(),
+        ),
+        Reply::Map(map) => {
+            let mut items = Vec::with_capacity(map.len() * 2);
+            for (field, value) in map {
+                items.push(Frame::Bulk(field.into_bytes()));
+                items.push(Frame::Bulk(value));
+            }
+            Frame::Array(items)
+        }
+        _ => Frame::Error("ERR unsupported reply".to_string()),
+    }
+}
+
+fn string_array_frame<I: IntoIterator<Item = String>>(items: I) -> Frame {
+    Frame::Array(
+        items
+            .into_iter()
+            .map(|s| Frame::Bulk(s.into_bytes()))
+            .collect(),
+    )
+}
+
+fn gdpr_err(e: &gdpr_core::GdprError) -> Frame {
+    Frame::Error(format!("ERR {e}"))
+}
+
+/// The session context, or the ready-to-send `NOAUTH` error.
+fn require_ctx(session: &Session) -> std::result::Result<AccessContext, Frame> {
+    session.ctx.clone().ok_or_else(|| {
+        Frame::Error("NOAUTH authenticate with GDPR.AUTH actor purpose first".to_string())
+    })
+}
+
+/// Metadata attached to data written through the plain Redis surface on
+/// the compliance engine: the key doubles as the subject id and the
+/// session purpose is whitelisted (the same convention the embedded YCSB
+/// adapter uses).
+fn default_metadata(key: &str, ctx: &AccessContext) -> PersonalMetadata {
+    PersonalMetadata::new(key).with_purpose(&ctx.purpose)
+}
+
+fn metadata_from_request(
+    subject: &str,
+    purposes: &[String],
+    ttl_ms: Option<u64>,
+) -> PersonalMetadata {
+    let mut meta = PersonalMetadata::new(subject);
+    for purpose in purposes {
+        meta.purposes.insert(purpose.clone());
+    }
+    if let Some(ttl) = ttl_ms {
+        meta = meta.with_ttl_millis(ttl);
+    }
+    meta
+}
+
+/// Render a metadata record as an array of `field=value` bulk strings.
+fn metadata_frame(meta: &PersonalMetadata) -> Frame {
+    let join = |set: &std::collections::BTreeSet<String>| {
+        set.iter().cloned().collect::<Vec<_>>().join(",")
+    };
+    string_array_frame(vec![
+        format!("subject={}", meta.subject),
+        format!("purposes={}", join(&meta.purposes)),
+        format!("objections={}", join(&meta.objections)),
+        format!("origin={}", meta.origin),
+        format!("location={}", meta.location),
+        format!("created_at_ms={}", meta.created_at_ms),
+        format!(
+            "expires_at_ms={}",
+            meta.expires_at_ms
+                .map_or_else(|| "-".to_string(), |at| at.to_string())
+        ),
+    ])
+}
+
+/// Execute a `GDPR.*` request against the compliance layer.
+fn dispatch_gdpr(store: &GdprStore, request: &GdprRequest, session: &mut Session) -> Frame {
+    match request {
+        GdprRequest::Auth { actor, purpose } => {
+            if !store.has_grant(actor, purpose) {
+                return Frame::Error(format!(
+                    "ERR no grant covers actor {actor:?} purpose {purpose:?}"
+                ));
+            }
+            session.ctx = Some(AccessContext::new(actor, purpose));
+            Frame::Simple("OK".to_string())
+        }
+        GdprRequest::Grant { actor, purpose } => {
+            store.grant(Grant::new(actor, purpose));
+            Frame::Simple("OK".to_string())
+        }
+        GdprRequest::Revoke { actor, purpose } => {
+            Frame::Integer(store.revoke(actor, purpose) as i64)
+        }
+        GdprRequest::Put {
+            key,
+            subject,
+            purposes,
+            value,
+            ttl_ms,
+        } => {
+            let ctx = match require_ctx(session) {
+                Ok(ctx) => ctx,
+                Err(e) => return e,
+            };
+            let meta = metadata_from_request(subject, purposes, *ttl_ms);
+            match store.put(&ctx, key, value.clone(), meta) {
+                Ok(()) => Frame::Simple("OK".to_string()),
+                Err(e) => gdpr_err(&e),
+            }
+        }
+        GdprRequest::GetMeta { key } => {
+            let ctx = match require_ctx(session) {
+                Ok(ctx) => ctx,
+                Err(e) => return e,
+            };
+            match store.metadata(&ctx, key) {
+                Ok(Some(meta)) => metadata_frame(&meta),
+                Ok(None) => Frame::Null,
+                Err(e) => gdpr_err(&e),
+            }
+        }
+        GdprRequest::SetMeta {
+            key,
+            subject,
+            purposes,
+            ttl_ms,
+        } => {
+            let ctx = match require_ctx(session) {
+                Ok(ctx) => ctx,
+                Err(e) => return e,
+            };
+            let meta = metadata_from_request(subject, purposes, *ttl_ms);
+            match store.set_metadata(&ctx, key, meta) {
+                Ok(()) => Frame::Simple("OK".to_string()),
+                Err(e) => gdpr_err(&e),
+            }
+        }
+        GdprRequest::KeysOf { subject } => {
+            // Listing a subject's keys reveals where their personal data
+            // lives — as access-guarded as any other subject-data read.
+            if let Err(e) = require_ctx(session) {
+                return e;
+            }
+            match store.keys_of_subject(subject) {
+                Ok(keys) => string_array_frame(keys),
+                Err(e) => gdpr_err(&e),
+            }
+        }
+        GdprRequest::Erase { subject } => {
+            let ctx = match require_ctx(session) {
+                Ok(ctx) => ctx,
+                Err(e) => return e,
+            };
+            match store.right_to_erasure(&ctx, subject) {
+                Ok(report) => Frame::Integer(report.erased_keys.len() as i64),
+                Err(e) => gdpr_err(&e),
+            }
+        }
+        GdprRequest::Export { subject } => {
+            let ctx = match require_ctx(session) {
+                Ok(ctx) => ctx,
+                Err(e) => return e,
+            };
+            match store.right_to_portability(&ctx, subject) {
+                Ok(json) => Frame::Bulk(json.into_bytes()),
+                Err(e) => gdpr_err(&e),
+            }
+        }
+        GdprRequest::Object { subject, purpose } => {
+            let ctx = match require_ctx(session) {
+                Ok(ctx) => ctx,
+                Err(e) => return e,
+            };
+            match store.right_to_object(&ctx, subject, purpose) {
+                Ok(report) => Frame::Integer(report.updated_keys.len() as i64),
+                Err(e) => gdpr_err(&e),
+            }
+        }
+        GdprRequest::Stats => {
+            let stats = store.stats();
+            string_array_frame(vec![
+                format!("allowed_ops={}", stats.allowed_ops),
+                format!("denied_ops={}", stats.denied_ops),
+                format!("audit_records={}", stats.audit_records),
+                format!("erased_by_request={}", stats.erased_by_request),
+                format!("erased_by_retention={}", stats.erased_by_retention),
+            ])
+        }
+        // `GdprRequest` is non-exhaustive: a newer wire surface than this
+        // server understands is a protocol error, not a panic.
+        _ => Frame::Error("ERR unsupported GDPR command".to_string()),
+    }
+}
+
+/// Execute a plain Redis command against the compliance layer: the subset
+/// the remote YCSB adapter needs, each call running through access
+/// control, purpose limitation, metadata and audit.
+fn dispatch_gdpr_kv(store: &GdprStore, cmd: &WireCommand, session: &mut Session) -> Frame {
+    // Commands that need no access context.
+    if cmd.name == "DBSIZE" {
+        return Frame::Integer(store.len() as i64);
+    }
+    let ctx = match require_ctx(session) {
+        Ok(ctx) => ctx,
+        Err(e) => return e,
+    };
+    let arg = |i: usize| cmd.arg_str(i).map_err(|e| format!("ERR {e}"));
+    let result: std::result::Result<Frame, String> = (|| {
+        let frame = match cmd.name.as_str() {
+            "SET" => {
+                if cmd.arity() != 2 {
+                    return Err(format!("ERR wrong number of arguments for '{}'", cmd.name));
+                }
+                let key = arg(0)?;
+                let value = cmd.arg_bytes(1).map_err(|e| format!("ERR {e}"))?.to_vec();
+                store
+                    .put(&ctx, key, value, default_metadata(key, &ctx))
+                    .map_err(|e| format!("ERR {e}"))?;
+                Frame::Simple("OK".to_string())
+            }
+            "GET" => {
+                if cmd.arity() != 1 {
+                    return Err(format!("ERR wrong number of arguments for '{}'", cmd.name));
+                }
+                match store.get(&ctx, arg(0)?).map_err(|e| format!("ERR {e}"))? {
+                    Some(value) => Frame::Bulk(value),
+                    None => Frame::Null,
+                }
+            }
+            "DEL" | "UNLINK" => {
+                if cmd.arity() != 1 {
+                    return Err(format!("ERR wrong number of arguments for '{}'", cmd.name));
+                }
+                let existed = store
+                    .delete(&ctx, arg(0)?)
+                    .map_err(|e| format!("ERR {e}"))?;
+                Frame::Integer(i64::from(existed))
+            }
+            "HMSET" => {
+                if cmd.arity() < 3 || cmd.arity().is_multiple_of(2) {
+                    return Err(format!("ERR wrong number of arguments for '{}'", cmd.name));
+                }
+                let key = arg(0)?;
+                let mut fields = BTreeMap::new();
+                let mut i = 1;
+                while i < cmd.arity() {
+                    fields.insert(
+                        arg(i)?.to_string(),
+                        cmd.arg_bytes(i + 1)
+                            .map_err(|e| format!("ERR {e}"))?
+                            .to_vec(),
+                    );
+                    i += 2;
+                }
+                store
+                    .put_record(&ctx, key, &fields, default_metadata(key, &ctx))
+                    .map_err(|e| format!("ERR {e}"))?;
+                Frame::Simple("OK".to_string())
+            }
+            "HGETALL" => {
+                if cmd.arity() != 1 {
+                    return Err(format!("ERR wrong number of arguments for '{}'", cmd.name));
+                }
+                match store
+                    .get_record(&ctx, arg(0)?)
+                    .map_err(|e| format!("ERR {e}"))?
+                {
+                    Some(map) => reply_to_frame(Reply::Map(map)),
+                    None => Frame::Null,
+                }
+            }
+            "SCAN" => {
+                if cmd.arity() != 2 {
+                    return Err(format!("ERR wrong number of arguments for '{}'", cmd.name));
+                }
+                let count = cmd.arg_u64(1).map_err(|e| format!("ERR {e}"))? as usize;
+                let keys = store
+                    .scan(&ctx, arg(0)?, count)
+                    .map_err(|e| format!("ERR {e}"))?;
+                string_array_frame(keys)
+            }
+            other => {
+                return Err(format!(
+                    "ERR command '{other}' is not available under the compliance layer"
+                ))
+            }
+        };
+        Ok(frame)
+    })();
+    match result {
+        Ok(frame) => frame,
+        Err(message) => Frame::Error(message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdpr_core::policy::CompliancePolicy;
+    use kvstore::config::StoreConfig;
+
+    fn kv_dispatcher() -> Dispatcher {
+        Dispatcher::kv(KvStore::open(StoreConfig::in_memory()).unwrap())
+    }
+
+    fn gdpr_dispatcher() -> (Dispatcher, Arc<GdprStore>) {
+        let store = Arc::new(GdprStore::open_in_memory(CompliancePolicy::eventual()).unwrap());
+        (Dispatcher::gdpr(Arc::clone(&store)), store)
+    }
+
+    fn authed_session(dispatcher: &Dispatcher) -> Session {
+        let mut session = Session::new();
+        assert_eq!(
+            dispatcher.handle_frame(
+                &GdprRequest::Grant {
+                    actor: "app".into(),
+                    purpose: "billing".into()
+                }
+                .to_frame(),
+                &mut session,
+            ),
+            Frame::Simple("OK".into())
+        );
+        assert_eq!(
+            dispatcher.handle_frame(
+                &GdprRequest::Auth {
+                    actor: "app".into(),
+                    purpose: "billing".into()
+                }
+                .to_frame(),
+                &mut session,
+            ),
+            Frame::Simple("OK".into())
+        );
+        session
+    }
+
+    #[test]
+    fn kv_engine_serves_the_plain_surface() {
+        let d = kv_dispatcher();
+        let mut session = Session::new();
+        assert_eq!(
+            d.handle_frame(&Frame::command(["PING"]), &mut session),
+            Frame::Simple("PONG".into())
+        );
+        assert_eq!(
+            d.handle_frame(&Frame::command(["SET", "k", "v"]), &mut session),
+            Frame::Simple("OK".into())
+        );
+        assert_eq!(
+            d.handle_frame(&Frame::command(["GET", "k"]), &mut session),
+            Frame::Bulk(b"v".to_vec())
+        );
+        assert_eq!(d.stats().requests, 3);
+        assert_eq!(d.stats().errors, 0);
+        assert_eq!(d.raw_engine().len(), 1);
+        assert!(d.gdpr_store().is_none());
+    }
+
+    #[test]
+    fn kv_engine_rejects_gdpr_commands() {
+        let d = kv_dispatcher();
+        let mut session = Session::new();
+        let reply = d.handle_frame(&GdprRequest::Stats.to_frame(), &mut session);
+        assert!(matches!(reply, Frame::Error(_)));
+        assert_eq!(d.stats().errors, 1);
+    }
+
+    #[test]
+    fn gdpr_engine_requires_auth_for_data_commands() {
+        let (d, _) = gdpr_dispatcher();
+        let mut session = Session::new();
+        let reply = d.handle_frame(&Frame::command(["SET", "k", "v"]), &mut session);
+        match reply {
+            Frame::Error(message) => assert!(message.starts_with("NOAUTH"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Subject-data reads through the GDPR surface are guarded too:
+        // KEYSOF would enumerate where a subject's personal data lives.
+        let reply = d.handle_frame(
+            &GdprRequest::KeysOf {
+                subject: "alice".into(),
+            }
+            .to_frame(),
+            &mut session,
+        );
+        assert!(
+            matches!(reply, Frame::Error(ref m) if m.starts_with("NOAUTH")),
+            "{reply:?}"
+        );
+        // DBSIZE and PING stay open (liveness probes).
+        assert_eq!(
+            d.handle_frame(&Frame::command(["DBSIZE"]), &mut session),
+            Frame::Integer(0)
+        );
+    }
+
+    #[test]
+    fn setmeta_cannot_wash_away_an_objection() {
+        let (d, store) = gdpr_dispatcher();
+        let mut session = authed_session(&d);
+        let put = GdprRequest::Put {
+            key: "k".into(),
+            subject: "alice".into(),
+            purposes: vec!["billing".into()],
+            value: b"v".to_vec(),
+            ttl_ms: None,
+        };
+        assert_eq!(
+            d.handle_frame(&put.to_frame(), &mut session),
+            Frame::Simple("OK".into())
+        );
+        assert_eq!(
+            d.handle_frame(
+                &GdprRequest::Object {
+                    subject: "alice".into(),
+                    purpose: "marketing".into()
+                }
+                .to_frame(),
+                &mut session
+            ),
+            Frame::Integer(1)
+        );
+        // Re-stamping the metadata over the wire keeps the objection.
+        let setmeta = GdprRequest::SetMeta {
+            key: "k".into(),
+            subject: "alice".into(),
+            purposes: vec!["billing".into()],
+            ttl_ms: None,
+        };
+        assert_eq!(
+            d.handle_frame(&setmeta.to_frame(), &mut session),
+            Frame::Simple("OK".into())
+        );
+        let ctx = AccessContext::new("app", "billing");
+        let meta = store.metadata(&ctx, "k").unwrap().unwrap();
+        assert!(meta.objections.contains("marketing"), "{meta:?}");
+    }
+
+    #[test]
+    fn gdpr_auth_rejects_unknown_actor() {
+        let (d, _) = gdpr_dispatcher();
+        let mut session = Session::new();
+        let reply = d.handle_frame(
+            &GdprRequest::Auth {
+                actor: "ghost".into(),
+                purpose: "billing".into(),
+            }
+            .to_frame(),
+            &mut session,
+        );
+        assert!(matches!(reply, Frame::Error(_)));
+        assert!(session.context().is_none());
+    }
+
+    #[test]
+    fn gdpr_engine_runs_kv_commands_through_compliance() {
+        let (d, store) = gdpr_dispatcher();
+        let mut session = authed_session(&d);
+        assert_eq!(
+            d.handle_frame(&Frame::command(["SET", "user:1", "alice"]), &mut session),
+            Frame::Simple("OK".into())
+        );
+        assert_eq!(
+            d.handle_frame(&Frame::command(["GET", "user:1"]), &mut session),
+            Frame::Bulk(b"alice".to_vec())
+        );
+        // The write carried metadata: the key doubles as its subject.
+        assert_eq!(store.keys_of_subject("user:1").unwrap(), vec!["user:1"]);
+        assert_eq!(
+            d.handle_frame(&Frame::command(["DEL", "user:1"]), &mut session),
+            Frame::Integer(1)
+        );
+        assert!(store.keys_of_subject("user:1").unwrap().is_empty());
+        assert!(store.stats().allowed_ops > 0);
+    }
+
+    #[test]
+    fn gdpr_records_roundtrip_with_scan_and_dbsize() {
+        let (d, _) = gdpr_dispatcher();
+        let mut session = authed_session(&d);
+        assert_eq!(
+            d.handle_frame(
+                &Frame::command(["HMSET", "user:1", "f0", "a", "f1", "b"]),
+                &mut session
+            ),
+            Frame::Simple("OK".into())
+        );
+        match d.handle_frame(&Frame::command(["HGETALL", "user:1"]), &mut session) {
+            Frame::Array(items) => assert_eq!(items.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            d.handle_frame(&Frame::command(["SCAN", "", "10"]), &mut session),
+            Frame::Array(vec![Frame::Bulk(b"user:1".to_vec())])
+        );
+        assert_eq!(
+            d.handle_frame(&Frame::command(["DBSIZE"]), &mut session),
+            Frame::Integer(1)
+        );
+    }
+
+    #[test]
+    fn gdpr_wire_surface_covers_metadata_and_rights() {
+        let (d, _) = gdpr_dispatcher();
+        let mut session = authed_session(&d);
+        let put = GdprRequest::Put {
+            key: "user:alice:email".into(),
+            subject: "alice".into(),
+            purposes: vec!["billing".into(), "analytics".into()],
+            value: b"a@example.com".to_vec(),
+            ttl_ms: None,
+        };
+        assert_eq!(
+            d.handle_frame(&put.to_frame(), &mut session),
+            Frame::Simple("OK".into())
+        );
+
+        // Metadata read.
+        match d.handle_frame(
+            &GdprRequest::GetMeta {
+                key: "user:alice:email".into(),
+            }
+            .to_frame(),
+            &mut session,
+        ) {
+            Frame::Array(items) => {
+                assert!(
+                    items.contains(&Frame::Bulk(b"subject=alice".to_vec())),
+                    "{items:?}"
+                );
+                assert!(
+                    items.contains(&Frame::Bulk(b"purposes=analytics,billing".to_vec())),
+                    "{items:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Metadata replace (subject transfer) and index consistency.
+        let setmeta = GdprRequest::SetMeta {
+            key: "user:alice:email".into(),
+            subject: "bob".into(),
+            purposes: vec!["billing".into()],
+            ttl_ms: None,
+        };
+        assert_eq!(
+            d.handle_frame(&setmeta.to_frame(), &mut session),
+            Frame::Simple("OK".into())
+        );
+        assert_eq!(
+            d.handle_frame(
+                &GdprRequest::KeysOf {
+                    subject: "bob".into()
+                }
+                .to_frame(),
+                &mut session
+            ),
+            Frame::Array(vec![Frame::Bulk(b"user:alice:email".to_vec())])
+        );
+
+        // Objection, export, erasure.
+        assert_eq!(
+            d.handle_frame(
+                &GdprRequest::Object {
+                    subject: "bob".into(),
+                    purpose: "analytics".into()
+                }
+                .to_frame(),
+                &mut session
+            ),
+            Frame::Integer(1)
+        );
+        match d.handle_frame(
+            &GdprRequest::Export {
+                subject: "bob".into(),
+            }
+            .to_frame(),
+            &mut session,
+        ) {
+            Frame::Bulk(json) => {
+                let json = String::from_utf8(json).unwrap();
+                assert!(json.contains("\"subject\":\"bob\""), "{json}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            d.handle_frame(
+                &GdprRequest::Erase {
+                    subject: "bob".into()
+                }
+                .to_frame(),
+                &mut session
+            ),
+            Frame::Integer(1)
+        );
+        assert_eq!(
+            d.handle_frame(
+                &GdprRequest::KeysOf {
+                    subject: "bob".into()
+                }
+                .to_frame(),
+                &mut session
+            ),
+            Frame::Array(vec![])
+        );
+
+        // Stats surface.
+        match d.handle_frame(&GdprRequest::Stats.to_frame(), &mut session) {
+            Frame::Array(items) => assert_eq!(items.len(), 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_commands_work_on_both_engines() {
+        let (gdpr, _) = gdpr_dispatcher();
+        for d in [kv_dispatcher(), gdpr] {
+            let mut session = Session::new();
+            assert_eq!(
+                d.handle_frame(&Frame::command(["PING"]), &mut session),
+                Frame::Simple("PONG".into())
+            );
+            assert_eq!(
+                d.handle_frame(&Frame::command(["SHUTDOWN"]), &mut session),
+                Frame::Simple("OK".into())
+            );
+            assert!(matches!(
+                d.handle_frame(&Frame::command(["TICK"]), &mut session),
+                Frame::Integer(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn error_counting_matches_the_simulated_server_contract() {
+        let d = kv_dispatcher();
+        let mut session = Session::new();
+        for frame in [
+            Frame::command(["BOGUS"]),
+            Frame::command(["GET"]),
+            Frame::command(["SET", "only-key"]),
+            Frame::Integer(3),
+        ] {
+            assert!(matches!(
+                d.handle_frame(&frame, &mut session),
+                Frame::Error(_)
+            ));
+        }
+        assert_eq!(d.stats().errors, 4);
+        assert_eq!(d.stats().requests, 4);
+    }
+
+    #[test]
+    fn revoke_closes_the_wire_session_path() {
+        let (d, store) = gdpr_dispatcher();
+        let mut session = authed_session(&d);
+        assert_eq!(
+            d.handle_frame(
+                &GdprRequest::Revoke {
+                    actor: "app".into(),
+                    purpose: "billing".into()
+                }
+                .to_frame(),
+                &mut session
+            ),
+            Frame::Integer(1)
+        );
+        // The session context survives, but per-operation checks now deny.
+        assert!(matches!(
+            d.handle_frame(&Frame::command(["SET", "k", "v"]), &mut session),
+            Frame::Error(_)
+        ));
+        assert!(store.stats().denied_ops > 0);
+    }
+}

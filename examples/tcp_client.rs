@@ -1,0 +1,104 @@
+//! A live round trip against a real `gdpr-server` over TCP.
+//!
+//! With no arguments, the example starts its own server on an ephemeral
+//! port, drives it, and shuts it down — a self-contained demo:
+//!
+//! ```text
+//! cargo run --example tcp_client
+//! ```
+//!
+//! Given an address, it connects to an already-running server instead
+//! (started with e.g. `cargo run -p gdpr-server -- addr=127.0.0.1:16379`)
+//! and sends `SHUTDOWN` at the end — which is how the CI smoke test uses
+//! it:
+//!
+//! ```text
+//! cargo run --example tcp_client -- 127.0.0.1:16379
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use gdpr_storage::gdpr_core::policy::CompliancePolicy;
+use gdpr_storage::gdpr_core::store::GdprStore;
+use gdpr_storage::gdpr_server::client::TcpRemoteClient;
+use gdpr_storage::gdpr_server::dispatch::Dispatcher;
+use gdpr_storage::gdpr_server::tcp::{ServerConfig, TcpServer};
+use gdpr_storage::resp::command::GdprRequest;
+use gdpr_storage::resp::Frame;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Find a server: the given address, or an in-process one.
+    let (addr, local_server) = match std::env::args().nth(1) {
+        Some(addr) => (addr, None),
+        None => {
+            let store = Arc::new(GdprStore::open_in_memory(CompliancePolicy::eventual())?);
+            let server = TcpServer::bind(
+                Dispatcher::gdpr(store),
+                "127.0.0.1:0",
+                ServerConfig::default(),
+            )?;
+            println!("started in-process gdpr-server on {}", server.local_addr());
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+
+    // 2. Connect and open the compliance session: install a grant for this
+    //    actor/purpose (Article 25's "closed by default, opened
+    //    explicitly") and authenticate the connection with it.
+    let mut client = TcpRemoteClient::connect(addr.as_str())?;
+    client.ping()?;
+    client.gdpr(&GdprRequest::Grant {
+        actor: "web-frontend".into(),
+        purpose: "account-management".into(),
+    })?;
+    client.auth("web-frontend", "account-management")?;
+    println!("authenticated as web-frontend/account-management");
+
+    // 3. Store personal data with metadata in one round trip, then read it
+    //    back through the compliance checks.
+    client.gdpr(&GdprRequest::Put {
+        key: "user:alice:email".into(),
+        subject: "alice".into(),
+        purposes: vec!["account-management".into()],
+        value: b"alice@example.com".to_vec(),
+        ttl_ms: Some(30 * 24 * 3600 * 1000),
+    })?;
+    let value = client.get("user:alice:email")?;
+    println!(
+        "stored and read back: {:?}",
+        value.as_deref().map(String::from_utf8_lossy)
+    );
+
+    // 4. Pipelining: a burst of writes in one socket write, all replies in
+    //    order.
+    let frames: Vec<Frame> = (0..10)
+        .map(|i| Frame::command(["SET", &format!("user:alice:item{i}"), "x"]))
+        .collect();
+    let replies = client.pipeline(&frames)?;
+    println!(
+        "pipelined {} writes -> {} replies",
+        frames.len(),
+        replies.len()
+    );
+
+    // 5. Subject rights over the wire: index lookup, export, erasure.
+    let keys = client.keys_of_subject("alice")?;
+    println!("metadata index lists {} keys for alice", keys.len());
+    let export = client.export_subject("alice")?;
+    println!("portability export is {} bytes of JSON", export.len());
+    let erased = client.erase_subject("alice")?;
+    println!("right to be forgotten erased {erased} keys");
+    assert!(client.keys_of_subject("alice")?.is_empty());
+    assert_eq!(client.get("user:alice:email")?, None);
+
+    // 6. Stop the server gracefully.
+    client.shutdown_server()?;
+    println!("sent SHUTDOWN");
+    if let Some(server) = local_server {
+        server.wait_for_shutdown_request(std::time::Duration::from_millis(10));
+        server.shutdown();
+        println!("in-process server drained and stopped");
+    }
+    Ok(())
+}

@@ -6,12 +6,14 @@
 //!
 //! * [`gdpr_core`] — the GDPR compliance layer (the paper's contribution)
 //! * [`kvstore`] — the Redis-like storage engine substrate
+//! * [`gdpr_server`] — the real RESP-over-TCP server and remote client
 //! * [`ycsb`] — the YCSB-style workload generator
 //! * [`audit`], [`gdpr_crypto`], [`netsim`], [`resp`] — supporting substrates
 
 pub use audit;
 pub use gdpr_core;
 pub use gdpr_crypto;
+pub use gdpr_server;
 pub use kvstore;
 pub use netsim;
 pub use resp;

@@ -1,0 +1,234 @@
+//! Journal-scaling sweep: fsync policy × shard count × client threads
+//! against the **persistent** engine (file-backed per-shard AOF segments),
+//! to measure how far the sharded journal with group commit moves the
+//! paper's `appendfsync` cost off the serial path.
+//!
+//! Three policies are swept:
+//!
+//! * `always` — real-time durability with group commit (the new default);
+//! * `always-nogc` — real-time durability, one fsync per record (the
+//!   paper's unbatched configuration, and the single-writer baseline);
+//! * `everysec` — eventual durability.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin aof_scaling \
+//!     [records=N] [ops=N] [seed=N] [maxshards=N] [maxthreads=N]
+//! ```
+//!
+//! Emits a human table and writes `BENCH_aof_scaling.json` (with
+//! `host_cores` recorded — on a single-core container the sweep shows
+//! lock-contention and fsync-batching relief rather than core scaling).
+
+use bench::adapters::EmbeddedAdapter;
+use bench::{arg_value, cleanup_scratch, scratch_dir};
+use kvstore::aof::{AofStats, FsyncPolicy};
+use kvstore::config::StoreConfig;
+use kvstore::store::KvStore;
+use ycsb::concurrent::ConcurrentDriver;
+use ycsb::stats::RunReport;
+use ycsb::workload::WorkloadSpec;
+
+#[derive(Clone, Copy)]
+struct Policy {
+    label: &'static str,
+    fsync: FsyncPolicy,
+    group_commit: bool,
+}
+
+const POLICIES: [Policy; 3] = [
+    Policy {
+        label: "always",
+        fsync: FsyncPolicy::Always,
+        group_commit: true,
+    },
+    Policy {
+        label: "always-nogc",
+        fsync: FsyncPolicy::Always,
+        group_commit: false,
+    },
+    Policy {
+        label: "everysec",
+        fsync: FsyncPolicy::EverySec,
+        group_commit: true,
+    },
+];
+
+struct Cell {
+    policy: &'static str,
+    shards: usize,
+    threads: usize,
+    run: RunReport,
+    aof: AofStats,
+    segments: usize,
+}
+
+fn sweep_axis(max: u64) -> Vec<usize> {
+    let mut axis = Vec::new();
+    let mut v = 1usize;
+    while v as u64 <= max.max(1) {
+        axis.push(v);
+        v *= 2;
+    }
+    axis
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records = arg_value(&args, "records").unwrap_or(4_000);
+    let ops = arg_value(&args, "ops").unwrap_or(8_000);
+    let seed = arg_value(&args, "seed").unwrap_or(42);
+    let max_shards = arg_value(&args, "maxshards").unwrap_or(8);
+    let max_threads = arg_value(&args, "maxthreads").unwrap_or(8);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "aof_scaling — YCSB-A mix on the file-backed engine, records={records}, ops={ops}, cores={cores}"
+    );
+    if cores == 1 {
+        println!("  note: single-core host — expect batching/contention relief, not core scaling");
+    }
+
+    let dir = scratch_dir("aof_scaling");
+    let mut cells = Vec::new();
+    for policy in POLICIES {
+        for &shards in &sweep_axis(max_shards) {
+            for &threads in &sweep_axis(max_threads) {
+                let cell_dir = dir.join(format!("{}-s{shards}-t{threads}", policy.label));
+                std::fs::create_dir_all(&cell_dir).expect("create cell dir");
+                let config = StoreConfig::with_aof(cell_dir.join("journal.aof"))
+                    .fsync(policy.fsync)
+                    .group_commit(policy.group_commit)
+                    .shards(shards);
+                let store = KvStore::open(config).expect("open persistent engine");
+                let adapter = EmbeddedAdapter::new(store);
+                let driver =
+                    ConcurrentDriver::new(WorkloadSpec::workload_a(records, ops), threads, seed);
+                driver.run_load(&adapter).expect("load phase");
+                let run = driver
+                    .run_transactions(&adapter)
+                    .expect("transaction phase");
+                let aof = adapter.store().aof_stats().expect("aof stats");
+                let segments = adapter.store().aof_segment_stats().map_or(0, |s| s.len());
+                println!(
+                    "  {:<11} shards={shards:<3} threads={threads:<3} {:>9.0} ops/s   fsyncs {:>7}   rec/fsync {:>6.1}   gc batch avg {:>5.1} max {}",
+                    policy.label,
+                    run.throughput(),
+                    aof.fsyncs,
+                    if aof.fsyncs == 0 {
+                        0.0
+                    } else {
+                        aof.records_appended as f64 / aof.fsyncs as f64
+                    },
+                    aof.avg_group_commit_batch().unwrap_or(0.0),
+                    aof.max_group_commit_batch,
+                );
+                cells.push(Cell {
+                    policy: policy.label,
+                    shards,
+                    threads,
+                    run,
+                    aof,
+                    segments,
+                });
+                let _ = std::fs::remove_dir_all(&cell_dir);
+            }
+        }
+    }
+    cleanup_scratch(&dir);
+
+    // Headlines: the acceptance trajectory for the sharded journal.
+    let tput = |policy: &str, shards: usize, threads: usize| -> Option<f64> {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && c.shards == shards && c.threads == threads)
+            .map(|c| c.run.throughput())
+    };
+    let top_threads = *sweep_axis(max_threads).last().unwrap();
+    let top_shards = *sweep_axis(max_shards).last().unwrap();
+    if let (Some(one), Some(many)) = (
+        tput("always", 1, top_threads),
+        tput("always", top_shards, top_threads),
+    ) {
+        println!(
+            "\nfsync=always, {top_threads} threads: {top_shards} segments / 1 segment = {:.2}x",
+            many / one
+        );
+    }
+    if let (Some(nogc), Some(gc)) = (
+        tput("always-nogc", 1, top_threads),
+        tput("always", 1, top_threads),
+    ) {
+        println!(
+            "fsync=always, 1 segment, {top_threads} threads: group commit / per-record fsync = {:.2}x",
+            gc / nogc
+        );
+    }
+    if let (Some(baseline), Some(sharded)) = (
+        tput("always-nogc", 1, top_threads),
+        tput("always", top_shards, top_threads),
+    ) {
+        println!(
+            "fsync=always, {top_threads} threads: {top_shards} segments + group commit / \
+             single-segment per-record baseline = {:.2}x",
+            sharded / baseline
+        );
+    }
+    if let Some(cell) = cells
+        .iter()
+        .find(|c| c.policy == "always" && c.shards == 1 && c.threads == top_threads)
+    {
+        println!(
+            "group-commit batching at 1 segment, {top_threads} threads: {:.1} records/fsync",
+            cell.aof.avg_group_commit_batch().unwrap_or(0.0)
+        );
+    }
+
+    let json = render_json(records, ops, seed, cores, &cells);
+    std::fs::write("BENCH_aof_scaling.json", &json).expect("write BENCH_aof_scaling.json");
+    println!("\nwrote BENCH_aof_scaling.json ({} cells)", cells.len());
+}
+
+fn render_json(records: u64, ops: u64, seed: u64, cores: usize, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"aof_scaling\",\n");
+    out.push_str("  \"workload\": \"A\",\n");
+    out.push_str("  \"store\": \"kvstore file-backed sharded AOF\",\n");
+    out.push_str(&format!("  \"records\": {records},\n"));
+    out.push_str(&format!("  \"operations\": {ops},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"shards\": {}, \"segments\": {}, \"threads\": {}, \
+             \"run_ops_per_sec\": {:.1}, \"run_p99_micros\": {}, \"errors\": {}, \
+             \"aof_records\": {}, \"aof_fsyncs\": {}, \"records_per_fsync\": {:.2}, \
+             \"group_commits\": {}, \"group_commit_avg_batch\": {:.2}, \
+             \"group_commit_max_batch\": {}, \"unsynced_records\": {}}}{}\n",
+            cell.policy,
+            cell.shards,
+            cell.segments,
+            cell.threads,
+            cell.run.throughput(),
+            cell.run.latency.percentile_micros(0.99),
+            cell.run.errors,
+            cell.aof.records_appended,
+            cell.aof.fsyncs,
+            if cell.aof.fsyncs == 0 {
+                0.0
+            } else {
+                cell.aof.records_appended as f64 / cell.aof.fsyncs as f64
+            },
+            cell.aof.group_commits,
+            cell.aof.avg_group_commit_batch().unwrap_or(0.0),
+            cell.aof.max_group_commit_batch,
+            cell.aof.unsynced_records,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -228,6 +228,22 @@ impl GdprStore {
         self.stats.snapshot()
     }
 
+    /// Journal statistics aggregated over the engine's per-shard AOF
+    /// segments, if persistence is enabled — the compliance layer's view
+    /// of the paper's journaling cost (fsyncs, group-commit batching, the
+    /// crash-loss risk window).
+    #[must_use]
+    pub fn aof_stats(&self) -> Option<kvstore::aof::AofStats> {
+        self.kv.aof_stats()
+    }
+
+    /// Per-segment journal statistics (index `i` is shard `i`'s segment),
+    /// if persistence is enabled — the risk window observable per shard.
+    #[must_use]
+    pub fn aof_segment_stats(&self) -> Option<Vec<kvstore::aof::AofStats>> {
+        self.kv.aof_segment_stats()
+    }
+
     /// Current time in Unix milliseconds (from the engine clock).
     #[must_use]
     pub fn now_ms(&self) -> u64 {

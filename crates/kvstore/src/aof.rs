@@ -74,6 +74,45 @@ pub struct AofStats {
     /// Records dropped from the log by rewrites (deleted/expired data that
     /// was still physically present — the §4.3 concern).
     pub records_compacted_away: u64,
+    /// Records appended but not yet fsynced at snapshot time — the paper's
+    /// "risk window" (how much log a crash right now would lose).
+    pub unsynced_records: u64,
+    /// Fsyncs issued by the group committer (a subset of `fsyncs`).
+    pub group_commits: u64,
+    /// Records made durable by group commits (batch sizes summed).
+    pub group_commit_records: u64,
+    /// Largest single group-commit batch observed.
+    pub max_group_commit_batch: u64,
+}
+
+impl AofStats {
+    /// Fold another segment's counters into this one (used to aggregate
+    /// per-shard AOF segments into one engine-wide view).
+    pub fn absorb(&mut self, other: &AofStats) {
+        self.records_appended += other.records_appended;
+        self.bytes_appended += other.bytes_appended;
+        self.fsyncs += other.fsyncs;
+        self.rewrites += other.rewrites;
+        self.records_compacted_away += other.records_compacted_away;
+        self.unsynced_records += other.unsynced_records;
+        self.group_commits += other.group_commits;
+        self.group_commit_records += other.group_commit_records;
+        self.max_group_commit_batch = self
+            .max_group_commit_batch
+            .max(other.max_group_commit_batch);
+    }
+
+    /// Average records made durable per group-commit fsync; `None` until a
+    /// group commit has happened. Under `always` fsync this is the batching
+    /// factor: values above 1.0 mean writers shared fsyncs.
+    #[must_use]
+    pub fn avg_group_commit_batch(&self) -> Option<f64> {
+        if self.group_commits == 0 {
+            None
+        } else {
+            Some(self.group_commit_records as f64 / self.group_commits as f64)
+        }
+    }
 }
 
 /// The append-only log.
@@ -117,10 +156,13 @@ impl AofLog {
         self.policy = policy;
     }
 
-    /// Activity counters.
+    /// Activity counters (with the live unsynced-records gauge filled in).
     #[must_use]
     pub fn stats(&self) -> AofStats {
-        self.stats
+        AofStats {
+            unsynced_records: self.unsynced_records,
+            ..self.stats
+        }
     }
 
     /// Number of records appended but not yet fsynced — the paper's "risk
@@ -136,6 +178,14 @@ impl AofLog {
         self.device.logical_len()
     }
 
+    /// Activity counters of the underlying device (distinguishes logical
+    /// bytes from physical bytes — the encrypting device's frame overhead
+    /// shows up here).
+    #[must_use]
+    pub fn device_stats(&self) -> crate::device::DeviceStats {
+        self.device.stats()
+    }
+
     /// Append one record (an encoded command or audit entry) and apply the
     /// fsync policy.
     ///
@@ -143,6 +193,22 @@ impl AofLog {
     ///
     /// Propagates device I/O or encryption errors.
     pub fn append(&mut self, record: &[u8]) -> Result<()> {
+        self.append_unsynced(record)?;
+        self.maybe_fsync()?;
+        Ok(())
+    }
+
+    /// Append one record **without** applying the fsync policy, returning
+    /// the record's position (1-based count of records appended so far).
+    ///
+    /// The sharded journal uses this to decouple the append (which must
+    /// happen under the owning shard's lock to preserve per-key order) from
+    /// durability (which a group committer batches after the lock drops).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device I/O or encryption errors.
+    pub fn append_unsynced(&mut self, record: &[u8]) -> Result<u64> {
         let mut framed = Vec::with_capacity(record.len() + 4);
         put_bytes(&mut framed, record);
         self.device.append(&framed)?;
@@ -150,8 +216,15 @@ impl AofLog {
         self.stats.bytes_appended += framed.len() as u64;
         self.live_records += 1;
         self.unsynced_records += 1;
-        self.maybe_fsync()?;
-        Ok(())
+        Ok(self.stats.records_appended)
+    }
+
+    /// Position of the most recently appended record (cumulative count;
+    /// monotonic across rewrites). A group committer that fsyncs now covers
+    /// every position up to and including this one.
+    #[must_use]
+    pub fn appended_pos(&self) -> u64 {
+        self.stats.records_appended
     }
 
     /// Apply the fsync policy given the current time. Called internally by
@@ -223,6 +296,29 @@ impl AofLog {
         self.unsynced_records = 0;
         self.last_fsync_ms = self.clock.now_millis();
         Ok(dropped)
+    }
+
+    /// Swap in an already-written, already-synced replacement device (the
+    /// segment-set rewrite protocol builds the new segment files first,
+    /// commits them atomically through the manifest, then swaps each log
+    /// onto its new device). Counters carry over so stats stay cumulative
+    /// across rewrites; `kept` is the number of records on the new device.
+    pub fn swap_rewritten(&mut self, device: Box<dyn StorageDevice>, kept: u64) {
+        self.device = device;
+        let dropped = self.live_records.saturating_sub(kept);
+        self.live_records = kept;
+        self.stats.rewrites += 1;
+        self.stats.records_compacted_away += dropped;
+        self.stats.fsyncs += 1;
+        self.unsynced_records = 0;
+        self.last_fsync_ms = self.clock.now_millis();
+    }
+
+    /// Consume the log and hand back its device (used by the rewrite
+    /// protocol, which stages new segment content through a scratch log).
+    #[must_use]
+    pub fn into_device(self) -> Box<dyn StorageDevice> {
+        self.device
     }
 }
 

@@ -56,6 +56,14 @@ pub struct StoreConfig {
     /// Trigger an automatic AOF rewrite once the log holds at least this
     /// many records more than after the previous rewrite (0 disables).
     pub aof_rewrite_threshold_records: u64,
+    /// Under `fsync=always`, coalesce concurrent appends to the same AOF
+    /// segment into one group-commit fsync that all blocked writers
+    /// observe. Disabling reverts to one fsync per record (the paper's
+    /// unbatched real-time compliance point).
+    pub aof_group_commit: bool,
+    /// Bounded wait (milliseconds) a group-commit follower sleeps before
+    /// re-checking whether it must take over as leader.
+    pub aof_group_commit_wait_ms: u64,
     /// Clock used by the engine (system clock by default; benchmarks inject
     /// a [`crate::clock::SimClock`]).
     pub clock: SharedClock,
@@ -82,6 +90,8 @@ impl Default for StoreConfig {
             expiry_mode: ExpiryMode::LazyProbabilistic,
             active_expire: ActiveExpireConfig::default(),
             aof_rewrite_threshold_records: 0,
+            aof_group_commit: true,
+            aof_group_commit_wait_ms: 2,
             clock: Arc::new(SystemClock),
             rng_seed: None,
             shards: 1,
@@ -167,6 +177,21 @@ impl StoreConfig {
         self
     }
 
+    /// Builder-style: enable or disable group-commit batching of `always`
+    /// fsyncs.
+    #[must_use]
+    pub fn group_commit(mut self, enabled: bool) -> Self {
+        self.aof_group_commit = enabled;
+        self
+    }
+
+    /// Builder-style: the bounded group-commit follower wait.
+    #[must_use]
+    pub fn group_commit_wait_ms(mut self, millis: u64) -> Self {
+        self.aof_group_commit_wait_ms = millis;
+        self
+    }
+
     /// Builder-style: shard the keyspace `shards` ways (rounded up to a
     /// power of two).
     #[must_use]
@@ -219,6 +244,18 @@ mod tests {
         assert_eq!(c.rng_seed, Some(7));
         assert_eq!(c.aof_rewrite_threshold_records, 1_000);
         assert_eq!(c.clock.now_millis(), 5);
+    }
+
+    #[test]
+    fn group_commit_builders() {
+        let c = StoreConfig::default();
+        assert!(c.aof_group_commit, "group commit is on by default");
+        assert_eq!(c.aof_group_commit_wait_ms, 2);
+        let c = StoreConfig::in_memory()
+            .group_commit(false)
+            .group_commit_wait_ms(7);
+        assert!(!c.aof_group_commit);
+        assert_eq!(c.aof_group_commit_wait_ms, 7);
     }
 
     #[test]

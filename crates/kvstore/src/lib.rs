@@ -52,6 +52,7 @@ pub mod expire;
 pub mod object;
 pub mod serialize;
 pub mod shard;
+pub mod sharded_aof;
 pub mod snapshot;
 pub mod stats;
 pub mod store;

@@ -35,6 +35,14 @@ impl ShardRouter {
         (self.mask + 1) as usize
     }
 
+    /// The hash seed this router was built with (persisted in the journal
+    /// manifest so recovery can tell whether segments map 1:1 onto
+    /// shards).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The shard owning `key`.
     #[must_use]
     pub fn shard_of(&self, key: &str) -> usize {

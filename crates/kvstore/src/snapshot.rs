@@ -7,6 +7,7 @@
 //! the moment deleted personal data finally disappears from persistent
 //! media — the §4.3 discussion of the paper).
 
+use crate::commands::Command;
 use crate::db::Db;
 use crate::serialize::{decode_value, encode_value, put_str, put_u64, Reader};
 use crate::{Result, StoreError};
@@ -43,6 +44,59 @@ pub fn save_shards_to_bytes(dbs: &[&Db]) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Regenerate the minimal command stream that reproduces `db`'s live
+/// dataset — the source material for an AOF rewrite (`BGREWRITEAOF`
+/// regenerates each shard's journal segment from this, which is the moment
+/// deleted personal data finally disappears from persistent media).
+#[must_use]
+pub fn rewrite_commands(db: &Db) -> Vec<Command> {
+    let mut commands = Vec::new();
+    for (key, object) in db.iter() {
+        match &object.value {
+            crate::object::Value::Str(b) => {
+                commands.push(Command::Set {
+                    key: key.clone(),
+                    value: b.clone(),
+                });
+            }
+            crate::object::Value::Hash(map) => {
+                commands.push(Command::HSetMulti {
+                    key: key.clone(),
+                    fields: map.clone(),
+                });
+            }
+            crate::object::Value::List(items) => {
+                // Lists are journaled as a hash of index → element;
+                // adequate for recovery purposes in this engine.
+                let fields = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("{i:020}"), v.clone()))
+                    .collect();
+                commands.push(Command::HSetMulti {
+                    key: key.clone(),
+                    fields,
+                });
+            }
+            crate::object::Value::Set(members) => {
+                for member in members {
+                    commands.push(Command::SAdd {
+                        key: key.clone(),
+                        member: member.clone(),
+                    });
+                }
+            }
+        }
+        if let Some(at) = db.expire_deadline(key) {
+            commands.push(Command::ExpireAt {
+                key: key.clone(),
+                at_ms: at,
+            });
+        }
+    }
+    commands
 }
 
 /// Load a snapshot produced by [`save_to_bytes`] into `db`, replacing its

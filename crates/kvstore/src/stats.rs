@@ -22,8 +22,12 @@ pub struct EngineStats {
     pub auto_rewrites: u64,
     /// Keyspace counters.
     pub db: DbStats,
-    /// AOF counters (zeroed when persistence is disabled).
+    /// AOF counters aggregated over all journal segments (zeroed when
+    /// persistence is disabled).
     pub aof: AofStats,
+    /// Number of journal segments (one per shard; 0 when persistence is
+    /// disabled).
+    pub aof_segments: u64,
     /// Device counters (zeroed when persistence is disabled).
     pub device: DeviceStats,
 }
@@ -60,7 +64,9 @@ impl EngineStats {
              keyspace_hits:{}\nkeyspace_misses:{}\n\
              expired_keys:{}\ndeleted_keys:{}\n\
              expire_cycles:{}\nkeys_expired_by_cycles:{}\n\
-             aof_records:{}\naof_fsyncs:{}\naof_rewrites:{}\nauto_rewrites:{}\n\
+             aof_segments:{}\naof_records:{}\naof_fsyncs:{}\naof_rewrites:{}\nauto_rewrites:{}\n\
+             aof_unsynced_records:{}\naof_group_commits:{}\naof_group_commit_records:{}\n\
+             aof_max_group_commit_batch:{}\n\
              device_bytes_written:{}\ndevice_bytes_on_device:{}\ndevice_syncs:{}\n",
             self.commands_processed,
             self.reads,
@@ -71,10 +77,15 @@ impl EngineStats {
             self.db.deleted_keys,
             self.expire_cycles,
             self.keys_expired_by_cycles,
+            self.aof_segments,
             self.aof.records_appended,
             self.aof.fsyncs,
             self.aof.rewrites,
             self.auto_rewrites,
+            self.aof.unsynced_records,
+            self.aof.group_commits,
+            self.aof.group_commit_records,
+            self.aof.max_group_commit_batch,
             self.device.bytes_written,
             self.device.bytes_on_device,
             self.device.syncs,
@@ -111,7 +122,10 @@ mod tests {
             "commands_processed",
             "keyspace_hits",
             "expired_keys",
+            "aof_segments",
             "aof_fsyncs",
+            "aof_unsynced_records",
+            "aof_group_commits",
             "device_bytes_written",
         ] {
             assert!(text.contains(field), "missing {field}");

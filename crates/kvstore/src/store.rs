@@ -17,19 +17,25 @@
 //!    `FLUSHALL`) visit every shard and merge;
 //! 3. if the command is a write — or *any* command when read-logging is
 //!    enabled (the GDPR monitoring retrofit) — it is appended to the
-//!    **single serialized AOF writer** while the shard lock is held (so the
-//!    journal order of each key matches its apply order), and the fsync
-//!    policy decides when the bytes become durable;
-//! 4. time-driven work (active expiry per shard, `everysec` fsync,
-//!    auto-rewrite) runs from [`KvStore::tick`], which a server loop or
-//!    benchmark calls periodically — 10 Hz matches Redis' `serverCron`;
-//! 5. on open, the journal is replayed with **per-shard partitioning**:
-//!    records are routed to their owning shard first, then the shards
-//!    rebuild in parallel.
+//!    **owning shard's own journal segment** ([`ShardedAof`]) while the
+//!    shard lock is held (so the journal order of each key matches its
+//!    apply order); durability then settles *after* the lock drops — under
+//!    `always` fsync a per-segment group committer coalesces concurrent
+//!    writers into one fsync, so persistence scales with the shard count
+//!    instead of re-serializing it;
+//! 4. time-driven work (active expiry per shard, the `everysec` fsync
+//!    timer of **every** segment, auto-rewrite) runs from
+//!    [`KvStore::tick`], which a server loop or benchmark calls
+//!    periodically — 10 Hz matches Redis' `serverCron`;
+//! 5. on open, journal segments are loaded in parallel and their records
+//!    merged by global sequence number, then routed through the current
+//!    [`ShardRouter`] — so a journal written with M shards replays
+//!    correctly into N shards, the way snapshots already do.
 //!
 //! Lock order (deadlock freedom): shard locks are only ever taken in
-//! ascending index order, and the AOF lock is only taken while holding
-//! shard locks — never the reverse. Engine-wide statistics are lock-free
+//! ascending index order, and a segment's log lock is only taken while
+//! holding shard locks or from the group committer (which holds no shard
+//! lock) — never shard-after-log. Engine-wide statistics are lock-free
 //! atomics.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,17 +45,15 @@ use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::aof::{AofLog, AofStats};
+use crate::aof::AofStats;
 use crate::clock::{SharedClock, UnixMillis};
 use crate::commands::{Command, Reply};
-use crate::config::{Persistence, StoreConfig};
+use crate::config::StoreConfig;
 use crate::db::{Db, DbStats};
-use crate::device::{
-    DeviceStats, EncryptedFileDevice, MemoryDevice, PlainFileDevice, StorageDevice,
-};
 use crate::expire::{run_expire_cycle, CycleOutcome};
 use crate::object::Bytes;
 use crate::shard::ShardRouter;
+use crate::sharded_aof::{LoadedJournal, ShardedAof};
 use crate::snapshot;
 use crate::stats::EngineStats;
 use crate::Result;
@@ -76,8 +80,8 @@ struct EngineCounters {
 
 struct Inner {
     shards: Vec<Mutex<Shard>>,
-    /// The single serialized AOF writer all shards feed.
-    aof: Option<Mutex<AofLog>>,
+    /// The sharded journal: one append-only segment per shard.
+    aof: Option<ShardedAof>,
     router: ShardRouter,
     config: StoreConfig,
     counters: EngineCounters,
@@ -102,26 +106,10 @@ impl std::fmt::Debug for KvStore {
     }
 }
 
-fn build_device(config: &StoreConfig) -> Result<Option<Box<dyn StorageDevice>>> {
-    let device: Box<dyn StorageDevice> = match (&config.persistence, &config.encryption) {
-        (Persistence::None, _) => return Ok(None),
-        (Persistence::AofInMemory, None) => Box::new(MemoryDevice::new()),
-        (Persistence::AofFile(path), None) => Box::new(PlainFileDevice::open(path)?),
-        (Persistence::AofInMemory, Some(enc)) => Box::new(EncryptedFileDevice::new(
-            MemoryDevice::new(),
-            &enc.passphrase,
-        )?),
-        (Persistence::AofFile(path), Some(enc)) => Box::new(EncryptedFileDevice::new(
-            PlainFileDevice::open(path)?,
-            &enc.passphrase,
-        )?),
-    };
-    Ok(Some(device))
-}
-
 impl KvStore {
     /// Open an engine with the given configuration, replaying any existing
-    /// append-only file (partitioned per shard, rebuilt in parallel).
+    /// journal (segments loaded in parallel, records routed through the
+    /// current router, shards rebuilt in parallel).
     ///
     /// # Errors
     ///
@@ -142,11 +130,11 @@ impl KvStore {
             })
             .collect();
 
-        let aof = match build_device(&config)? {
-            Some(device) => {
-                let mut log = AofLog::new(device, config.fsync, Arc::clone(&clock));
-                Self::replay(&mut log, &router, &mut shards)?;
-                Some(Mutex::new(log))
+        let aof = match ShardedAof::open(&config, &router)? {
+            Some((aof, loaded)) => {
+                let partitions = Self::partition_journal(loaded, &router)?;
+                Self::replay(&partitions, &mut shards)?;
+                Some(aof)
             }
             None => None,
         };
@@ -164,19 +152,52 @@ impl KvStore {
         })
     }
 
-    /// Recover state by replaying journaled write commands: partition the
-    /// record stream per owning shard (keyspace-wide writes are broadcast),
-    /// then rebuild every shard — in parallel when there is more than one.
-    fn replay(log: &mut AofLog, router: &ShardRouter, shards: &mut [Shard]) -> Result<()> {
-        let mut partitions: Vec<Vec<Command>> = (0..shards.len()).map(|_| Vec::new()).collect();
-        for record in log.load()? {
+    /// Route recovered journal records to the shards that own them now.
+    ///
+    /// Fast path: the journal was written with this exact layout (same
+    /// segment count, same router seed), so segment `i`'s records already
+    /// belong to shard `i` — including its own copy of every broadcast.
+    /// Otherwise the segments are merged by global sequence number (which
+    /// reconstructs a valid linearization and deduplicates broadcast
+    /// copies) and each record is re-routed through the current router.
+    fn partition_journal(loaded: LoadedJournal, router: &ShardRouter) -> Result<Vec<Vec<Command>>> {
+        let shard_count = router.shard_count();
+        let same_layout =
+            loaded.segments.len() == shard_count && loaded.writer_seed == router.seed();
+
+        if same_layout {
+            let mut partitions = Vec::with_capacity(shard_count);
+            for records in loaded.segments {
+                let mut commands = Vec::with_capacity(records.len());
+                for (_seq, record) in records {
+                    let cmd = Command::decode(&record)?;
+                    if cmd.is_write() {
+                        commands.push(cmd);
+                    }
+                }
+                partitions.push(commands);
+            }
+            return Ok(partitions);
+        }
+
+        let mut merged: Vec<(u64, Vec<u8>)> = loaded.segments.into_iter().flatten().collect();
+        merged.sort_by_key(|(seq, _)| *seq);
+        let mut partitions: Vec<Vec<Command>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut last_seq = None;
+        for (seq, record) in merged {
+            // Broadcast records were written once per writer segment under
+            // a shared sequence number; keep one copy.
+            if last_seq == Some(seq) {
+                continue;
+            }
+            last_seq = Some(seq);
             let cmd = Command::decode(&record)?;
             if !cmd.is_write() {
                 continue;
             }
             match cmd.primary_key() {
                 Some(key) => partitions[router.shard_of(key)].push(cmd),
-                // FLUSHALL (the only keyed-less write) clears every shard;
+                // FLUSHALL (the only key-less write) clears every shard;
                 // relative order within each partition is preserved.
                 None => {
                     for partition in &mut partitions {
@@ -185,7 +206,12 @@ impl KvStore {
                 }
             }
         }
+        Ok(partitions)
+    }
 
+    /// Rebuild every shard from its partition — in parallel when there is
+    /// more than one.
+    fn replay(partitions: &[Vec<Command>], shards: &mut [Shard]) -> Result<()> {
         fn apply(shard: &mut Shard, commands: &[Command]) -> Result<()> {
             for cmd in commands {
                 cmd.execute(&mut shard.db)?;
@@ -197,7 +223,7 @@ impl KvStore {
         if shards.len() > 1 {
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(shards.len());
-                for (shard, commands) in shards.iter_mut().zip(&partitions) {
+                for (shard, commands) in shards.iter_mut().zip(partitions) {
                     handles.push(scope.spawn(move || apply(shard, commands)));
                 }
                 for handle in handles {
@@ -206,7 +232,7 @@ impl KvStore {
                 Ok(())
             })
         } else {
-            for (shard, commands) in shards.iter_mut().zip(&partitions) {
+            for (shard, commands) in shards.iter_mut().zip(partitions) {
                 apply(shard, commands)?;
             }
             Ok(())
@@ -253,14 +279,19 @@ impl KvStore {
         let journal = self.inner.aof.is_some() && (is_write || self.inner.config.log_reads);
 
         let mut journaled = false;
+        let mut ticket = None;
         let reply = match command.primary_key() {
             Some(key) => {
-                let mut shard = self.inner.shards[self.inner.router.shard_of(key)].lock();
+                let shard_idx = self.inner.router.shard_of(key);
+                let mut shard = self.inner.shards[shard_idx].lock();
                 let reply = command.execute(&mut shard.db)?;
                 if journal {
-                    // Append while the shard is locked so the journal order
-                    // of this key matches its apply order.
-                    self.append_record(&command.encode())?;
+                    // Append to the owning shard's segment while the shard
+                    // is locked, so the journal order of this key matches
+                    // its apply order. Durability settles after unlock.
+                    if let Some(aof) = &self.inner.aof {
+                        ticket = aof.append(shard_idx, &command.encode())?;
+                    }
                     journaled = true;
                 }
                 reply
@@ -290,12 +321,29 @@ impl KvStore {
                     }
                 };
                 if journal {
-                    self.append_record(&command.encode())?;
+                    // Keyspace-wide writes go to every segment under one
+                    // shared sequence number, while all shards are locked;
+                    // key-less reads (read-logging of KEYS/SCAN/DBSIZE)
+                    // need only one copy, kept in segment 0 — the same
+                    // convention the legacy-migration path uses.
+                    if let Some(aof) = &self.inner.aof {
+                        ticket = if is_write {
+                            aof.append_broadcast(&command.encode())?
+                        } else {
+                            aof.append(0, &command.encode())?
+                        };
+                    }
                     journaled = true;
                 }
                 reply
             }
         };
+
+        // With the shard lock(s) released, wait for durability (group
+        // commit coalesces us with every other writer of the segment).
+        if let (Some(ticket), Some(aof)) = (ticket, &self.inner.aof) {
+            aof.commit(ticket)?;
+        }
 
         let counters = &self.inner.counters;
         counters.commands.fetch_add(1, Ordering::Relaxed);
@@ -335,13 +383,6 @@ impl KvStore {
             merged.truncate(*count as usize);
         }
         Ok(Reply::StringArray(merged))
-    }
-
-    fn append_record(&self, record: &[u8]) -> Result<()> {
-        if let Some(aof) = &self.inner.aof {
-            aof.lock().append(record)?;
-        }
-        Ok(())
     }
 
     fn maybe_auto_rewrite(&self) -> Result<()> {
@@ -543,22 +584,29 @@ impl KvStore {
         let expire_cfg = self.inner.config.active_expire;
         let mut merged = CycleOutcome::default();
 
-        for shard in &self.inner.shards {
+        for (shard_idx, shard) in self.inner.shards.iter().enumerate() {
             let mut shard = shard.lock();
             let Shard { db, rng } = &mut *shard;
             let outcome = run_expire_cycle(db, mode, &expire_cfg, rng);
 
-            // Propagate expiry deletions into the AOF (under the shard lock,
-            // like any other write, and under one writer-lock acquisition
-            // for the whole batch) so that replaying it cannot resurrect
-            // erased personal data.
+            // Propagate expiry deletions into this shard's journal segment
+            // (under the shard lock, like any other write, and under one
+            // log-lock acquisition for the whole batch) so that replaying
+            // it cannot resurrect erased personal data.
+            let mut ticket = None;
             if !outcome.removed.is_empty() {
                 if let Some(aof) = &self.inner.aof {
-                    let mut aof = aof.lock();
-                    for key in &outcome.removed {
-                        aof.append(&Command::Del { key: key.clone() }.encode())?;
-                    }
+                    let records: Vec<Vec<u8>> = outcome
+                        .removed
+                        .iter()
+                        .map(|key| Command::Del { key: key.clone() }.encode())
+                        .collect();
+                    ticket = aof.append_batch(shard_idx, records.iter().map(Vec::as_slice))?;
                 }
+            }
+            drop(shard);
+            if let (Some(ticket), Some(aof)) = (ticket, &self.inner.aof) {
+                aof.commit(ticket)?;
             }
 
             merged.removed.extend(outcome.removed);
@@ -572,8 +620,11 @@ impl KvStore {
             .keys_expired_by_cycles
             .fetch_add(merged.removed.len() as u64, Ordering::Relaxed);
 
+        // Service the `everysec` timer of *every* segment, including the
+        // ones this tick appended nothing to — a shard with no expiring
+        // keys must still get its pending appends flushed on schedule.
         if let Some(aof) = &self.inner.aof {
-            aof.lock().maybe_fsync()?;
+            aof.maybe_fsync_all()?;
         }
         counters
             .last_tick_ms
@@ -581,12 +632,15 @@ impl KvStore {
         Ok(merged)
     }
 
-    /// Rewrite (compact) the append-only file from the live dataset —
-    /// `BGREWRITEAOF`. Returns the number of records dropped, i.e. how much
-    /// stale (including deleted-but-persisting) data was purged.
+    /// Rewrite (compact) the whole journal segment set from the live
+    /// dataset — `BGREWRITEAOF`. Each shard's segment is regenerated from
+    /// that shard's minimal command stream and the set is swapped
+    /// atomically through the manifest. Returns the number of records
+    /// dropped, i.e. how much stale (including deleted-but-persisting)
+    /// data was purged.
     ///
-    /// Holds every shard lock for the duration, so the rewritten log is a
-    /// consistent point-in-time image.
+    /// Holds every shard lock for the duration, so the rewritten segment
+    /// set is a consistent point-in-time image.
     ///
     /// # Errors
     ///
@@ -598,56 +652,16 @@ impl KvStore {
         };
         let mut guards = self.lock_all_shards();
 
-        // Regenerate the minimal command stream from the live dataset.
-        let mut commands: Vec<Command> = Vec::new();
-        for guard in &guards {
-            let db = &guard.db;
-            for (key, object) in db.iter() {
-                match &object.value {
-                    crate::object::Value::Str(b) => {
-                        commands.push(Command::Set {
-                            key: key.clone(),
-                            value: b.clone(),
-                        });
-                    }
-                    crate::object::Value::Hash(map) => {
-                        commands.push(Command::HSetMulti {
-                            key: key.clone(),
-                            fields: map.clone(),
-                        });
-                    }
-                    crate::object::Value::List(items) => {
-                        // Lists are journaled as a hash of index → element;
-                        // adequate for recovery purposes in this engine.
-                        let fields = items
-                            .iter()
-                            .enumerate()
-                            .map(|(i, v)| (format!("{i:020}"), v.clone()))
-                            .collect();
-                        commands.push(Command::HSetMulti {
-                            key: key.clone(),
-                            fields,
-                        });
-                    }
-                    crate::object::Value::Set(members) => {
-                        for member in members {
-                            commands.push(Command::SAdd {
-                                key: key.clone(),
-                                member: member.clone(),
-                            });
-                        }
-                    }
-                }
-                if let Some(at) = db.expire_deadline(key) {
-                    commands.push(Command::ExpireAt {
-                        key: key.clone(),
-                        at_ms: at,
-                    });
-                }
-            }
-        }
-        let records: Vec<Vec<u8>> = commands.iter().map(Command::encode).collect();
-        let dropped = aof.lock().rewrite(records.iter().map(Vec::as_slice))?;
+        let per_segment: Vec<Vec<Vec<u8>>> = guards
+            .iter()
+            .map(|guard| {
+                snapshot::rewrite_commands(&guard.db)
+                    .iter()
+                    .map(Command::encode)
+                    .collect()
+            })
+            .collect();
+        let dropped = aof.rewrite(&per_segment)?;
         self.inner
             .counters
             .records_since_rewrite
@@ -658,10 +672,10 @@ impl KvStore {
         Ok(dropped)
     }
 
-    /// Force an AOF fsync regardless of policy.
+    /// Force an fsync of every journal segment regardless of policy.
     pub fn fsync(&self) -> Result<()> {
         if let Some(aof) = &self.inner.aof {
-            aof.lock().fsync()?;
+            aof.fsync_all()?;
         }
         Ok(())
     }
@@ -718,30 +732,48 @@ impl KvStore {
                 .inner
                 .aof
                 .as_ref()
-                .map(|aof| aof.lock().stats())
+                .map(ShardedAof::stats)
                 .unwrap_or_default(),
+            aof_segments: self
+                .inner
+                .aof
+                .as_ref()
+                .map_or(0, |aof| aof.segment_count() as u64),
             device: self
                 .inner
                 .aof
                 .as_ref()
-                .map(|_| DeviceStats::default())
+                .map(ShardedAof::device_stats)
                 .unwrap_or_default(),
         }
     }
 
-    /// AOF statistics, if persistence is enabled.
+    /// AOF statistics aggregated over all segments, if persistence is
+    /// enabled.
     #[must_use]
     pub fn aof_stats(&self) -> Option<AofStats> {
-        self.inner.aof.as_ref().map(|aof| aof.lock().stats())
+        self.inner.aof.as_ref().map(ShardedAof::stats)
     }
 
-    /// Bytes currently occupied by the AOF on its device.
+    /// Per-segment AOF statistics (index `i` is shard `i`'s segment), if
+    /// persistence is enabled — the paper's risk-window metric observable
+    /// per shard.
+    #[must_use]
+    pub fn aof_segment_stats(&self) -> Option<Vec<AofStats>> {
+        self.inner.aof.as_ref().map(ShardedAof::segment_stats)
+    }
+
+    /// Current journal manifest epoch (bumps on every segment-set
+    /// rewrite), if persistence is enabled.
+    #[must_use]
+    pub fn aof_epoch(&self) -> Option<u64> {
+        self.inner.aof.as_ref().map(ShardedAof::epoch)
+    }
+
+    /// Bytes currently occupied by the journal across all segment devices.
     #[must_use]
     pub fn aof_len(&self) -> u64 {
-        self.inner
-            .aof
-            .as_ref()
-            .map_or(0, |aof| aof.lock().device_len())
+        self.inner.aof.as_ref().map_or(0, ShardedAof::device_len)
     }
 }
 
@@ -840,6 +872,32 @@ mod tests {
     }
 
     #[test]
+    fn flushall_order_survives_shard_count_change() {
+        let dir = std::env::temp_dir().join(format!("kvstore-flushrep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flush.aof");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = KvStore::open(StoreConfig::with_aof(&path).shards(4)).unwrap();
+            for i in 0..16 {
+                store.set(&format!("before{i:02}"), b"x".to_vec()).unwrap();
+            }
+            store.execute(Command::FlushAll).unwrap();
+            for i in 0..8 {
+                store.set(&format!("after{i:02}"), b"y".to_vec()).unwrap();
+            }
+            store.fsync().unwrap();
+        }
+        // Merging segments written by 4 shards into 1 must keep the
+        // broadcast FLUSHALL ordered between the two write generations.
+        let narrow = KvStore::open(StoreConfig::with_aof(&path).shards(1)).unwrap();
+        assert_eq!(narrow.len(), 8);
+        assert_eq!(narrow.get("before00").unwrap(), None);
+        assert_eq!(narrow.get("after07").unwrap(), Some(b"y".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn encrypted_aof_replay_recovers_state() {
         let dir = std::env::temp_dir().join(format!("kvstore-store-enc-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -850,14 +908,48 @@ mod tests {
             store.set("secret", b"pii".to_vec()).unwrap();
             store.fsync().unwrap();
         }
-        // Plaintext must not be on disk.
-        let raw = std::fs::read(&path).unwrap();
-        assert!(!raw.windows(3).any(|w| w == b"pii"));
+        // Plaintext must not be on disk — neither in the manifest nor in
+        // any segment file of the layout.
+        let mut scanned = 0;
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            if entry.file_name().to_string_lossy().starts_with("enc.aof") {
+                let raw = std::fs::read(entry.path()).unwrap();
+                assert!(!raw.windows(3).any(|w| w == b"pii"), "{:?}", entry.path());
+                scanned += 1;
+            }
+        }
+        assert!(scanned >= 2, "manifest plus at least one segment");
         let reopened = KvStore::open(StoreConfig::with_aof(&path).encrypted(b"vault pw")).unwrap();
         assert_eq!(reopened.get("secret").unwrap(), Some(b"pii".to_vec()));
         // Wrong passphrase fails.
         assert!(KvStore::open(StoreConfig::with_aof(&path).encrypted(b"wrong")).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_journal_honors_encryption_at_rest() {
+        let store = KvStore::open(
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .shards(2)
+                .encrypted(b"mem pw"),
+        )
+        .unwrap();
+        for i in 0..16 {
+            store.set(&format!("k{i}"), b"personal".to_vec()).unwrap();
+        }
+        let device = store.stats().device;
+        assert!(device.bytes_written > 0);
+        assert!(
+            device.bytes_on_device > device.bytes_written,
+            "encrypting device frames (nonce+tag) must show up even for \
+             in-memory segments: {device:?}"
+        );
+
+        let plain = KvStore::open(StoreConfig::in_memory().aof_in_memory().shards(2)).unwrap();
+        plain.set("k", b"v".to_vec()).unwrap();
+        let device = plain.stats().device;
+        assert_eq!(device.bytes_on_device, device.bytes_written);
     }
 
     #[test]
@@ -878,6 +970,29 @@ mod tests {
             1,
             "reads not journaled by default"
         );
+    }
+
+    #[test]
+    fn keyless_read_logging_journals_one_copy_not_a_broadcast() {
+        let store = KvStore::open(
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .shards(4)
+                .log_reads(true),
+        )
+        .unwrap();
+        let before = store.aof_stats().unwrap().records_appended;
+        store.keys("*").unwrap();
+        store.scan("", 10).unwrap();
+        assert_eq!(
+            store.aof_stats().unwrap().records_appended,
+            before + 2,
+            "a key-less read is one journal record, not one per segment"
+        );
+        // Keyspace-wide writes are still broadcast (one copy per segment).
+        let before = store.aof_stats().unwrap().records_appended;
+        store.execute(Command::FlushAll).unwrap();
+        assert_eq!(store.aof_stats().unwrap().records_appended, before + 4);
     }
 
     #[test]

@@ -6,13 +6,22 @@
 //! ```text
 //! gdpr-server [addr=127.0.0.1:6379] [shards=1] [fsync=everysec]
 //!             [compliance=1] [maxconns=64] [aof=mem|none|<path>]
+//!             [groupcommit=1] [gcwait=2]
 //!             [grant=actor:purpose[,actor:purpose...]] [duration=secs]
 //! ```
 //!
 //! * `compliance` — 0 = raw engine (plain Redis surface only), 1 =
 //!   eventual policy, 2 = strict policy.
 //! * `fsync` — `always`, `everysec` or `none` (journal fsync policy).
-//! * `aof` — `mem` (default: in-memory journal), `none`, or a file path.
+//!   With per-shard journal segments and group commit, `fsync=always` is
+//!   now a viable serving configuration: concurrent connections share
+//!   fsyncs instead of re-serializing on one journal writer.
+//! * `aof` — `mem` (default: in-memory journal), `none`, or a file path
+//!   (the path becomes the segment-set manifest; segments live next to
+//!   it as `<path>.e<epoch>.s<shard>`).
+//! * `groupcommit` — 1 (default) batches concurrent `always` fsyncs per
+//!   segment; 0 reverts to one fsync per record.
+//! * `gcwait` — group-commit follower wait bound in milliseconds.
 //! * `grant` — access grants to install at startup, e.g.
 //!   `grant=ycsb:benchmarking` (grants can also be installed over the wire
 //!   with `GDPR.GRANT`).
@@ -60,7 +69,14 @@ fn main() {
         _ => FsyncPolicy::EverySec,
     };
 
-    let mut config = StoreConfig::in_memory().shards(shards).fsync(fsync);
+    let group_commit = arg_u64(&args, "groupcommit").unwrap_or(1) != 0;
+    let mut config = StoreConfig::in_memory()
+        .shards(shards)
+        .fsync(fsync)
+        .group_commit(group_commit);
+    if let Some(wait_ms) = arg_u64(&args, "gcwait") {
+        config = config.group_commit_wait_ms(wait_ms);
+    }
     match arg_str(&args, "aof").unwrap_or("mem") {
         "mem" => config = config.aof_in_memory(),
         "none" => {}
@@ -69,7 +85,10 @@ fn main() {
 
     let dispatcher = if compliance == 0 {
         let store = KvStore::open(config).expect("open storage engine");
-        println!("gdpr-server: raw engine, {shards} shard(s), fsync {fsync:?}");
+        println!(
+            "gdpr-server: raw engine, {shards} shard(s), fsync {fsync:?}, group commit {}",
+            if group_commit { "on" } else { "off" }
+        );
         Dispatcher::kv(store)
     } else {
         let mut policy = if compliance >= 2 {

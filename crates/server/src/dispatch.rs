@@ -154,6 +154,47 @@ impl Dispatcher {
         }
     }
 
+    /// Render the `INFO` reply: engine counters, the per-segment journal
+    /// section (the paper's risk-window metric observable per shard over
+    /// the wire), and — on a compliance engine — the GDPR counters.
+    #[must_use]
+    pub fn render_info(&self) -> String {
+        let engine = self.raw_engine();
+        let mut out = engine.stats().render();
+        if let Some(segments) = engine.aof_segment_stats() {
+            out.push_str("# AofSegments\n");
+            out.push_str(&format!(
+                "aof_epoch:{}\n",
+                engine.aof_epoch().unwrap_or_default()
+            ));
+            for (idx, seg) in segments.iter().enumerate() {
+                out.push_str(&format!(
+                    "aof_seg{idx}:records={},fsyncs={},unsynced={},group_commits={},\
+                     group_commit_records={},max_batch={}\n",
+                    seg.records_appended,
+                    seg.fsyncs,
+                    seg.unsynced_records,
+                    seg.group_commits,
+                    seg.group_commit_records,
+                    seg.max_group_commit_batch,
+                ));
+            }
+        }
+        if let Some(store) = self.gdpr_store() {
+            let stats = store.stats();
+            out.push_str(&format!(
+                "# Gdpr\nallowed_ops:{}\ndenied_ops:{}\naudit_records:{}\n\
+                 erased_by_request:{}\nerased_by_retention:{}\n",
+                stats.allowed_ops,
+                stats.denied_ops,
+                stats.audit_records,
+                stats.erased_by_request,
+                stats.erased_by_retention,
+            ));
+        }
+        out
+    }
+
     /// Handle one decoded request frame and produce the reply frame.
     pub fn handle_frame(&self, frame: &Frame, session: &mut Session) -> Frame {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -172,6 +213,7 @@ impl Dispatcher {
         // Protocol-level commands, identical for both engines.
         match cmd.name.as_str() {
             "PING" => return Frame::Simple("PONG".to_string()),
+            "INFO" => return Frame::Bulk(self.render_info().into_bytes()),
             // SHUTDOWN is acknowledged here; the transport layer watches
             // for the name and begins its graceful shutdown after the
             // reply is flushed.
@@ -593,13 +635,38 @@ fn dispatch_gdpr(store: &GdprStore, request: &GdprRequest, session: &mut Session
         }
         GdprRequest::Stats => {
             let stats = store.stats();
-            string_array_frame(vec![
+            let mut lines = vec![
                 format!("allowed_ops={}", stats.allowed_ops),
                 format!("denied_ops={}", stats.denied_ops),
                 format!("audit_records={}", stats.audit_records),
                 format!("erased_by_request={}", stats.erased_by_request),
                 format!("erased_by_retention={}", stats.erased_by_retention),
-            ])
+            ];
+            // The journaling cost the paper measures, observable per shard:
+            // aggregate first, then one line per segment.
+            if let Some(total) = store.aof_stats() {
+                let segments = store.aof_segment_stats().unwrap_or_default();
+                lines.push(format!("aof_segments={}", segments.len()));
+                lines.push(format!("aof_records={}", total.records_appended));
+                lines.push(format!("aof_fsyncs={}", total.fsyncs));
+                lines.push(format!("aof_unsynced_records={}", total.unsynced_records));
+                lines.push(format!("aof_group_commits={}", total.group_commits));
+                lines.push(format!(
+                    "aof_group_commit_avg_batch={:.2}",
+                    total.avg_group_commit_batch().unwrap_or(0.0)
+                ));
+                for (idx, seg) in segments.iter().enumerate() {
+                    lines.push(format!(
+                        "aof_seg{idx}=records:{},fsyncs:{},unsynced:{},group_commits:{},max_batch:{}",
+                        seg.records_appended,
+                        seg.fsyncs,
+                        seg.unsynced_records,
+                        seg.group_commits,
+                        seg.max_group_commit_batch,
+                    ));
+                }
+            }
+            string_array_frame(lines)
         }
         // `GdprRequest` is non-exhaustive: a newer wire surface than this
         // server understands is a protocol error, not a panic.
@@ -1020,11 +1087,58 @@ mod tests {
             Frame::Array(vec![])
         );
 
-        // Stats surface.
+        // Stats surface: the compliance counters plus the per-segment
+        // journal lines (the in-memory store persists to an in-memory AOF).
         match d.handle_frame(&GdprRequest::Stats.to_frame(), &mut session) {
-            Frame::Array(items) => assert_eq!(items.len(), 5),
+            Frame::Array(items) => {
+                assert!(items.len() > 5, "{items:?}");
+                let text: Vec<String> = items
+                    .iter()
+                    .map(|f| match f {
+                        Frame::Bulk(b) => String::from_utf8_lossy(b).into_owned(),
+                        other => panic!("unexpected {other:?}"),
+                    })
+                    .collect();
+                assert!(text.iter().any(|l| l.starts_with("allowed_ops=")));
+                assert!(text.iter().any(|l| l == "aof_segments=1"), "{text:?}");
+                assert!(text.iter().any(|l| l.starts_with("aof_unsynced_records=")));
+                assert!(text.iter().any(|l| l.starts_with("aof_seg0=records:")));
+            }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn info_renders_engine_journal_and_gdpr_sections() {
+        let (d, _) = gdpr_dispatcher();
+        let mut session = authed_session(&d);
+        assert_eq!(
+            d.handle_frame(&Frame::command(["SET", "user:1", "v"]), &mut session),
+            Frame::Simple("OK".into())
+        );
+        let info = match d.handle_frame(&Frame::command(["INFO"]), &mut session) {
+            Frame::Bulk(bytes) => String::from_utf8(bytes).unwrap(),
+            other => panic!("unexpected {other:?}"),
+        };
+        for needle in [
+            "# Stats",
+            "aof_segments:",
+            "aof_group_commits:",
+            "# AofSegments",
+            "aof_seg0:records=",
+            "# Gdpr",
+            "allowed_ops:",
+        ] {
+            assert!(info.contains(needle), "INFO missing {needle}: {info}");
+        }
+        // The raw engine serves INFO too, without the GDPR section.
+        let raw = kv_dispatcher();
+        let info = match raw.handle_frame(&Frame::command(["INFO"]), &mut Session::new()) {
+            Frame::Bulk(bytes) => String::from_utf8(bytes).unwrap(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(info.contains("# Stats"));
+        assert!(!info.contains("# Gdpr"));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! A write-only driver for crash-replay smoke tests: connects to a running
+//! `gdpr-server`, authenticates, writes a deterministic batch of keys, and
+//! exits **without** sending `SHUTDOWN` — so a harness can `kill -9` the
+//! server afterwards knowing exactly which writes were acknowledged (under
+//! `fsync=always` every acknowledged write must survive the replay).
+//!
+//! ```text
+//! cargo run --release --example crash_writer -- 127.0.0.1:16381 [count]
+//! cargo run --release --example crash_writer -- 127.0.0.1:16382 [count] verify
+//! ```
+//!
+//! Prints `crash_writer: N writes acknowledged` on success. In `verify`
+//! mode it reads the batch back instead (against a server reopened on the
+//! crashed journal) and fails unless every key (`cw000`, `cw001`, …, each
+//! holding its own index as ASCII) replayed intact.
+
+use std::error::Error;
+
+use gdpr_storage::gdpr_server::client::TcpRemoteClient;
+use gdpr_storage::resp::command::GdprRequest;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let addr = std::env::args()
+        .nth(1)
+        .ok_or("usage: crash_writer <addr> [count]")?;
+    let count: usize = std::env::args()
+        .nth(2)
+        .map(|c| c.parse())
+        .transpose()?
+        .unwrap_or(50);
+
+    let verify = std::env::args().nth(3).as_deref() == Some("verify");
+
+    let mut client = TcpRemoteClient::connect(addr.as_str())?;
+    client.ping()?;
+    client.gdpr(&GdprRequest::Grant {
+        actor: "crash-writer".into(),
+        purpose: "smoke-testing".into(),
+    })?;
+    client.auth("crash-writer", "smoke-testing")?;
+
+    if verify {
+        for i in 0..count {
+            let value = client.get(&format!("cw{i:03}"))?;
+            if value.as_deref() != Some(format!("{i}").as_bytes()) {
+                return Err(format!("key cw{i:03} did not replay: {value:?}").into());
+            }
+        }
+        println!("crash_writer: {count} keys verified");
+        return Ok(());
+    }
+
+    for i in 0..count {
+        client.set(&format!("cw{i:03}"), format!("{i}").as_bytes())?;
+    }
+    // Read one key back so the acknowledgements are known to have been
+    // processed in order, then drop the connection with the server alive.
+    let back = client.get("cw000")?;
+    assert_eq!(back.as_deref(), Some(b"0".as_ref()), "readback failed");
+    println!("crash_writer: {count} writes acknowledged");
+    Ok(())
+}

@@ -243,3 +243,89 @@ fn strict_policy_audit_chain_survives_concurrent_emission() {
     assert_eq!(store.len(), 100);
     assert_eq!(store.stats().denied_ops, 0);
 }
+
+#[test]
+fn group_commit_under_compliance_hammering_keeps_state_and_journal_aligned() {
+    // Real-time durability (fsync=always) on a file-backed journal, with
+    // the per-shard segments' group committers coalescing the concurrent
+    // writers: nothing may be lost, nothing reordered within a key, and a
+    // crash-replay must land on exactly the surviving state.
+    let dir = std::env::temp_dir().join(format!("gdpr-stress-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.aof");
+
+    let config = StoreConfig::with_aof(&path).shards(8);
+    // The compliance layer stamps its own journal fsync policy onto the
+    // engine config, so real-time durability is selected there.
+    let mut policy = CompliancePolicy::eventual();
+    policy.journal_fsync = gdpr_storage::kvstore::aof::FsyncPolicy::Always;
+    {
+        let store = GdprStore::open(
+            policy.clone(),
+            config.clone(),
+            Box::new(gdpr_storage::audit::sink::MemorySink::new()),
+        )
+        .unwrap();
+        store.grant(Grant::new("app", "service"));
+        store.grant(Grant::new("app", "analytics"));
+
+        std::thread::scope(|scope| {
+            for t in 0..WRITER_THREADS {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..KEYS_PER_WRITER {
+                        let key = format!("user:{}:k{}", subject(t), i % 30);
+                        store
+                            .put(&ctx(), &key, format!("{i:06}").into_bytes(), meta(t))
+                            .unwrap();
+                    }
+                });
+            }
+            // One eraser racing the writers exercises erasure + journal
+            // scrub against the group committer.
+            let store = &store;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    store.right_to_erasure(&ctx(), &subject(0)).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+
+        let aof = store.aof_stats().unwrap();
+        assert_eq!(aof.unsynced_records, 0, "always: nothing at risk");
+        assert!(aof.group_commits > 0, "group committer must have run");
+        let per_segment = store.aof_segment_stats().unwrap();
+        assert_eq!(per_segment.len(), 8, "one journal segment per shard");
+        assert!(per_segment.iter().all(|s| s.unsynced_records == 0));
+        // "Crash": dropped without a clean shutdown.
+    }
+
+    let reopened = GdprStore::open(
+        policy,
+        config,
+        Box::new(gdpr_storage::audit::sink::MemorySink::new()),
+    )
+    .unwrap();
+    // Grants live in the in-memory ACL, not the journal; reinstall them.
+    reopened.grant(Grant::new("app", "service"));
+    reopened.grant(Grant::new("app", "analytics"));
+    // Writers other than thread 0 (raced by the eraser) must have all 30
+    // slots, each holding the last value written to it.
+    for t in 1..WRITER_THREADS {
+        let keys = reopened.keys_of_subject(&subject(t)).unwrap();
+        assert_eq!(keys.len(), 30, "subject{t} keys after replay");
+        for k in 0..30 {
+            let last = (0..KEYS_PER_WRITER).rev().find(|i| i % 30 == k).unwrap();
+            assert_eq!(
+                reopened
+                    .get(&ctx(), &format!("user:{}:k{k}", subject(t)))
+                    .unwrap(),
+                Some(format!("{last:06}").into_bytes()),
+                "per-key order must survive group commit + crash replay"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

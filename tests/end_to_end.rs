@@ -21,6 +21,25 @@ fn test_dir(name: &str) -> PathBuf {
     dir
 }
 
+/// Concatenated raw bytes of the whole journal layout: the manifest plus
+/// every per-shard segment file (`engine.aof.e<epoch>.s<idx>`).
+fn journal_bytes(dir: &Path) -> Vec<u8> {
+    let mut raw = Vec::new();
+    let mut files = 0;
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        if entry
+            .file_name()
+            .to_string_lossy()
+            .starts_with("engine.aof")
+        {
+            raw.extend(std::fs::read(entry.path()).unwrap());
+            files += 1;
+        }
+    }
+    assert!(files >= 2, "expected a manifest plus at least one segment");
+    raw
+}
+
 fn ctx() -> AccessContext {
     AccessContext::new("integration-app", "integration-testing")
 }
@@ -81,9 +100,9 @@ fn full_lifecycle_with_file_persistence_and_recovery() {
         assert!(keys.iter().all(|k| store.get(&ctx(), k).unwrap().is_some()));
     }
 
-    // Phase 3: the on-disk journal must not contain plaintext personal data
-    // (the strict policy encrypts at rest).
-    let raw = std::fs::read(dir.join("engine.aof")).unwrap();
+    // Phase 3: the on-disk journal (manifest + every segment) must not
+    // contain plaintext personal data (the strict policy encrypts at rest).
+    let raw = journal_bytes(&dir);
     assert!(
         !raw.windows(7).any(|w| w == b"value-1"),
         "AOF must be encrypted at rest"
@@ -135,9 +154,9 @@ fn erasure_request_survives_restart_and_scrubs_the_journal() {
         );
         assert!(store.keys_of_subject("alice").unwrap().is_empty());
     }
-    // No trace of alice's values in the journal bytes (they were scrubbed
-    // and the journal is encrypted anyway).
-    let raw = std::fs::read(dir.join("engine.aof")).unwrap();
+    // No trace of alice's values in any journal segment (they were
+    // scrubbed and the journal is encrypted anyway).
+    let raw = journal_bytes(&dir);
     assert!(!raw.windows(11).any(|w| w == b"alice-email"));
     let _ = std::fs::remove_dir_all(&dir);
 }

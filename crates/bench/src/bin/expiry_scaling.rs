@@ -1,0 +1,304 @@
+//! Strict-expiry scaling sweep: key count × TTL distribution × deadline
+//! index (timer wheel vs BTree baseline), measuring the three costs the
+//! index swap targets:
+//!
+//! * **insert** — registering a TTL on a key that has none (the cost every
+//!   TTL'd write pays under the shard lock);
+//! * **reschedule** — overwriting an existing TTL (the wheel tombstones in
+//!   O(1); the BTree rebalances twice);
+//! * **tick** — the 100 ms strict sweep itself, split into steady-state
+//!   ticks and a final bulk drain of everything still pending.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin expiry_scaling \
+//!     [maxkeys=N] [ticks=N] [reps=N] [seed=N]
+//! ```
+//!
+//! Each cell runs `reps` times (default 1) and reports the per-metric
+//! minimum — the noise-resistant estimator for shared hosts, where a
+//! single run can be perturbed by tens of percent.
+//!
+//! Key counts sweep ×10 from 10 000 up to `maxkeys` (default 1 000 000 —
+//! the ROADMAP's "millions of TTL'd keys" point). Emits a human table and
+//! writes `BENCH_expiry_scaling.json` (with `host_cores` recorded; the
+//! workload is single-threaded on a simulated clock, so results are about
+//! index cost, not core scaling).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::arg_value;
+use kvstore::clock::SimClock;
+use kvstore::db::Db;
+use kvstore::expire::{run_expire_cycle, ActiveExpireConfig, ExpiryMode};
+use kvstore::ttl_wheel::DeadlineIndexKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How TTLs are assigned across the keyspace.
+#[derive(Clone, Copy)]
+struct TtlDistribution {
+    label: &'static str,
+    /// TTL in ms for key `i` of `total`.
+    assign: fn(&mut StdRng, usize, usize) -> u64,
+}
+
+/// The paper's Figure 2 mix: 20 % at 5 minutes, 80 % at 5 days.
+fn figure2_ttl(_rng: &mut StdRng, i: usize, total: usize) -> u64 {
+    if i < total / 5 {
+        5 * 60 * 1_000
+    } else {
+        5 * 24 * 3_600 * 1_000
+    }
+}
+
+/// Uniformly random deadlines within one hour: every tick expires a slice.
+fn uniform_1h_ttl(rng: &mut StdRng, _i: usize, _total: usize) -> u64 {
+    rng.gen_range(1_000..3_600_000)
+}
+
+/// Everything expires at the same instant: the densest possible slot.
+fn burst_ttl(_rng: &mut StdRng, _i: usize, _total: usize) -> u64 {
+    60_000
+}
+
+const DISTRIBUTIONS: [TtlDistribution; 3] = [
+    TtlDistribution {
+        label: "figure2",
+        assign: figure2_ttl,
+    },
+    TtlDistribution {
+        label: "uniform-1h",
+        assign: uniform_1h_ttl,
+    },
+    TtlDistribution {
+        label: "burst",
+        assign: burst_ttl,
+    },
+];
+
+struct Cell {
+    index: DeadlineIndexKind,
+    dist: &'static str,
+    keys: usize,
+    insert_ns_per_key: f64,
+    reschedule_ns_per_op: f64,
+    steady_ticks: u64,
+    steady_tick_avg_us: f64,
+    steady_expired: u64,
+    drain_ms: f64,
+    drain_expired: u64,
+    cascades: u64,
+    stale_dropped: u64,
+    overflow_entries_peak: u64,
+}
+
+fn run_cell(
+    kind: DeadlineIndexKind,
+    dist: TtlDistribution,
+    keys: usize,
+    seed: u64,
+    ticks: u64,
+) -> Cell {
+    let clock = SimClock::new(0);
+    let mut db = Db::with_deadline_index(Arc::new(clock.clone()), kind);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Keys exist before the measured phase so `insert` times TTL indexing,
+    // not dictionary population.
+    for i in 0..keys {
+        db.set(&format!("user{i:08}"), vec![0u8; 8]);
+    }
+    let ttls: Vec<u64> = (0..keys)
+        .map(|i| (dist.assign)(&mut rng, i, keys))
+        .collect();
+
+    let t0 = Instant::now();
+    for (i, ttl) in ttls.iter().enumerate() {
+        db.expire_in_millis(&format!("user{i:08}"), *ttl);
+    }
+    let insert_ns_per_key = t0.elapsed().as_nanos() as f64 / keys as f64;
+
+    // Reschedule a fifth of the keys to a fresh deadline (the hot path the
+    // wheel optimises: every write to a TTL'd key replaces its deadline).
+    let resched_ops = keys / 5;
+    let t0 = Instant::now();
+    for _ in 0..resched_ops {
+        let i = rng.gen_range(0..keys);
+        let ttl = (dist.assign)(&mut rng, i, keys);
+        db.expire_in_millis(&format!("user{i:08}"), ttl);
+    }
+    let reschedule_ns_per_op = t0.elapsed().as_nanos() as f64 / resched_ops.max(1) as f64;
+    let overflow_entries_peak = db.deadline_index_stats().overflow_entries;
+
+    // Steady state: 100 ms strict cycles, as the engine tick runs them.
+    let config = ActiveExpireConfig::default();
+    let mut steady_expired = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..ticks {
+        clock.advance_millis(config.period_ms);
+        let outcome = run_expire_cycle(&mut db, ExpiryMode::Strict, &config, &mut rng);
+        steady_expired += outcome.removed.len() as u64;
+    }
+    let steady = t0.elapsed();
+
+    // Drain: jump past every remaining deadline and sweep the backlog in
+    // one cycle (the mass-expiry shape of a retention enforcement pass).
+    clock.advance_millis(6 * 24 * 3_600 * 1_000);
+    let t0 = Instant::now();
+    let outcome = run_expire_cycle(&mut db, ExpiryMode::Strict, &config, &mut rng);
+    let drain = t0.elapsed();
+    let drain_expired = outcome.removed.len() as u64;
+    assert_eq!(
+        steady_expired + drain_expired,
+        keys as u64,
+        "every TTL'd key must expire exactly once ({kind:?}, {}, {keys})",
+        dist.label
+    );
+    assert_eq!(db.pending_expired_len(), 0);
+
+    let stats = db.deadline_index_stats();
+    Cell {
+        index: kind,
+        dist: dist.label,
+        keys,
+        insert_ns_per_key,
+        reschedule_ns_per_op,
+        steady_ticks: ticks,
+        steady_tick_avg_us: steady.as_micros() as f64 / ticks.max(1) as f64,
+        steady_expired,
+        drain_ms: drain.as_secs_f64() * 1_000.0,
+        drain_expired,
+        cascades: stats.cascades,
+        stale_dropped: stats.stale_dropped,
+        overflow_entries_peak,
+    }
+}
+
+/// Fold repeated runs of one cell into per-metric minima.
+fn min_cell(mut runs: Vec<Cell>) -> Cell {
+    let mut best = runs.pop().expect("at least one rep");
+    for run in runs {
+        best.insert_ns_per_key = best.insert_ns_per_key.min(run.insert_ns_per_key);
+        best.reschedule_ns_per_op = best.reschedule_ns_per_op.min(run.reschedule_ns_per_op);
+        best.steady_tick_avg_us = best.steady_tick_avg_us.min(run.steady_tick_avg_us);
+        best.drain_ms = best.drain_ms.min(run.drain_ms);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_keys = arg_value(&args, "maxkeys").unwrap_or(1_000_000) as usize;
+    // 3 500 × 100 ms covers Figure 2's 5-minute wave inside steady state.
+    let ticks = arg_value(&args, "ticks").unwrap_or(3_500);
+    let reps = arg_value(&args, "reps").unwrap_or(1).max(1);
+    let seed = arg_value(&args, "seed").unwrap_or(42);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "expiry_scaling — strict-expiry index sweep, maxkeys={max_keys}, ticks={ticks}, cores={cores}"
+    );
+
+    let mut key_axis = Vec::new();
+    let mut n = 10_000usize;
+    while n <= max_keys {
+        key_axis.push(n);
+        n *= 10;
+    }
+    if key_axis.is_empty() {
+        key_axis.push(max_keys.max(1));
+    }
+
+    let mut cells = Vec::new();
+    for &keys in &key_axis {
+        for dist in DISTRIBUTIONS {
+            for kind in [DeadlineIndexKind::Wheel, DeadlineIndexKind::BTree] {
+                let runs: Vec<Cell> = (0..reps)
+                    .map(|_| run_cell(kind, dist, keys, seed, ticks))
+                    .collect();
+                let cell = min_cell(runs);
+                println!(
+                    "  {:<6} {:<10} keys={:<8} insert {:>7.0} ns/key   resched {:>7.0} ns/op   \
+                     steady tick {:>9.1} us   drain {:>8.1} ms ({} keys)",
+                    cell.index,
+                    cell.dist,
+                    cell.keys,
+                    cell.insert_ns_per_key,
+                    cell.reschedule_ns_per_op,
+                    cell.steady_tick_avg_us,
+                    cell.drain_ms,
+                    cell.drain_expired,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Headlines at the top key count: the acceptance trajectory.
+    let top = *key_axis.last().unwrap();
+    let pick = |kind: DeadlineIndexKind, dist: &str| {
+        cells
+            .iter()
+            .find(|c| c.index == kind && c.dist == dist && c.keys == top)
+    };
+    for dist in DISTRIBUTIONS {
+        if let (Some(wheel), Some(btree)) = (
+            pick(DeadlineIndexKind::Wheel, dist.label),
+            pick(DeadlineIndexKind::BTree, dist.label),
+        ) {
+            println!(
+                "\n{} @ {top} keys: insert btree/wheel = {:.2}x   resched = {:.2}x   \
+                 steady tick = {:.2}x   drain = {:.2}x",
+                dist.label,
+                btree.insert_ns_per_key / wheel.insert_ns_per_key,
+                btree.reschedule_ns_per_op / wheel.reschedule_ns_per_op,
+                btree.steady_tick_avg_us / wheel.steady_tick_avg_us,
+                btree.drain_ms / wheel.drain_ms,
+            );
+        }
+    }
+
+    let json = render_json(seed, ticks, reps, cores, &cells);
+    std::fs::write("BENCH_expiry_scaling.json", &json).expect("write BENCH_expiry_scaling.json");
+    println!("\nwrote BENCH_expiry_scaling.json ({} cells)", cells.len());
+}
+
+fn render_json(seed: u64, ticks: u64, reps: u64, cores: usize, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"expiry_scaling\",\n");
+    out.push_str("  \"store\": \"kvstore Db, strict expiry, simulated clock\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"reps_min_of\": {reps},\n"));
+    out.push_str(&format!("  \"steady_ticks\": {ticks},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"index\": \"{}\", \"dist\": \"{}\", \"keys\": {}, \
+             \"insert_ns_per_key\": {:.1}, \"reschedule_ns_per_op\": {:.1}, \
+             \"steady_ticks\": {}, \"steady_tick_avg_us\": {:.2}, \"steady_expired\": {}, \
+             \"drain_ms\": {:.2}, \"drain_expired\": {}, \"cascades\": {}, \
+             \"stale_dropped\": {}, \"overflow_entries_peak\": {}}}{}\n",
+            cell.index,
+            cell.dist,
+            cell.keys,
+            cell.insert_ns_per_key,
+            cell.reschedule_ns_per_op,
+            cell.steady_ticks,
+            cell.steady_tick_avg_us,
+            cell.steady_expired,
+            cell.drain_ms,
+            cell.drain_expired,
+            cell.cascades,
+            cell.stale_dropped,
+            cell.overflow_entries_peak,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -14,6 +14,7 @@ use crate::aof::FsyncPolicy;
 use crate::clock::{Clock, SharedClock, SystemClock};
 use crate::expire::{ActiveExpireConfig, ExpiryMode};
 use crate::shard::DEFAULT_HASH_SEED;
+use crate::ttl_wheel::DeadlineIndexKind;
 
 /// Where the append-only file lives.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -53,6 +54,10 @@ pub struct StoreConfig {
     pub expiry_mode: ExpiryMode,
     /// Tunables of the probabilistic expiry cycle.
     pub active_expire: ActiveExpireConfig,
+    /// Deadline-index implementation serving strict expiry: the
+    /// hierarchical timer wheel by default, or the original BTree index
+    /// (kept for differential testing and as a paper-faithful baseline).
+    pub deadline_index: DeadlineIndexKind,
     /// Trigger an automatic AOF rewrite once the log holds at least this
     /// many records more than after the previous rewrite (0 disables).
     pub aof_rewrite_threshold_records: u64,
@@ -89,6 +94,7 @@ impl Default for StoreConfig {
             encryption: None,
             expiry_mode: ExpiryMode::LazyProbabilistic,
             active_expire: ActiveExpireConfig::default(),
+            deadline_index: DeadlineIndexKind::default(),
             aof_rewrite_threshold_records: 0,
             aof_group_commit: true,
             aof_group_commit_wait_ms: 2,
@@ -145,6 +151,13 @@ impl StoreConfig {
     #[must_use]
     pub fn expiry_mode(mut self, mode: ExpiryMode) -> Self {
         self.expiry_mode = mode;
+        self
+    }
+
+    /// Builder-style: select the deadline-index implementation.
+    #[must_use]
+    pub fn deadline_index(mut self, kind: DeadlineIndexKind) -> Self {
+        self.deadline_index = kind;
         self
     }
 
@@ -221,6 +234,17 @@ mod tests {
         assert!(!c.log_reads);
         assert!(c.encryption.is_none());
         assert_eq!(c.expiry_mode, ExpiryMode::LazyProbabilistic);
+        assert_eq!(
+            c.deadline_index,
+            DeadlineIndexKind::Wheel,
+            "the wheel is the default strict-expiry index"
+        );
+    }
+
+    #[test]
+    fn deadline_index_builder() {
+        let c = StoreConfig::in_memory().deadline_index(DeadlineIndexKind::BTree);
+        assert_eq!(c.deadline_index, DeadlineIndexKind::BTree);
     }
 
     #[test]

@@ -12,6 +12,9 @@ use rand::Rng;
 
 use crate::clock::{SharedClock, UnixMillis};
 use crate::object::{Bytes, Object, Value};
+use crate::ttl_wheel::{
+    build_deadline_index, DeadlineIndex, DeadlineIndexKind, DeadlineIndexStats,
+};
 use crate::{Result, StoreError};
 
 /// Why a key was removed — used by the caller to decide what to propagate
@@ -55,9 +58,11 @@ pub struct Db {
     /// equivalent for our hash map).
     expires_sample_pool: Vec<String>,
     expires_pool_index: HashMap<String, usize>,
-    /// Secondary index ordered by expiration deadline, used by the *strict*
-    /// expiry mode the paper's modified Redis implements.
-    expiry_deadline_index: BTreeSet<(UnixMillis, String)>,
+    /// Secondary index over expiration deadlines, used by the *strict*
+    /// expiry mode the paper's modified Redis implements: a hierarchical
+    /// timer wheel by default, or the original BTree index (see
+    /// [`crate::ttl_wheel`]).
+    deadline_index: Box<dyn DeadlineIndex>,
     /// All keys in lexicographic order, used to serve YCSB-style scans.
     sorted_keys: BTreeSet<String>,
     clock: SharedClock,
@@ -67,15 +72,25 @@ pub struct Db {
 }
 
 impl Db {
-    /// Create an empty database reading time from `clock`.
+    /// Create an empty database reading time from `clock`, with the
+    /// default deadline index (the timer wheel).
     #[must_use]
     pub fn new(clock: SharedClock) -> Self {
+        Db::with_deadline_index(clock, DeadlineIndexKind::default())
+    }
+
+    /// Create an empty database with an explicit deadline-index
+    /// implementation (the BTree variant exists for differential testing
+    /// and as a paper-faithful baseline).
+    #[must_use]
+    pub fn with_deadline_index(clock: SharedClock, index: DeadlineIndexKind) -> Self {
+        let deadline_index = build_deadline_index(index, clock.now_millis());
         Db {
             dict: HashMap::new(),
             expires: HashMap::new(),
             expires_sample_pool: Vec::new(),
             expires_pool_index: HashMap::new(),
-            expiry_deadline_index: BTreeSet::new(),
+            deadline_index,
             sorted_keys: BTreeSet::new(),
             clock,
             stats: DbStats::default(),
@@ -110,20 +125,19 @@ impl Db {
     // ----- internal index maintenance -------------------------------------
 
     fn index_expiry(&mut self, key: &str, at: UnixMillis) {
-        // Remove any previous deadline entry first.
-        if let Some(old) = self.expires.insert(key.to_string(), at) {
-            self.expiry_deadline_index.remove(&(old, key.to_string()));
-        } else {
+        if self.expires.insert(key.to_string(), at).is_none() {
             let pos = self.expires_sample_pool.len();
             self.expires_sample_pool.push(key.to_string());
             self.expires_pool_index.insert(key.to_string(), pos);
         }
-        self.expiry_deadline_index.insert((at, key.to_string()));
+        // The index upserts: a previous deadline for the key is replaced
+        // (the wheel tombstones it, the BTree removes the old posting).
+        self.deadline_index.insert(key, at);
     }
 
     fn unindex_expiry(&mut self, key: &str) {
-        if let Some(at) = self.expires.remove(key) {
-            self.expiry_deadline_index.remove(&(at, key.to_string()));
+        if self.expires.remove(key).is_some() {
+            self.deadline_index.remove(key);
             if let Some(pos) = self.expires_pool_index.remove(key) {
                 let last = self.expires_sample_pool.len() - 1;
                 self.expires_sample_pool.swap_remove(pos);
@@ -248,7 +262,7 @@ impl Db {
         self.expires.clear();
         self.expires_sample_pool.clear();
         self.expires_pool_index.clear();
-        self.expiry_deadline_index.clear();
+        self.deadline_index.clear();
         self.sorted_keys.clear();
         self.stats.deleted_keys += n as u64;
         self.dirty += n as u64;
@@ -556,19 +570,19 @@ impl Db {
     }
 
     /// Strict expiry sweep: remove **every** key whose deadline is `<= now`,
-    /// using the deadline-ordered index. This is the paper's modification
-    /// ("we modify Redis to iterate through the entire list of keys with
-    /// associated EXPIRE"), made efficient with a BTree index as suggested
-    /// in the paper's §5.1 *Efficient Deletion* challenge.
+    /// using the deadline index. This is the paper's modification ("we
+    /// modify Redis to iterate through the entire list of keys with
+    /// associated EXPIRE"), served in `O(expired)` by the timer wheel (or
+    /// the BTree reference index — the paper's §5.1 *Efficient Deletion*
+    /// suggestion). The order of the returned keys is
+    /// implementation-defined but deterministic — the BTree sweeps in
+    /// `(deadline, key)` order, the wheel in slot order; callers needing
+    /// a canonical order must sort.
     pub fn strict_expire_sweep(&mut self) -> Vec<String> {
         let now = self.now_millis();
-        let mut removed = Vec::new();
-        while let Some((at, key)) = self.expiry_deadline_index.iter().next().cloned() {
-            if at > now {
-                break;
-            }
-            self.remove_key(&key, RemovalCause::ActiveExpiry);
-            removed.push(key);
+        let removed = self.deadline_index.advance(now);
+        for key in &removed {
+            self.remove_key(key, RemovalCause::ActiveExpiry);
         }
         removed
     }
@@ -581,14 +595,23 @@ impl Db {
 
     /// Number of keys whose TTL deadline has already passed but which are
     /// still present in the keyspace (i.e. not yet physically erased). This
-    /// is exactly the quantity Figure 2 of the paper tracks.
-    #[must_use]
-    pub fn pending_expired_len(&self) -> usize {
+    /// is exactly the quantity Figure 2 of the paper tracks. Takes `&mut`
+    /// because the wheel advances its cursor to answer it.
+    pub fn pending_expired_len(&mut self) -> usize {
         let now = self.clock.now_millis();
-        self.expiry_deadline_index
-            .iter()
-            .take_while(|(at, _)| *at <= now)
-            .count()
+        self.deadline_index.pending_expired(now)
+    }
+
+    /// Which deadline-index implementation this keyspace runs on.
+    #[must_use]
+    pub fn deadline_index_kind(&self) -> DeadlineIndexKind {
+        self.deadline_index.kind()
+    }
+
+    /// Occupancy and activity counters of the deadline index.
+    #[must_use]
+    pub fn deadline_index_stats(&self) -> DeadlineIndexStats {
+        self.deadline_index.stats()
     }
 
     // ----- keyspace queries -------------------------------------------------

@@ -9,7 +9,22 @@
 //!   database holds ≥100k keys.
 //! * **Strict** — the paper's modified Redis: enumerate every key whose
 //!   deadline has passed and erase it in the same cycle, which our engine
-//!   serves from a deadline-ordered index in `O(expired)`.
+//!   serves from a per-shard deadline index in `O(expired)`.
+//!
+//! The deadline index behind strict mode is, by default, a **hierarchical
+//! timer wheel** ([`crate::ttl_wheel`]): 4 levels × 256 slots at 1 ms base
+//! resolution, so registering or rescheduling a TTL is `O(1)` instead of
+//! the `O(log n)` BTree insert every TTL'd write used to pay under the
+//! shard lock. Advancing the wheel visits only the slots the cursor
+//! passes, **cascading** entries from coarse levels into finer ones (at
+//! most 3 cascades per entry); deadlines beyond the top level (~50 days)
+//! park in an overflow heap and fire straight from it. Removals and
+//! reschedules are lazy — a generation check drops stale entries when
+//! their slot is visited — so an overwritten TTL can never fire at its
+//! stale deadline. The original BTree index remains available via
+//! [`crate::config::StoreConfig::deadline_index`] and pins the wheel's
+//! semantics in the differential/property suite
+//! (`tests/ttl_wheel_differential.rs`).
 //!
 //! [`run_expire_cycle`] executes one 100 ms tick of either policy;
 //! [`ErasureSimulator`] replays the whole Figure 2 experiment on a

@@ -9,7 +9,9 @@
 //! * an in-memory dictionary of typed objects ([`object::Value`]) with the
 //!   usual string/hash/list/set commands ([`commands::Command`]),
 //! * the TTL subsystem with both Redis' **lazy probabilistic active-expiry
-//!   cycle** and the paper's **strict indexed expiry** ([`expire`]),
+//!   cycle** and the paper's **strict indexed expiry** ([`expire`]), served
+//!   by a **hierarchical timer wheel** deadline index (O(1) per TTL
+//!   insert/reschedule; [`ttl_wheel`]),
 //! * **append-only-file** persistence with `always` / `everysec` / `no`
 //!   fsync policies and background-rewrite compaction ([`aof`]),
 //! * point-in-time **snapshots** ([`snapshot`]),
@@ -56,6 +58,7 @@ pub mod sharded_aof;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod ttl_wheel;
 
 use std::error::Error;
 use std::fmt;

@@ -333,14 +333,53 @@ impl ShardedAof {
                         config.fsync,
                         &clock,
                     )?;
-                    (
-                        man.epoch,
-                        LoadedJournal {
-                            segments: loaded,
-                            writer_seed: man.shard_hash_seed,
-                        },
-                        logs,
-                    )
+                    if man.record_counts.len() == shard_count {
+                        (
+                            man.epoch,
+                            LoadedJournal {
+                                segments: loaded,
+                                writer_seed: man.shard_hash_seed,
+                            },
+                            logs,
+                        )
+                    } else {
+                        // The journal was written at a different shard
+                        // count: re-shard it into one segment per current
+                        // shard, staged as a fresh epoch and committed by
+                        // the atomic manifest rename (a crash mid-stage
+                        // leaves the old set in effect; the stale files
+                        // are cleaned on the next open). Without this,
+                        // appends to shards beyond the old segment count
+                        // would have nowhere to go.
+                        drop(logs);
+                        let mut merged: Vec<(u64, Vec<u8>)> =
+                            loaded.into_iter().flatten().collect();
+                        merged.sort_by_key(|(seq, _)| *seq);
+                        // Broadcast records carry one shared sequence
+                        // number per writer segment; keep a single copy
+                        // (migration re-broadcasts key-less writes).
+                        merged.dedup_by_key(|(seq, _)| *seq);
+                        let new_epoch = man.epoch + 1;
+                        let (partitions, logs) = migrate_records(
+                            &backend,
+                            merged,
+                            router,
+                            config.fsync,
+                            &clock,
+                            new_epoch,
+                        )?;
+                        for idx in 0..man.record_counts.len() {
+                            let _ = std::fs::remove_file(segment_path(manifest, man.epoch, idx));
+                        }
+                        (
+                            new_epoch,
+                            LoadedJournal {
+                                segments: partitions,
+                                writer_seed: router.seed(),
+                            },
+                            logs,
+                        )
+                    }
                 }
                 None => {
                     // No manifest. Either a fresh journal, or a pre-manifest
@@ -350,7 +389,7 @@ impl ShardedAof {
                     cleanup_stale_segments(manifest, None);
                     let legacy = load_legacy_file(manifest, config)?;
                     let (loaded, logs) =
-                        migrate_records(&backend, legacy, router, config.fsync, &clock)?;
+                        migrate_records(&backend, legacy, router, config.fsync, &clock, 1)?;
                     (
                         1,
                         LoadedJournal {
@@ -929,6 +968,7 @@ fn migrate_records(
     router: &ShardRouter,
     policy: FsyncPolicy,
     clock: &SharedClock,
+    epoch: u64,
 ) -> Result<(Vec<Vec<(u64, Vec<u8>)>>, Vec<AofLog>)> {
     let shard_count = router.shard_count();
     let mut partitions: Vec<Vec<(u64, Vec<u8>)>> = (0..shard_count).map(|_| Vec::new()).collect();
@@ -950,9 +990,9 @@ fn migrate_records(
     let mut logs = Vec::with_capacity(shard_count);
     for (idx, partition) in partitions.iter().enumerate() {
         if let SegmentBackend::File { manifest, .. } = backend {
-            let _ = std::fs::remove_file(segment_path(manifest, 1, idx));
+            let _ = std::fs::remove_file(segment_path(manifest, epoch, idx));
         }
-        let device = backend.build_device(1, idx)?;
+        let device = backend.build_device(epoch, idx)?;
         let mut log = AofLog::new(device, policy, std::sync::Arc::clone(clock));
         let framed: Vec<Vec<u8>> = partition
             .iter()
@@ -966,7 +1006,7 @@ fn migrate_records(
         write_manifest(
             manifest,
             &AofManifest {
-                epoch: 1,
+                epoch,
                 shard_hash_seed: router.seed(),
                 record_counts: partitions.iter().map(|p| p.len() as u64).collect(),
             },

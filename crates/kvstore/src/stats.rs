@@ -3,6 +3,7 @@
 use crate::aof::AofStats;
 use crate::db::DbStats;
 use crate::device::DeviceStats;
+use crate::ttl_wheel::DeadlineIndexStats;
 
 /// A point-in-time view of engine activity, combining keyspace, AOF and
 /// device counters.
@@ -22,6 +23,9 @@ pub struct EngineStats {
     pub auto_rewrites: u64,
     /// Keyspace counters.
     pub db: DbStats,
+    /// Deadline-index (strict-expiry) counters summed over shards: wheel
+    /// occupancy, cascades, stale-entry drops and overflow parking.
+    pub deadline_index: DeadlineIndexStats,
     /// AOF counters aggregated over all journal segments (zeroed when
     /// persistence is disabled).
     pub aof: AofStats,
@@ -64,6 +68,9 @@ impl EngineStats {
              keyspace_hits:{}\nkeyspace_misses:{}\n\
              expired_keys:{}\ndeleted_keys:{}\n\
              expire_cycles:{}\nkeys_expired_by_cycles:{}\n\
+             deadline_index:{}\nttl_entries:{}\nttl_inserts:{}\nttl_reschedules:{}\n\
+             ttl_removes:{}\nttl_fired:{}\nwheel_cascades:{}\nwheel_stale_dropped:{}\n\
+             wheel_overflow_entries:{}\nwheel_ready_entries:{}\nwheel_level_entries:{}\n\
              aof_segments:{}\naof_records:{}\naof_fsyncs:{}\naof_rewrites:{}\nauto_rewrites:{}\n\
              aof_unsynced_records:{}\naof_group_commits:{}\naof_group_commit_records:{}\n\
              aof_max_group_commit_batch:{}\n\
@@ -77,6 +84,22 @@ impl EngineStats {
             self.db.deleted_keys,
             self.expire_cycles,
             self.keys_expired_by_cycles,
+            self.deadline_index.kind,
+            self.deadline_index.entries,
+            self.deadline_index.inserts,
+            self.deadline_index.reschedules,
+            self.deadline_index.removes,
+            self.deadline_index.fired,
+            self.deadline_index.cascades,
+            self.deadline_index.stale_dropped,
+            self.deadline_index.overflow_entries,
+            self.deadline_index.ready_entries,
+            self.deadline_index
+                .level_entries
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("/"),
             self.aof_segments,
             self.aof.records_appended,
             self.aof.fsyncs,
@@ -122,6 +145,12 @@ mod tests {
             "commands_processed",
             "keyspace_hits",
             "expired_keys",
+            "deadline_index:wheel",
+            "ttl_entries",
+            "wheel_cascades",
+            "wheel_stale_dropped",
+            "wheel_overflow_entries",
+            "wheel_level_entries",
             "aof_segments",
             "aof_fsyncs",
             "aof_unsynced_records",

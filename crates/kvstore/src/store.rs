@@ -56,6 +56,7 @@ use crate::shard::ShardRouter;
 use crate::sharded_aof::{LoadedJournal, ShardedAof};
 use crate::snapshot;
 use crate::stats::EngineStats;
+use crate::ttl_wheel::DeadlineIndexStats;
 use crate::Result;
 
 /// One slice of the keyspace: a dictionary plus its expiry-sampling RNG.
@@ -122,7 +123,7 @@ impl KvStore {
 
         let mut shards: Vec<Shard> = (0..shard_count)
             .map(|idx| Shard {
-                db: Db::new(Arc::clone(&clock)),
+                db: Db::with_deadline_index(Arc::clone(&clock), config.deadline_index),
                 rng: match config.rng_seed {
                     Some(seed) => StdRng::seed_from_u64(seed.wrapping_add(idx as u64)),
                     None => StdRng::from_entropy(),
@@ -711,13 +712,19 @@ impl KvStore {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         let mut db = DbStats::default();
+        let mut deadline_index = DeadlineIndexStats {
+            kind: self.inner.config.deadline_index,
+            ..DeadlineIndexStats::default()
+        };
         for shard in &self.inner.shards {
-            let s = shard.lock().db.stats();
+            let shard = shard.lock();
+            let s = shard.db.stats();
             db.keyspace_hits += s.keyspace_hits;
             db.keyspace_misses += s.keyspace_misses;
             db.expired_keys += s.expired_keys;
             db.deleted_keys += s.deleted_keys;
             db.writes += s.writes;
+            deadline_index.absorb(&shard.db.deadline_index_stats());
         }
         let counters = &self.inner.counters;
         EngineStats {
@@ -728,6 +735,7 @@ impl KvStore {
             keys_expired_by_cycles: counters.keys_expired_by_cycles.load(Ordering::Relaxed),
             auto_rewrites: counters.auto_rewrites.load(Ordering::Relaxed),
             db,
+            deadline_index,
             aof: self
                 .inner
                 .aof
@@ -863,11 +871,23 @@ mod tests {
             store.fsync().unwrap();
         }
         // Replay at a different shard count: routing is a runtime choice.
-        let reopened = KvStore::open(StoreConfig::with_aof(&path).shards(8)).unwrap();
-        assert_eq!(reopened.shard_count(), 8);
-        assert_eq!(reopened.len(), 63);
-        assert_eq!(reopened.get("user000").unwrap(), None);
-        assert_eq!(reopened.get("user063").unwrap(), Some(vec![63]));
+        {
+            let reopened = KvStore::open(StoreConfig::with_aof(&path).shards(8)).unwrap();
+            assert_eq!(reopened.shard_count(), 8);
+            assert_eq!(reopened.len(), 63);
+            assert_eq!(reopened.get("user000").unwrap(), None);
+            assert_eq!(reopened.get("user063").unwrap(), Some(vec![63]));
+            // The journal is re-sharded on open, so shards beyond the old
+            // segment count journal their writes too.
+            assert_eq!(reopened.aof_segment_stats().unwrap().len(), 8);
+            for i in 64..96 {
+                reopened.set(&format!("user{i:03}"), vec![i as u8]).unwrap();
+            }
+            reopened.fsync().unwrap();
+        }
+        let regrown = KvStore::open(StoreConfig::with_aof(&path).shards(8)).unwrap();
+        assert_eq!(regrown.len(), 95);
+        assert_eq!(regrown.get("user095").unwrap(), Some(vec![95]));
         let _ = std::fs::remove_file(&path);
     }
 

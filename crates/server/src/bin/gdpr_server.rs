@@ -6,7 +6,7 @@
 //! ```text
 //! gdpr-server [addr=127.0.0.1:6379] [shards=1] [fsync=everysec]
 //!             [compliance=1] [maxconns=64] [aof=mem|none|<path>]
-//!             [groupcommit=1] [gcwait=2]
+//!             [groupcommit=1] [gcwait=2] [index=wheel|btree]
 //!             [grant=actor:purpose[,actor:purpose...]] [duration=secs]
 //! ```
 //!
@@ -22,6 +22,9 @@
 //! * `groupcommit` — 1 (default) batches concurrent `always` fsyncs per
 //!   segment; 0 reverts to one fsync per record.
 //! * `gcwait` — group-commit follower wait bound in milliseconds.
+//! * `index` — deadline index serving strict expiry: `wheel` (default,
+//!   the hierarchical timer wheel — O(1) TTL insert/reschedule) or
+//!   `btree` (the original O(log n) index, kept as a baseline).
 //! * `grant` — access grants to install at startup, e.g.
 //!   `grant=ycsb:benchmarking` (grants can also be installed over the wire
 //!   with `GDPR.GRANT`).
@@ -70,10 +73,19 @@ fn main() {
     };
 
     let group_commit = arg_u64(&args, "groupcommit").unwrap_or(1) != 0;
+    let index = arg_str(&args, "index")
+        .map(|label| {
+            kvstore::ttl_wheel::DeadlineIndexKind::parse(label).unwrap_or_else(|| {
+                eprintln!("  unknown index {label:?} (want wheel|btree), using wheel");
+                kvstore::ttl_wheel::DeadlineIndexKind::Wheel
+            })
+        })
+        .unwrap_or_default();
     let mut config = StoreConfig::in_memory()
         .shards(shards)
         .fsync(fsync)
-        .group_commit(group_commit);
+        .group_commit(group_commit)
+        .deadline_index(index);
     if let Some(wait_ms) = arg_u64(&args, "gcwait") {
         config = config.group_commit_wait_ms(wait_ms);
     }
@@ -86,7 +98,8 @@ fn main() {
     let dispatcher = if compliance == 0 {
         let store = KvStore::open(config).expect("open storage engine");
         println!(
-            "gdpr-server: raw engine, {shards} shard(s), fsync {fsync:?}, group commit {}",
+            "gdpr-server: raw engine, {shards} shard(s), fsync {fsync:?}, group commit {}, \
+             ttl index {index}",
             if group_commit { "on" } else { "off" }
         );
         Dispatcher::kv(store)
@@ -98,7 +111,8 @@ fn main() {
         };
         policy.journal_fsync = fsync;
         println!(
-            "gdpr-server: compliance policy '{}', {shards} shard(s), fsync {fsync:?}",
+            "gdpr-server: compliance policy '{}', {shards} shard(s), fsync {fsync:?}, \
+             ttl index {index}",
             policy.name
         );
         let store =

@@ -642,9 +642,24 @@ fn dispatch_gdpr(store: &GdprStore, request: &GdprRequest, session: &mut Session
                 format!("erased_by_request={}", stats.erased_by_request),
                 format!("erased_by_retention={}", stats.erased_by_retention),
             ];
+            // One engine aggregation pass serves both the deadline-index
+            // lines and the journal lines below.
+            let engine = store.engine().stats();
+            // The strict-expiry deadline index (retention timeliness is a
+            // compliance metric): wheel occupancy and cascade counters, or
+            // the BTree baseline's entry count.
+            let ttl = engine.deadline_index;
+            lines.push(format!("ttl_index={}", ttl.kind));
+            lines.push(format!("ttl_entries={}", ttl.entries));
+            lines.push(format!("ttl_fired={}", ttl.fired));
+            lines.push(format!("ttl_wheel_cascades={}", ttl.cascades));
+            lines.push(format!("ttl_wheel_stale_dropped={}", ttl.stale_dropped));
+            lines.push(format!("ttl_wheel_overflow={}", ttl.overflow_entries));
             // The journaling cost the paper measures, observable per shard:
-            // aggregate first, then one line per segment.
-            if let Some(total) = store.aof_stats() {
+            // aggregate first (reusing the engine pass above), then one
+            // line per segment.
+            if engine.aof_segments > 0 {
+                let total = engine.aof;
                 let segments = store.aof_segment_stats().unwrap_or_default();
                 lines.push(format!("aof_segments={}", segments.len()));
                 lines.push(format!("aof_records={}", total.records_appended));
@@ -1100,6 +1115,11 @@ mod tests {
                     })
                     .collect();
                 assert!(text.iter().any(|l| l.starts_with("allowed_ops=")));
+                assert!(text.iter().any(|l| l == "ttl_index=wheel"), "{text:?}");
+                assert!(text.iter().any(|l| l.starts_with("ttl_entries=")));
+                assert!(text
+                    .iter()
+                    .any(|l| l.starts_with("ttl_wheel_stale_dropped=")));
                 assert!(text.iter().any(|l| l == "aof_segments=1"), "{text:?}");
                 assert!(text.iter().any(|l| l.starts_with("aof_unsynced_records=")));
                 assert!(text.iter().any(|l| l.starts_with("aof_seg0=records:")));
@@ -1122,6 +1142,9 @@ mod tests {
         };
         for needle in [
             "# Stats",
+            "deadline_index:wheel",
+            "ttl_entries:",
+            "wheel_cascades:",
             "aof_segments:",
             "aof_group_commits:",
             "# AofSegments",

@@ -262,6 +262,89 @@ fn rewrite_racing_concurrent_writers_stays_consistent() {
 }
 
 #[test]
+fn stale_deadline_entries_do_not_resurrect_after_cross_shard_replay() {
+    // Regression for the timer-wheel replay path: the journal carries the
+    // full TTL history of a key (original deadline, reschedules,
+    // deletions), so replaying it rebuilds the wheel *including* entries
+    // that were later superseded. After a crash and an M→N-shard replay,
+    // a deadline that was overwritten must not fire, and an erased key
+    // must not resurrect (e.g. by journaling a spurious DEL that a later
+    // replay could misorder).
+    use gdpr_storage::kvstore::clock::SimClock;
+    use gdpr_storage::kvstore::expire::ExpiryMode;
+
+    for (write_shards, reopen_shards) in [(4usize, 1usize), (2, 8)] {
+        let dir = test_dir(&format!("stale-ttl-{write_shards}-{reopen_shards}"));
+        let path = dir.join("journal.aof");
+        let base = 1_000_000u64;
+        {
+            let clock = SimClock::new(base);
+            let store = KvStore::open(
+                StoreConfig::with_aof(&path)
+                    .shards(write_shards)
+                    .clock(clock)
+                    .expiry_mode(ExpiryMode::Strict),
+            )
+            .unwrap();
+            for i in 0..40 {
+                let erased = format!("erased{i:02}");
+                store.set(&erased, b"pii".to_vec()).unwrap();
+                store.expire_at(&erased, base + 2_000).unwrap();
+                store.delete(&erased).unwrap();
+
+                let rescheduled = format!("moved{i:02}");
+                store.set(&rescheduled, b"keep".to_vec()).unwrap();
+                store.expire_at(&rescheduled, base + 2_000).unwrap();
+                store.expire_at(&rescheduled, base + 10_000_000).unwrap();
+
+                let due = format!("due{i:02}");
+                store.set(&due, b"short".to_vec()).unwrap();
+                store.expire_at(&due, base + 2_000).unwrap();
+            }
+            store.fsync().unwrap();
+            // "Crash": dropped without a clean shutdown.
+        }
+
+        let clock = SimClock::new(base);
+        let store = KvStore::open(
+            StoreConfig::with_aof(&path)
+                .shards(reopen_shards)
+                .clock(clock.clone())
+                .expiry_mode(ExpiryMode::Strict),
+        )
+        .unwrap();
+        assert_eq!(store.len(), 80, "40 rescheduled + 40 due keys replay");
+        clock.advance_millis(3_000); // past the stale/original deadline only
+        let outcome = store.tick().unwrap();
+        let mut removed = outcome.removed.clone();
+        removed.sort();
+        let expected: Vec<String> = (0..40).map(|i| format!("due{i:02}")).collect();
+        assert_eq!(
+            removed, expected,
+            "exactly the untouched deadlines fire after {write_shards}→{reopen_shards} replay"
+        );
+        for i in 0..40 {
+            assert_eq!(
+                store.get(&format!("erased{i:02}")).unwrap(),
+                None,
+                "erased key resurrected"
+            );
+            assert_eq!(
+                store.get(&format!("moved{i:02}")).unwrap(),
+                Some(b"keep".to_vec()),
+                "rescheduled key fired at its stale deadline"
+            );
+        }
+        // A second tick finds nothing: no double fire, no lingering
+        // stale entries, and pending-expired settles to zero.
+        let outcome = store.tick().unwrap();
+        assert!(outcome.removed.is_empty());
+        assert_eq!(store.pending_expired(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn legacy_single_file_journal_migrates_on_open() {
     let dir = test_dir("legacy-migrate");
     let path = dir.join("journal.aof");

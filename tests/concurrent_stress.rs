@@ -11,6 +11,7 @@
 //!   verifies end to end after concurrent emission.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use gdpr_storage::gdpr_core::acl::Grant;
 use gdpr_storage::gdpr_core::metadata::{PersonalMetadata, Region};
@@ -328,4 +329,117 @@ fn group_commit_under_compliance_hammering_keeps_state_and_journal_aligned() {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn writers_racing_strict_wheel_tick_never_double_fire_or_miss_deadlines() {
+    // The timer-wheel strict-expiry path under contention: writers keep
+    // inserting TTL'd keys (including reschedules that leave stale wheel
+    // entries behind) while a ticker runs the strict sweep. Invariants:
+    //
+    // * no double fire — every key appears at most once across all tick
+    //   outcomes (the wheel's generation check must hold under racing
+    //   reschedules);
+    // * no stale fire — a key whose TTL was rewritten far into the future
+    //   must survive every sweep;
+    // * no missed deadline beyond one tick — once writers stop, a single
+    //   final sweep (after the short TTLs elapsed) leaves nothing overdue.
+    use gdpr_storage::kvstore::expire::ExpiryMode;
+    use gdpr_storage::kvstore::store::KvStore;
+    use std::time::Duration;
+
+    const WRITERS: usize = 4;
+    const KEYS: usize = 200;
+
+    let store = KvStore::open(
+        StoreConfig::in_memory()
+            .shards(8)
+            .expiry_mode(ExpiryMode::Strict),
+    )
+    .unwrap();
+    let fired = Mutex::new(Vec::<String>::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let store = store.clone();
+            scope.spawn(move || {
+                for i in 0..KEYS {
+                    let key = format!("t{t}:k{i:03}");
+                    store.set(&key, vec![t as u8]).unwrap();
+                    match i % 3 {
+                        0 => {
+                            // Expires almost immediately: must be swept.
+                            store.expire_in(&key, Duration::from_millis(1)).unwrap();
+                        }
+                        1 => {
+                            // Rescheduled far out: the first deadline goes
+                            // stale in the wheel and must never fire.
+                            store.expire_in(&key, Duration::from_secs(10)).unwrap();
+                            store.expire_in(&key, Duration::from_secs(3_600)).unwrap();
+                        }
+                        _ => {} // no TTL at all
+                    }
+                }
+            });
+        }
+        {
+            let store = store.clone();
+            let fired = &fired;
+            scope.spawn(move || {
+                for _ in 0..300 {
+                    let outcome = store.tick().unwrap();
+                    fired.lock().unwrap().extend(outcome.removed);
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    // Writers and the racing ticker are done; give the last short TTLs
+    // their millisecond, then one final sweep bounds the miss window.
+    std::thread::sleep(Duration::from_millis(20));
+    let outcome = store.tick().unwrap();
+    fired.lock().unwrap().extend(outcome.removed);
+    let fired = fired.into_inner().unwrap();
+
+    // No double fire.
+    let mut sorted = fired.clone();
+    sorted.sort();
+    let before = sorted.len();
+    sorted.dedup();
+    assert_eq!(sorted.len(), before, "a key fired twice: {fired:?}");
+
+    // Exactly the short-TTL keys fired; rescheduled and TTL-less keys
+    // survived with their values.
+    assert_eq!(
+        store.pending_expired(),
+        0,
+        "missed deadline beyond one tick"
+    );
+    for t in 0..WRITERS {
+        for i in 0..KEYS {
+            let key = format!("t{t}:k{i:03}");
+            match i % 3 {
+                0 => {
+                    assert!(sorted.binary_search(&key).is_ok(), "{key} never swept");
+                    assert_eq!(store.get(&key).unwrap(), None, "{key} still present");
+                }
+                1 => {
+                    assert!(sorted.binary_search(&key).is_err(), "{key} fired stale");
+                    assert_eq!(store.get(&key).unwrap(), Some(vec![t as u8]), "{key} lost");
+                    assert!(store.ttl(&key).unwrap().unwrap() > Duration::from_secs(3_000));
+                }
+                _ => {
+                    assert!(sorted.binary_search(&key).is_err());
+                    assert_eq!(store.get(&key).unwrap(), Some(vec![t as u8]));
+                }
+            }
+        }
+    }
+
+    // The keyspace expiry counter agrees with the fired list: index and
+    // keyspace stayed consistent throughout.
+    assert_eq!(store.stats().db.expired_keys, sorted.len() as u64);
+    let rescued = (0..KEYS).filter(|i| i % 3 == 1).count() * WRITERS;
+    assert_eq!(store.stats().deadline_index.entries as usize, rescued);
 }

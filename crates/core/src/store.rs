@@ -954,6 +954,58 @@ impl GdprStore {
         Ok(())
     }
 
+    /// Apply one journal record streamed from a replication primary.
+    ///
+    /// The record is an *engine* command (the primary already ran the
+    /// compliance checks before journaling it), so it executes directly on
+    /// the engine — but the metadata index must stay coherent: when the
+    /// record touches a metadata shadow key, the engine write and the index
+    /// posting change together under the data key's segment lock, exactly
+    /// as [`Self::put`] brackets them on the primary. This is how an
+    /// erasure on the primary removes both the value *and the postings* on
+    /// every replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine execution errors and metadata corruption.
+    pub fn apply_replicated(&self, cmd: kvstore::commands::Command) -> Result<()> {
+        use kvstore::commands::Command;
+        if matches!(cmd, Command::FlushAll) {
+            self.kv.execute(cmd)?;
+            self.index.clear();
+            return Ok(());
+        }
+        let meta_data_key = cmd
+            .primary_key()
+            .filter(|key| Self::is_meta_key(key))
+            .map(|key| key.trim_start_matches(META_PREFIX).to_string());
+        match meta_data_key {
+            Some(data_key) => self
+                .index
+                .with_key_segment(&data_key, |segment| -> Result<()> {
+                    self.kv.execute(cmd)?;
+                    if self.policy.maintain_indexes {
+                        match self.load_metadata(&data_key)? {
+                            Some(meta) => {
+                                segment.remove(&data_key);
+                                segment.insert(
+                                    &data_key,
+                                    &meta.subject,
+                                    meta.purposes.iter().cloned(),
+                                );
+                            }
+                            None => segment.remove(&data_key),
+                        }
+                    }
+                    Ok(())
+                }),
+            None => {
+                self.kv.execute(cmd)?;
+                Ok(())
+            }
+        }
+    }
+
     /// Per-region inventory of stored personal data (Article 46 reporting).
     ///
     /// # Errors

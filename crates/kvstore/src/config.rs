@@ -69,6 +69,10 @@ pub struct StoreConfig {
     /// Bounded wait (milliseconds) a group-commit follower sleeps before
     /// re-checking whether it must take over as leader.
     pub aof_group_commit_wait_ms: u64,
+    /// Maximum journal records retained in the in-memory replication
+    /// backlog that connected replicas tail (0 disables tailing; a replica
+    /// that falls further behind than this is forced into a full resync).
+    pub repl_backlog_records: u64,
     /// Clock used by the engine (system clock by default; benchmarks inject
     /// a [`crate::clock::SimClock`]).
     pub clock: SharedClock,
@@ -94,10 +98,11 @@ impl Default for StoreConfig {
             encryption: None,
             expiry_mode: ExpiryMode::LazyProbabilistic,
             active_expire: ActiveExpireConfig::default(),
-            deadline_index: DeadlineIndexKind::default(),
+            deadline_index: DeadlineIndexKind::from_env_or_default(),
             aof_rewrite_threshold_records: 0,
             aof_group_commit: true,
             aof_group_commit_wait_ms: 2,
+            repl_backlog_records: 65_536,
             clock: Arc::new(SystemClock),
             rng_seed: None,
             shards: 1,
@@ -205,6 +210,13 @@ impl StoreConfig {
         self
     }
 
+    /// Builder-style: cap the in-memory replication backlog (records).
+    #[must_use]
+    pub fn repl_backlog(mut self, records: u64) -> Self {
+        self.repl_backlog_records = records;
+        self
+    }
+
     /// Builder-style: shard the keyspace `shards` ways (rounded up to a
     /// power of two).
     #[must_use]
@@ -234,10 +246,16 @@ mod tests {
         assert!(!c.log_reads);
         assert!(c.encryption.is_none());
         assert_eq!(c.expiry_mode, ExpiryMode::LazyProbabilistic);
+        // Independent re-derivation (not a call to from_env_or_default,
+        // which is what Default uses — that comparison would be a
+        // tautology): the wheel unless GDPR_TTL_INDEX selects otherwise.
+        let expected = std::env::var("GDPR_TTL_INDEX")
+            .ok()
+            .and_then(|label| DeadlineIndexKind::parse(label.trim()))
+            .unwrap_or(DeadlineIndexKind::Wheel);
         assert_eq!(
-            c.deadline_index,
-            DeadlineIndexKind::Wheel,
-            "the wheel is the default strict-expiry index"
+            c.deadline_index, expected,
+            "the default strict-expiry index is the wheel, overridable via GDPR_TTL_INDEX"
         );
     }
 

@@ -38,6 +38,7 @@
 //! single-file AOF found at `<path>` is detected and migrated into the
 //! segmented layout on open.
 
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex as StdMutex};
@@ -242,6 +243,50 @@ impl Segment {
     }
 }
 
+/// The journal position a full sync corresponds to: the replica applies
+/// the snapshot, then tails the stream from `last_seq` within `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplWatermark {
+    /// Journal epoch the cursor belongs to (a rewrite bumps it and
+    /// invalidates every outstanding cursor).
+    pub epoch: u64,
+    /// Highest global sequence number covered by the snapshot.
+    pub last_seq: u64,
+}
+
+/// One poll of the replication stream (see [`ShardedAof::tail_since`]).
+#[derive(Debug, Default)]
+pub struct ReplTail {
+    /// Records with sequence numbers strictly greater than the caller's
+    /// cursor, in sequence order, gap-free.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Highest sequence number allocated so far (the primary's watermark —
+    /// lets a replica compute its lag even when `records` is empty).
+    pub last_seq: u64,
+    /// The cursor is no longer serviceable from the backlog (evicted
+    /// records, or a segment-set rewrite renumbered the journal). The
+    /// replica must run a fresh full sync.
+    pub lost: bool,
+    /// A sequence number after the cursor was allocated but its record has
+    /// not reached the backlog yet (an append still in flight). The caller
+    /// should poll again shortly; a gap that never closes means a writer
+    /// died mid-append and the replica should full-resync.
+    pub gapped: bool,
+}
+
+/// The bounded in-memory replication backlog: recent journal records in
+/// global-sequence order, shared by every segment (pushes happen after the
+/// per-segment append, so two writers may arrive slightly out of order —
+/// the insert keeps the deque sorted and [`ShardedAof::tail_since`] only
+/// serves the gap-free prefix).
+#[derive(Debug)]
+struct BacklogInner {
+    records: VecDeque<(u64, Vec<u8>)>,
+    /// Lowest sequence still serviceable; anything older was evicted and
+    /// forces a tailing replica into a full resync.
+    start_seq: u64,
+}
+
 /// A durability ticket: the segment positions a writer must observe synced
 /// before its command can be acknowledged. Only issued under
 /// `FsyncPolicy::Always` with group commit enabled; other policies settle
@@ -286,6 +331,14 @@ pub struct ShardedAof {
     next_seq: AtomicU64,
     /// Current manifest epoch.
     epoch: AtomicU64,
+    /// Recent records for replica tailing, in sequence order.
+    backlog: Mutex<BacklogInner>,
+    /// Maximum records retained in the backlog (0 disables tailing).
+    backlog_cap: usize,
+    /// Active replication streams. The backlog is only populated while
+    /// this is non-zero, so the common no-replica case pays nothing on
+    /// the append path (no global lock, no record copy).
+    tailers: std::sync::atomic::AtomicUsize,
 }
 
 impl ShardedAof {
@@ -420,6 +473,15 @@ impl ShardedAof {
             shard_hash_seed: router.seed(),
             next_seq: AtomicU64::new(next_seq),
             epoch: AtomicU64::new(epoch),
+            // Records recovered from disk are not tailable; a replica
+            // attaching later full-syncs first and only tails from its
+            // watermark, which is at or past this point.
+            backlog: Mutex::new(BacklogInner {
+                records: VecDeque::new(),
+                start_seq: next_seq,
+            }),
+            backlog_cap: config.repl_backlog_records as usize,
+            tailers: std::sync::atomic::AtomicUsize::new(0),
         };
         Ok(Some((aof, loaded)))
     }
@@ -459,11 +521,11 @@ impl ShardedAof {
     /// Propagates device I/O or encryption errors.
     pub fn append(&self, segment: usize, record: &[u8]) -> Result<Option<Ticket>> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        self.append_with_seq(segment, seq, record).map(|wait| {
-            wait.map(|pos| Ticket {
-                waits: vec![(segment, pos)],
-            })
-        })
+        let wait = self.append_with_seq(segment, seq, record)?;
+        self.backlog_push(seq, record);
+        Ok(wait.map(|pos| Ticket {
+            waits: vec![(segment, pos)],
+        }))
     }
 
     /// Append a batch of records to `segment` under one log-lock
@@ -481,9 +543,17 @@ impl ShardedAof {
         let seg = &self.segments[segment];
         let mut log = seg.log.lock();
         let mut last_pos = None;
+        let mirror = self.backlog_cap > 0 && self.tailers.load(Ordering::SeqCst) > 0;
+        let mut appended = Vec::new();
         for record in records {
             let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             last_pos = Some(log.append_unsynced(&frame(seq, record))?);
+            if mirror {
+                appended.push((seq, record.to_vec()));
+            }
+        }
+        for (seq, record) in appended {
+            self.backlog_push_owned(seq, record);
         }
         let Some(pos) = last_pos else {
             return Ok(None);
@@ -522,6 +592,9 @@ impl ShardedAof {
                 waits.push((segment, pos));
             }
         }
+        // One backlog copy for the whole broadcast: the stream replays it
+        // once, the way merge-by-seq deduplicates the segment copies.
+        self.backlog_push(seq, record);
         Ok(if waits.is_empty() {
             None
         } else {
@@ -547,6 +620,111 @@ impl ShardedAof {
             }
             FsyncPolicy::Never => Ok(None),
         }
+    }
+
+    /// Whether replica tailing is possible at all (`repl_backlog_records`
+    /// was non-zero).
+    #[must_use]
+    pub fn tailing_enabled(&self) -> bool {
+        self.backlog_cap > 0
+    }
+
+    /// Register a replication stream. While at least one stream is
+    /// registered, every append is mirrored into the backlog; the first
+    /// registration resets the backlog to start at the current sequence
+    /// (in-flight appends that raced the registration are excluded, but a
+    /// stream's cursor starts at a watermark taken *after* registration
+    /// under every shard lock, which is past them by construction).
+    pub fn begin_tailing(&self) {
+        if self.tailers.fetch_add(1, Ordering::SeqCst) == 0 {
+            let mut inner = self.backlog.lock();
+            inner.records.clear();
+            inner.start_seq = self.next_seq.load(Ordering::SeqCst);
+        }
+    }
+
+    /// Deregister a replication stream; the last one out drops the
+    /// backlog so an idle primary retains nothing.
+    pub fn end_tailing(&self) {
+        if self.tailers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut inner = self.backlog.lock();
+            inner.records.clear();
+            inner.start_seq = self.next_seq.load(Ordering::SeqCst);
+        }
+    }
+
+    fn backlog_push(&self, seq: u64, record: &[u8]) {
+        if self.backlog_cap == 0 || self.tailers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.backlog_push_owned(seq, record.to_vec());
+    }
+
+    fn backlog_push_owned(&self, seq: u64, record: Vec<u8>) {
+        if self.backlog_cap == 0 || self.tailers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut inner = self.backlog.lock();
+        // Sequence numbers are allocated under shard locks but pushed after
+        // the segment append, so two writers can arrive inverted; keep the
+        // deque sorted (inversions are rare and land near the back).
+        let pos = inner.records.partition_point(|(s, _)| *s < seq);
+        if pos == inner.records.len() {
+            inner.records.push_back((seq, record));
+        } else {
+            inner.records.insert(pos, (seq, record));
+        }
+        while inner.records.len() > self.backlog_cap {
+            if let Some((evicted, _)) = inner.records.pop_front() {
+                inner.start_seq = inner.start_seq.max(evicted + 1);
+            }
+        }
+    }
+
+    /// Highest global sequence number allocated so far (0 when nothing was
+    /// ever journaled).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed).saturating_sub(1)
+    }
+
+    /// Poll the replication stream: every record with a sequence number
+    /// strictly greater than `after_seq`, in order and gap-free, up to
+    /// `max` records. `epoch` is the journal epoch the caller's cursor
+    /// belongs to — a segment-set rewrite renumbers the journal (and bumps
+    /// the epoch), which invalidates all outstanding cursors.
+    #[must_use]
+    pub fn tail_since(&self, epoch: u64, after_seq: u64, max: usize) -> ReplTail {
+        let mut tail = ReplTail {
+            last_seq: self.last_seq(),
+            ..ReplTail::default()
+        };
+        if epoch != self.epoch.load(Ordering::Relaxed) {
+            tail.lost = true;
+            return tail;
+        }
+        if self.backlog_cap == 0 && after_seq < tail.last_seq {
+            tail.lost = true;
+            return tail;
+        }
+        let inner = self.backlog.lock();
+        if after_seq + 1 < inner.start_seq {
+            tail.lost = true;
+            return tail;
+        }
+        let start = inner.records.partition_point(|(s, _)| *s <= after_seq);
+        for (expected, (seq, record)) in (after_seq + 1..).zip(inner.records.iter().skip(start)) {
+            if *seq != expected || tail.records.len() >= max {
+                break;
+            }
+            tail.records.push((*seq, record.clone()));
+        }
+        // If we stopped short of the watermark without hitting `max`, the
+        // next record after the served prefix is allocated but not pushed
+        // yet — an append still in flight.
+        let served_upto = after_seq + tail.records.len() as u64;
+        tail.gapped = tail.records.len() < max && served_upto < tail.last_seq;
+        tail
     }
 
     /// Block until every position in `ticket` is durable, joining (or
@@ -735,6 +913,14 @@ impl ShardedAof {
             }
         }
         self.next_seq.store(next_seq + 1, Ordering::Relaxed);
+        // The rewrite renumbered every record, so outstanding replication
+        // cursors are meaningless: drop the backlog. Tailing replicas see
+        // the epoch bump and run a fresh full sync.
+        {
+            let mut inner = self.backlog.lock();
+            inner.records.clear();
+            inner.start_seq = next_seq + 1;
+        }
         Ok(dropped)
     }
 
@@ -1279,6 +1465,136 @@ mod tests {
             assert!(records.iter().any(|(seq, _)| *seq == flushall_seq));
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_serves_the_live_stream_in_sequence_order() {
+        let config = StoreConfig::in_memory().aof_in_memory().shards(4);
+        let router = ShardRouter::new(4, config.shard_hash_seed);
+        let (aof, _) = ShardedAof::open(&config, &router).unwrap().unwrap();
+        aof.begin_tailing();
+        let epoch = aof.epoch();
+        // Writes land on different segments but the stream is one ordered
+        // sequence.
+        aof.append(2, b"a").unwrap();
+        aof.append(0, b"b").unwrap();
+        aof.append(3, b"c").unwrap();
+        let tail = aof.tail_since(epoch, 0, 16);
+        assert!(!tail.lost && !tail.gapped);
+        assert_eq!(
+            tail.records,
+            vec![(1, b"a".to_vec()), (2, b"b".to_vec()), (3, b"c".to_vec())]
+        );
+        assert_eq!(tail.last_seq, 3);
+        // Cursor advance: only newer records are served.
+        let tail = aof.tail_since(epoch, 2, 16);
+        assert_eq!(tail.records, vec![(3, b"c".to_vec())]);
+        // Broadcasts appear once in the stream despite N segment copies.
+        aof.append_broadcast(b"flush").unwrap();
+        let tail = aof.tail_since(epoch, 3, 16);
+        assert_eq!(tail.records, vec![(4, b"flush".to_vec())]);
+        // `max` bounds a poll; the next poll resumes.
+        let tail = aof.tail_since(epoch, 0, 2);
+        assert_eq!(tail.records.len(), 2);
+        assert!(!tail.gapped, "stopping at max is not a gap");
+    }
+
+    #[test]
+    fn backlog_is_only_populated_while_a_stream_is_registered() {
+        let config = StoreConfig::in_memory().aof_in_memory().shards(1);
+        let router = ShardRouter::new(1, config.shard_hash_seed);
+        let (aof, _) = ShardedAof::open(&config, &router).unwrap().unwrap();
+        // No registered stream: appends are journaled but not mirrored
+        // (the no-replica hot path pays no backlog cost).
+        for i in 0..5u8 {
+            aof.append(0, &[i]).unwrap();
+        }
+        assert!(aof.backlog.lock().records.is_empty());
+        // Registration starts mirroring from the current sequence on.
+        aof.begin_tailing();
+        aof.append(0, b"live").unwrap();
+        let tail = aof.tail_since(aof.epoch(), 5, 16);
+        assert!(!tail.lost);
+        assert_eq!(tail.records, vec![(6, b"live".to_vec())]);
+        // The last stream out drops the backlog again.
+        aof.end_tailing();
+        assert!(aof.backlog.lock().records.is_empty());
+        aof.append(0, b"idle").unwrap();
+        assert!(aof.backlog.lock().records.is_empty());
+    }
+
+    #[test]
+    fn tail_detects_overrun_and_rewrite_invalidation() {
+        let config = StoreConfig::in_memory()
+            .aof_in_memory()
+            .repl_backlog(4)
+            .shards(1);
+        let router = ShardRouter::new(1, config.shard_hash_seed);
+        let (aof, _) = ShardedAof::open(&config, &router).unwrap().unwrap();
+        aof.begin_tailing();
+        let epoch = aof.epoch();
+        for i in 0..10u8 {
+            aof.append(0, &[i]).unwrap();
+        }
+        // Only the 4 newest records are retained: a cursor inside the
+        // retained window still works, an older one is lost.
+        let tail = aof.tail_since(epoch, 6, 16);
+        assert!(!tail.lost);
+        assert_eq!(tail.records.len(), 4);
+        let tail = aof.tail_since(epoch, 2, 16);
+        assert!(tail.lost, "evicted cursor must force a resync");
+        // A wrong-epoch cursor (journal rewritten) is lost too.
+        let tail = aof.tail_since(epoch + 1, 9, 16);
+        assert!(tail.lost);
+        // A real rewrite renumbers the stream and drops the backlog.
+        aof.rewrite(&[vec![b"only".to_vec()]]).unwrap();
+        let tail = aof.tail_since(epoch, 9, 16);
+        assert!(tail.lost, "pre-rewrite cursors are invalid");
+        let tail = aof.tail_since(aof.epoch(), aof.last_seq(), 16);
+        assert!(!tail.lost, "a fresh post-rewrite cursor works");
+        assert!(tail.records.is_empty());
+    }
+
+    #[test]
+    fn tail_under_concurrent_writers_is_gap_free_and_complete() {
+        let config = StoreConfig::in_memory().aof_in_memory().shards(4);
+        let router = ShardRouter::new(4, config.shard_hash_seed);
+        let (aof, _) = ShardedAof::open(&config, &router).unwrap().unwrap();
+        aof.begin_tailing();
+        let aof = Arc::new(aof);
+        let epoch = aof.epoch();
+        let total = 4 * 200u64;
+        let collector = {
+            let aof = Arc::clone(&aof);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut cursor = 0u64;
+                while (seen.len() as u64) < total {
+                    let tail = aof.tail_since(epoch, cursor, 64);
+                    assert!(!tail.lost);
+                    for (seq, _) in tail.records {
+                        assert_eq!(seq, cursor + 1, "stream must be dense");
+                        cursor = seq;
+                        seen.push(seq);
+                    }
+                    std::thread::yield_now();
+                }
+                seen
+            })
+        };
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let aof = Arc::clone(&aof);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        aof.append(t, format!("t{t}i{i}").as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let seen = collector.join().unwrap();
+        assert_eq!(seen.len() as u64, total);
+        assert_eq!(*seen.last().unwrap(), total);
     }
 
     #[test]

@@ -53,7 +53,7 @@ use crate::db::{Db, DbStats};
 use crate::expire::{run_expire_cycle, CycleOutcome};
 use crate::object::Bytes;
 use crate::shard::ShardRouter;
-use crate::sharded_aof::{LoadedJournal, ShardedAof};
+use crate::sharded_aof::{LoadedJournal, ReplTail, ReplWatermark, ShardedAof};
 use crate::snapshot;
 use crate::stats::EngineStats;
 use crate::ttl_wheel::DeadlineIndexStats;
@@ -63,6 +63,20 @@ use crate::Result;
 struct Shard {
     db: Db,
     rng: StdRng,
+}
+
+/// RAII registration of a replication stream (see
+/// [`KvStore::begin_repl_stream`]); dropping it deregisters the stream
+/// and lets an idle primary drop the backlog.
+#[derive(Debug)]
+pub struct ReplStreamGuard<'a> {
+    aof: &'a ShardedAof,
+}
+
+impl Drop for ReplStreamGuard<'_> {
+    fn drop(&mut self) {
+        self.aof.end_tailing();
+    }
 }
 
 /// Engine-wide counters, kept lock-free so hot-path bookkeeping never
@@ -703,6 +717,88 @@ impl KvStore {
         let mut guards = self.lock_all_shards();
         let mut dbs: Vec<&mut Db> = guards.iter_mut().map(|g| &mut g.db).collect();
         snapshot::load_into_shards(&mut dbs, |key| router.shard_of(key), bytes)
+    }
+
+    // ----- replication -----------------------------------------------------------
+
+    /// Register a replication stream for its lifetime (RAII). While at
+    /// least one guard is alive, appends are mirrored into the in-memory
+    /// backlog that [`Self::repl_tail`] serves — the no-replica case pays
+    /// nothing on the append path. Returns `None` when persistence is
+    /// disabled or the backlog is configured away
+    /// (`repl_backlog_records = 0`): callers must refuse the stream
+    /// rather than hand out a cursor that can never be served.
+    #[must_use]
+    pub fn begin_repl_stream(&self) -> Option<ReplStreamGuard<'_>> {
+        let aof = self.inner.aof.as_ref()?;
+        if !aof.tailing_enabled() {
+            return None;
+        }
+        aof.begin_tailing();
+        Some(ReplStreamGuard { aof })
+    }
+
+    /// Full-sync source for a replica: a portable snapshot blob plus the
+    /// journal watermark it corresponds to, captured atomically under every
+    /// shard lock (sequence allocation happens under shard locks, so no
+    /// append can land between the snapshot and the watermark read).
+    /// Returns `None` when persistence is disabled — replication needs the
+    /// journal's global sequence numbers as its stream offsets.
+    #[must_use]
+    pub fn replication_snapshot(&self) -> Option<(Vec<u8>, ReplWatermark)> {
+        let aof = self.inner.aof.as_ref()?;
+        let guards = self.lock_all_shards();
+        let dbs: Vec<&Db> = guards.iter().map(|g| &g.db).collect();
+        let blob = snapshot::save_shards_to_bytes(&dbs);
+        Some((
+            blob,
+            ReplWatermark {
+                epoch: aof.epoch(),
+                last_seq: aof.last_seq(),
+            },
+        ))
+    }
+
+    /// Poll the replication stream from a cursor (see
+    /// [`ShardedAof::tail_since`]). `None` when persistence is disabled.
+    #[must_use]
+    pub fn repl_tail(&self, epoch: u64, after_seq: u64, max: usize) -> Option<ReplTail> {
+        self.inner
+            .aof
+            .as_ref()
+            .map(|aof| aof.tail_since(epoch, after_seq, max))
+    }
+
+    /// A canonical byte rendering of the whole keyspace: every key in
+    /// lexicographic order with its encoded value and absolute expiry
+    /// deadline. Two stores hold equivalent state iff these bytes are
+    /// equal — the primary/replica convergence check (shard count and
+    /// journal layout do not influence it).
+    #[must_use]
+    pub fn canonical_state(&self) -> Vec<u8> {
+        use std::collections::BTreeMap;
+        let guards = self.lock_all_shards();
+        let mut entries: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for guard in &guards {
+            for (key, object) in guard.db.iter() {
+                let mut encoded = Vec::new();
+                match guard.db.expire_deadline(key) {
+                    Some(at) => {
+                        encoded.push(1);
+                        encoded.extend_from_slice(&at.to_le_bytes());
+                    }
+                    None => encoded.push(0),
+                }
+                crate::serialize::encode_value(&mut encoded, &object.value);
+                entries.insert(key.clone(), encoded);
+            }
+        }
+        let mut out = Vec::new();
+        for (key, encoded) in entries {
+            crate::serialize::put_str(&mut out, &key);
+            out.extend_from_slice(&encoded);
+        }
+        out
     }
 
     // ----- introspection --------------------------------------------------------

@@ -85,6 +85,21 @@ impl DeadlineIndexKind {
             _ => None,
         }
     }
+
+    /// The default index kind honoring the `GDPR_TTL_INDEX` environment
+    /// variable (`wheel` or `btree`), read once per process. This is what
+    /// `StoreConfig::default()` uses, so CI can run the whole test suite
+    /// as a matrix over both deadline indexes without touching every test.
+    #[must_use]
+    pub fn from_env_or_default() -> Self {
+        static FROM_ENV: std::sync::OnceLock<DeadlineIndexKind> = std::sync::OnceLock::new();
+        *FROM_ENV.get_or_init(|| {
+            std::env::var("GDPR_TTL_INDEX")
+                .ok()
+                .and_then(|label| DeadlineIndexKind::parse(label.trim()))
+                .unwrap_or_default()
+        })
+    }
 }
 
 impl fmt::Display for DeadlineIndexKind {

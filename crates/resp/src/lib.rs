@@ -31,6 +31,7 @@
 pub mod command;
 pub mod decode;
 pub mod encode;
+pub mod repl;
 
 use std::error::Error;
 use std::fmt;

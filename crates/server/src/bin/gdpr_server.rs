@@ -7,6 +7,7 @@
 //! gdpr-server [addr=127.0.0.1:6379] [shards=1] [fsync=everysec]
 //!             [compliance=1] [maxconns=64] [aof=mem|none|<path>]
 //!             [groupcommit=1] [gcwait=2] [index=wheel|btree]
+//!             [replicaof=host:port] [backlog=records]
 //!             [grant=actor:purpose[,actor:purpose...]] [duration=secs]
 //! ```
 //!
@@ -25,9 +26,15 @@
 //! * `index` — deadline index serving strict expiry: `wheel` (default,
 //!   the hierarchical timer wheel — O(1) TTL insert/reschedule) or
 //!   `btree` (the original O(log n) index, kept as a baseline).
+//! * `replicaof` — follow a primary at `host:port`: full-sync on connect,
+//!   then apply its journal stream; writes to this server are rejected
+//!   with a redirect error. Replication lag is in `INFO`/`GDPR.STATS`.
+//! * `backlog` — records the primary retains in memory for replica
+//!   tailing (a replica lagging further full-resyncs; default 65536).
 //! * `grant` — access grants to install at startup, e.g.
 //!   `grant=ycsb:benchmarking` (grants can also be installed over the wire
-//!   with `GDPR.GRANT`).
+//!   with `GDPR.GRANT`). On a replica, grants stay node-local: install
+//!   them on each replica its readers authenticate against.
 //! * `duration` — auto-shutdown after N seconds (0 = run until a client
 //!   sends `SHUTDOWN` or the process is signalled).
 //!
@@ -89,6 +96,9 @@ fn main() {
     if let Some(wait_ms) = arg_u64(&args, "gcwait") {
         config = config.group_commit_wait_ms(wait_ms);
     }
+    if let Some(records) = arg_u64(&args, "backlog") {
+        config = config.repl_backlog(records);
+    }
     match arg_str(&args, "aof").unwrap_or("mem") {
         "mem" => config = config.aof_in_memory(),
         "none" => {}
@@ -135,6 +145,10 @@ fn main() {
         ..ServerConfig::default()
     };
     let server = TcpServer::bind(dispatcher, addr.as_str(), server_config).expect("bind listener");
+    let replica_handle = arg_str(&args, "replicaof").map(|primary| {
+        println!("gdpr-server: replica of {primary} (writes will be redirected)");
+        gdpr_server::replication::start_replica(server.dispatcher().clone(), primary)
+    });
     println!(
         "gdpr-server: listening on {} (maxconns={max_connections}); send SHUTDOWN to stop",
         server.local_addr()
@@ -150,6 +164,9 @@ fn main() {
         server.wait_for_shutdown_request(Duration::from_millis(100));
     }
 
+    if let Some(handle) = replica_handle {
+        handle.stop();
+    }
     let dispatch = server.dispatcher().stats();
     let transport = server.transport_stats();
     server.shutdown();

@@ -21,10 +21,13 @@ use std::sync::Arc;
 use gdpr_core::acl::Grant;
 use gdpr_core::metadata::PersonalMetadata;
 use gdpr_core::store::{AccessContext, GdprStore};
+use gdpr_crypto::sha256::Sha256;
 use kvstore::commands::{Command, Reply};
 use kvstore::store::KvStore;
 use resp::command::{GdprRequest, WireCommand};
 use resp::Frame;
+
+use crate::replication::ReplicationState;
 
 /// Counters describing dispatcher activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +81,7 @@ pub enum Engine {
 pub struct Dispatcher {
     engine: Engine,
     stats: Arc<DispatchStatsCells>,
+    repl: Arc<ReplicationState>,
 }
 
 impl Dispatcher {
@@ -87,6 +91,7 @@ impl Dispatcher {
         Dispatcher {
             engine: Engine::Kv(store),
             stats: Arc::new(DispatchStatsCells::default()),
+            repl: Arc::new(ReplicationState::default()),
         }
     }
 
@@ -96,7 +101,15 @@ impl Dispatcher {
         Dispatcher {
             engine: Engine::Gdpr(store),
             stats: Arc::new(DispatchStatsCells::default()),
+            repl: Arc::new(ReplicationState::default()),
         }
+    }
+
+    /// The replication state shared by this dispatcher's clones, the TCP
+    /// stream feeders and (on a replica) the replica runner.
+    #[must_use]
+    pub fn replication(&self) -> &Arc<ReplicationState> {
+        &self.repl
     }
 
     /// The engine being served.
@@ -192,7 +205,44 @@ impl Dispatcher {
                 stats.erased_by_retention,
             ));
         }
+        let repl = self.repl.info();
+        out.push_str("# Replication\n");
+        if repl.is_replica {
+            out.push_str(&format!(
+                "role:replica\nprimary:{}\nrepl_connected:{}\nrepl_applied_seq:{}\n\
+                 repl_primary_seq:{}\nrepl_lag_records:{}\nrepl_full_syncs:{}\n\
+                 repl_records_applied:{}\n",
+                repl.primary_addr.as_deref().unwrap_or("?"),
+                u8::from(repl.connected),
+                repl.applied_seq,
+                repl.primary_seq,
+                repl.lag_records,
+                repl.full_syncs,
+                repl.records_applied,
+            ));
+        } else {
+            out.push_str(&format!(
+                "role:primary\nconnected_replicas:{}\nrepl_records_streamed:{}\n\
+                 repl_lost_streams:{}\n",
+                repl.connected_replicas, repl.records_streamed, repl.lost_streams,
+            ));
+        }
         out
+    }
+
+    /// Hex SHA-256 over the engine's canonical keyspace rendering — the
+    /// `DIGEST` wire command. Two servers hold equivalent state (keys,
+    /// values, absolute expiry deadlines, metadata shadow records) iff
+    /// their digests are equal, regardless of shard count or journal
+    /// layout; CI's replication smoke compares primary and replica with it.
+    #[must_use]
+    pub fn state_digest_hex(&self) -> String {
+        let digest = Sha256::digest(&self.raw_engine().canonical_state());
+        let mut hex = String::with_capacity(digest.len() * 2);
+        for byte in digest {
+            hex.push_str(&format!("{byte:02x}"));
+        }
+        hex
     }
 
     /// Handle one decoded request frame and produce the reply frame.
@@ -224,7 +274,35 @@ impl Dispatcher {
                     Err(e) => Frame::Error(format!("ERR {e}")),
                 }
             }
+            // On the compliance engine the digest summarizes every
+            // subject's data and metadata, and computing it serializes the
+            // whole keyspace under all shard locks — an authenticated
+            // session is required (the raw engine has no auth concept).
+            "DIGEST" => {
+                if self.gdpr_store().is_some() && session.context().is_none() {
+                    return Frame::Error(
+                        "NOAUTH authenticate with GDPR.AUTH actor purpose first".to_string(),
+                    );
+                }
+                return Frame::Bulk(self.state_digest_hex().into_bytes());
+            }
+            // The TCP transport intercepts REPLSYNC before dispatch and
+            // turns the connection into a replication stream; seeing it
+            // here means the front-end cannot serve one (netsim).
+            "REPLSYNC" => {
+                return Frame::Error("ERR REPLSYNC is only served on the TCP transport".to_string())
+            }
             _ => {}
+        }
+        // A replica serves reads and redirects every data write to its
+        // primary. GDPR.GRANT / GDPR.REVOKE stay local: grants are
+        // node-local control-plane state (each replica authenticates its
+        // own readers), not replicated data.
+        if self.repl.is_replica() && is_write_command(&cmd.name) {
+            return Frame::Error(format!(
+                "READONLY replica; write commands must go to the primary at {}",
+                self.repl.primary_addr().unwrap_or_else(|| "?".to_string())
+            ));
         }
         if let Some(parsed) = GdprRequest::from_wire(cmd) {
             let request = match parsed {
@@ -235,7 +313,7 @@ impl Dispatcher {
                 Engine::Kv(_) => {
                     Frame::Error("ERR compliance layer not enabled on this server".to_string())
                 }
-                Engine::Gdpr(store) => dispatch_gdpr(store, &request, session),
+                Engine::Gdpr(store) => dispatch_gdpr(store, &self.repl, &request, session),
             };
         }
         match &self.engine {
@@ -249,6 +327,33 @@ impl Dispatcher {
             Engine::Gdpr(store) => dispatch_gdpr_kv(store, cmd, session),
         }
     }
+}
+
+/// Whether a wire command mutates data (and must therefore be redirected
+/// to the primary when this server is a replica). `GDPR.GRANT`/`REVOKE`
+/// are deliberately absent: ACL state is node-local.
+fn is_write_command(name: &str) -> bool {
+    matches!(
+        name,
+        "SET"
+            | "DEL"
+            | "UNLINK"
+            | "EXPIRE"
+            | "PEXPIRE"
+            | "PEXPIREAT"
+            | "PERSIST"
+            | "HSET"
+            | "HMSET"
+            | "HDEL"
+            | "SADD"
+            | "SREM"
+            | "FLUSHALL"
+            | "FLUSHDB"
+            | "GDPR.PUT"
+            | "GDPR.SETMETA"
+            | "GDPR.ERASE"
+            | "GDPR.OBJECT"
+    )
 }
 
 /// Translate a plain Redis wire command into an engine command.
@@ -530,7 +635,12 @@ fn metadata_frame(meta: &PersonalMetadata) -> Frame {
 }
 
 /// Execute a `GDPR.*` request against the compliance layer.
-fn dispatch_gdpr(store: &GdprStore, request: &GdprRequest, session: &mut Session) -> Frame {
+fn dispatch_gdpr(
+    store: &GdprStore,
+    repl: &ReplicationState,
+    request: &GdprRequest,
+    session: &mut Session,
+) -> Frame {
     match request {
         GdprRequest::Auth { actor, purpose } => {
             if !store.has_grant(actor, purpose) {
@@ -680,6 +790,30 @@ fn dispatch_gdpr(store: &GdprStore, request: &GdprRequest, session: &mut Session
                         seg.max_group_commit_batch,
                     ));
                 }
+            }
+            // Replication: erasure timeliness is only as good as the lag
+            // of the worst copy, so the propagation gauges are compliance
+            // metrics in their own right.
+            let info = repl.info();
+            if info.is_replica {
+                lines.push("repl_role=replica".to_string());
+                lines.push(format!(
+                    "repl_primary={}",
+                    info.primary_addr.as_deref().unwrap_or("?")
+                ));
+                lines.push(format!("repl_connected={}", u8::from(info.connected)));
+                lines.push(format!("repl_applied_seq={}", info.applied_seq));
+                lines.push(format!("repl_lag_records={}", info.lag_records));
+                lines.push(format!("repl_full_syncs={}", info.full_syncs));
+                lines.push(format!("repl_records_applied={}", info.records_applied));
+            } else {
+                lines.push("repl_role=primary".to_string());
+                lines.push(format!(
+                    "repl_connected_replicas={}",
+                    info.connected_replicas
+                ));
+                lines.push(format!("repl_records_streamed={}", info.records_streamed));
+                lines.push(format!("repl_lost_streams={}", info.lost_streams));
             }
             string_array_frame(lines)
         }
@@ -1115,7 +1249,11 @@ mod tests {
                     })
                     .collect();
                 assert!(text.iter().any(|l| l.starts_with("allowed_ops=")));
-                assert!(text.iter().any(|l| l == "ttl_index=wheel"), "{text:?}");
+                let expected_index = format!(
+                    "ttl_index={}",
+                    kvstore::ttl_wheel::DeadlineIndexKind::from_env_or_default()
+                );
+                assert!(text.contains(&expected_index), "{text:?}");
                 assert!(text.iter().any(|l| l.starts_with("ttl_entries=")));
                 assert!(text
                     .iter()
@@ -1140,9 +1278,13 @@ mod tests {
             Frame::Bulk(bytes) => String::from_utf8(bytes).unwrap(),
             other => panic!("unexpected {other:?}"),
         };
+        let index_line = format!(
+            "deadline_index:{}",
+            kvstore::ttl_wheel::DeadlineIndexKind::from_env_or_default()
+        );
         for needle in [
             "# Stats",
-            "deadline_index:wheel",
+            index_line.as_str(),
             "ttl_entries:",
             "wheel_cascades:",
             "aof_segments:",
@@ -1151,6 +1293,9 @@ mod tests {
             "aof_seg0:records=",
             "# Gdpr",
             "allowed_ops:",
+            "# Replication",
+            "role:primary",
+            "connected_replicas:0",
         ] {
             assert!(info.contains(needle), "INFO missing {needle}: {info}");
         }
@@ -1201,6 +1346,130 @@ mod tests {
         }
         assert_eq!(d.stats().errors, 4);
         assert_eq!(d.stats().requests, 4);
+    }
+
+    #[test]
+    fn replica_mode_rejects_writes_with_a_redirect() {
+        let (d, _) = gdpr_dispatcher();
+        let mut session = authed_session(&d);
+        d.replication().set_replica_of("10.0.0.1:6379");
+        for frame in [
+            Frame::command(["SET", "k", "v"]),
+            Frame::command(["DEL", "k"]),
+            Frame::command(["HMSET", "k", "f", "v"]),
+            GdprRequest::Put {
+                key: "k".into(),
+                subject: "alice".into(),
+                purposes: vec!["billing".into()],
+                value: b"v".to_vec(),
+                ttl_ms: None,
+            }
+            .to_frame(),
+            GdprRequest::Erase {
+                subject: "alice".into(),
+            }
+            .to_frame(),
+        ] {
+            match d.handle_frame(&frame, &mut session) {
+                Frame::Error(message) => {
+                    assert!(message.starts_with("READONLY"), "{message}");
+                    assert!(message.contains("10.0.0.1:6379"), "{message}");
+                }
+                other => panic!("write must be redirected, got {other:?}"),
+            }
+        }
+        // Reads, liveness probes and node-local ACL control stay served.
+        assert_eq!(
+            d.handle_frame(&Frame::command(["GET", "missing"]), &mut session),
+            Frame::Null
+        );
+        assert_eq!(
+            d.handle_frame(&Frame::command(["PING"]), &mut session),
+            Frame::Simple("PONG".into())
+        );
+        assert_eq!(
+            d.handle_frame(
+                &GdprRequest::Grant {
+                    actor: "reader".into(),
+                    purpose: "support".into()
+                }
+                .to_frame(),
+                &mut session
+            ),
+            Frame::Simple("OK".into())
+        );
+        // The replica role is visible on the stats surfaces.
+        let info = match d.handle_frame(&Frame::command(["INFO"]), &mut session) {
+            Frame::Bulk(bytes) => String::from_utf8(bytes).unwrap(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(info.contains("role:replica"), "{info}");
+        assert!(info.contains("primary:10.0.0.1:6379"), "{info}");
+        assert!(info.contains("repl_lag_records:"), "{info}");
+        match d.handle_frame(&GdprRequest::Stats.to_frame(), &mut session) {
+            Frame::Array(items) => {
+                let text: Vec<String> = items
+                    .iter()
+                    .map(|f| match f {
+                        Frame::Bulk(b) => String::from_utf8_lossy(b).into_owned(),
+                        other => panic!("unexpected {other:?}"),
+                    })
+                    .collect();
+                assert!(text.iter().any(|l| l == "repl_role=replica"), "{text:?}");
+                assert!(
+                    text.iter().any(|l| l.starts_with("repl_lag_records=")),
+                    "{text:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_is_equal_iff_state_is_equal() {
+        let a = kv_dispatcher();
+        let b = kv_dispatcher();
+        let mut session = Session::new();
+        let digest = |d: &Dispatcher, session: &mut Session| match d
+            .handle_frame(&Frame::command(["DIGEST"]), session)
+        {
+            Frame::Bulk(bytes) => String::from_utf8(bytes).unwrap(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(digest(&a, &mut session), digest(&b, &mut session));
+        a.handle_frame(&Frame::command(["SET", "k", "v"]), &mut session);
+        assert_ne!(digest(&a, &mut session), digest(&b, &mut session));
+        b.handle_frame(&Frame::command(["SET", "k", "v"]), &mut session);
+        assert_eq!(digest(&a, &mut session), digest(&b, &mut session));
+        // 64 lowercase hex characters (SHA-256).
+        let d = digest(&a, &mut session);
+        assert_eq!(d.len(), 64);
+        assert!(d.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn digest_requires_auth_on_the_compliance_engine() {
+        let (d, _) = gdpr_dispatcher();
+        let reply = d.handle_frame(&Frame::command(["DIGEST"]), &mut Session::new());
+        assert!(
+            matches!(reply, Frame::Error(ref m) if m.starts_with("NOAUTH")),
+            "{reply:?}"
+        );
+        let mut session = authed_session(&d);
+        assert!(matches!(
+            d.handle_frame(&Frame::command(["DIGEST"]), &mut session),
+            Frame::Bulk(_)
+        ));
+    }
+
+    #[test]
+    fn replsync_is_refused_off_the_tcp_transport() {
+        let d = kv_dispatcher();
+        let reply = d.handle_frame(&Frame::command(["REPLSYNC"]), &mut Session::new());
+        assert!(
+            matches!(reply, Frame::Error(ref m) if m.contains("TCP")),
+            "{reply:?}"
+        );
     }
 
     #[test]

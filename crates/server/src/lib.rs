@@ -29,6 +29,7 @@
 
 pub mod client;
 pub mod dispatch;
+pub mod replication;
 pub mod tcp;
 
 use std::error::Error;

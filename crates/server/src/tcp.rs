@@ -287,6 +287,23 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 loop {
                     match decoder.next_frame() {
                         Ok(Some(frame)) => {
+                            if resp::repl::is_replsync_command(&frame) {
+                                // The connection becomes a replication
+                                // stream: answer everything already
+                                // pipelined ahead of the handshake, then
+                                // hand the socket to the feeder until the
+                                // replica disconnects or we shut down.
+                                if !replies.is_empty() && stream.write_all(&replies).is_err() {
+                                    return;
+                                }
+                                crate::replication::serve_stream(
+                                    &mut stream,
+                                    &shared.dispatcher,
+                                    &shared.shutdown,
+                                    shared.config.poll_interval,
+                                );
+                                return;
+                            }
                             if is_shutdown_command(&frame) {
                                 shutdown_seen = true;
                             }

@@ -343,11 +343,14 @@ fn sharded_store_outcomes_match_between_indexes() {
 #[test]
 fn wheel_store_surfaces_wheel_stats() {
     let clock = SimClock::new(START);
+    // Pinned to the wheel regardless of the GDPR_TTL_INDEX matrix: the
+    // assertions below are about the wheel's own counters.
     let store = KvStore::open(
         StoreConfig::in_memory()
             .shards(2)
             .clock(clock.clone())
-            .expiry_mode(ExpiryMode::Strict),
+            .expiry_mode(ExpiryMode::Strict)
+            .deadline_index(DeadlineIndexKind::Wheel),
     )
     .unwrap();
     for i in 0..100u64 {

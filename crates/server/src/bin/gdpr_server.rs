@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! gdpr-server [addr=127.0.0.1:6379] [shards=1] [fsync=everysec]
-//!             [compliance=1] [maxconns=64] [aof=mem|none|<path>]
+//!             [compliance=1] [transport=reactor|threads] [workers=0]
+//!             [maxconns=0|N] [readtimeout=secs] [aof=mem|none|<path>]
 //!             [groupcommit=1] [gcwait=2] [index=wheel|btree]
 //!             [replicaof=host:port] [backlog=records]
 //!             [grant=actor:purpose[,actor:purpose...]] [duration=secs]
@@ -13,6 +14,15 @@
 //!
 //! * `compliance` — 0 = raw engine (plain Redis surface only), 1 =
 //!   eventual policy, 2 = strict policy.
+//! * `transport` — `reactor` (default; also via `GDPR_TRANSPORT`): the
+//!   event-driven connection layer (epoll reactor + worker pool), or
+//!   `threads`: one OS thread per connection.
+//! * `workers` — reactor worker threads (0 = `min(cores, shards)`).
+//! * `maxconns` — connection cap; over-limit clients receive a final
+//!   `-ERR max connections reached` frame. Defaults to unlimited (0) on
+//!   the reactor and 1024 on the threads transport.
+//! * `readtimeout` — idle timeout in seconds, measured from the last
+//!   *complete* request frame (default 30).
 //! * `fsync` — `always`, `everysec` or `none` (journal fsync policy).
 //!   With per-shard journal segments and group commit, `fsync=always` is
 //!   now a viable serving configuration: concurrent connections share
@@ -50,7 +60,7 @@ use gdpr_core::acl::Grant;
 use gdpr_core::policy::CompliancePolicy;
 use gdpr_core::store::GdprStore;
 use gdpr_server::dispatch::Dispatcher;
-use gdpr_server::tcp::{ServerConfig, TcpServer};
+use gdpr_server::tcp::{ServerConfig, TcpServer, Transport};
 use kvstore::aof::FsyncPolicy;
 use kvstore::config::StoreConfig;
 use kvstore::store::KvStore;
@@ -70,8 +80,25 @@ fn main() {
         .to_string();
     let shards = arg_u64(&args, "shards").unwrap_or(1) as usize;
     let compliance = arg_u64(&args, "compliance").unwrap_or(1);
-    let max_connections = arg_u64(&args, "maxconns").unwrap_or(64) as usize;
+    let transport = arg_str(&args, "transport")
+        .map(|label| {
+            Transport::parse(label).unwrap_or_else(|| {
+                eprintln!("  unknown transport {label:?} (want reactor|threads), using reactor");
+                Transport::Reactor
+            })
+        })
+        .unwrap_or_else(Transport::from_env_or_default);
+    // The reactor holds a connection for the cost of one descriptor, so
+    // its default is uncapped; thread-per-connection defaults to 1024.
+    let max_connections = arg_u64(&args, "maxconns").unwrap_or(match transport {
+        Transport::Reactor => 0,
+        Transport::Threads => 1024,
+    }) as usize;
     let duration_secs = arg_u64(&args, "duration").unwrap_or(0);
+    // "10k connections" dies at the distro-default 1024 descriptors
+    // without this; best effort (the hard limit caps it). Raised for both
+    // transports so `maxconns` is an honest knob on either.
+    let _ = polling::raise_nofile_limit(65536);
 
     let fsync = match arg_str(&args, "fsync").unwrap_or("everysec") {
         "always" => FsyncPolicy::Always,
@@ -140,17 +167,23 @@ fn main() {
         Dispatcher::gdpr(Arc::new(store))
     };
 
-    let server_config = ServerConfig {
+    let mut server_config = ServerConfig {
+        transport,
         max_connections,
+        workers: arg_u64(&args, "workers").unwrap_or(0) as usize,
         ..ServerConfig::default()
     };
+    if let Some(secs) = arg_u64(&args, "readtimeout") {
+        server_config.read_timeout = Duration::from_secs(secs);
+    }
     let server = TcpServer::bind(dispatcher, addr.as_str(), server_config).expect("bind listener");
     let replica_handle = arg_str(&args, "replicaof").map(|primary| {
         println!("gdpr-server: replica of {primary} (writes will be redirected)");
         gdpr_server::replication::start_replica(server.dispatcher().clone(), primary)
     });
     println!(
-        "gdpr-server: listening on {} (maxconns={max_connections}); send SHUTDOWN to stop",
+        "gdpr-server: listening on {} (transport={transport}, maxconns={max_connections}); \
+         send SHUTDOWN to stop",
         server.local_addr()
     );
 

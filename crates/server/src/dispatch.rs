@@ -44,6 +44,85 @@ struct DispatchStatsCells {
     errors: AtomicU64,
 }
 
+/// Snapshot of the connection-layer counters surfaced under `# Clients`
+/// in `INFO` and as `clients_*=` lines in `GDPR.STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Connections currently open (gauge).
+    pub connected: u64,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections refused with `-ERR max connections reached`.
+    pub rejected_over_limit: u64,
+    /// Connections closed for exceeding the idle timeout.
+    pub idle_timeouts: u64,
+    /// Reactor event-loop wakeups (0 on the thread-per-connection
+    /// transport, which has no reactor).
+    pub reactor_wakeups: u64,
+    /// High-water mark of the worker-pool queue depth (0 on the
+    /// thread-per-connection transport).
+    pub worker_queue_hwm: u64,
+}
+
+/// The shared atomic cells behind [`ClientStats`]. Both transports (and,
+/// for the reactor, its worker pool) update these through the dispatcher
+/// so the stats surfaces read one place regardless of transport.
+#[derive(Debug, Default)]
+pub struct ClientStatsCells {
+    connected: AtomicU64,
+    accepted: AtomicU64,
+    rejected_over_limit: AtomicU64,
+    idle_timeouts: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    worker_queue_hwm: AtomicU64,
+}
+
+impl ClientStatsCells {
+    /// A consistent-enough snapshot (individual relaxed loads).
+    #[must_use]
+    pub fn snapshot(&self) -> ClientStats {
+        ClientStats {
+            connected: self.connected.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_over_limit: self.rejected_over_limit.load(Ordering::Relaxed),
+            idle_timeouts: self.idle_timeouts.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            worker_queue_hwm: self.worker_queue_hwm.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A connection was accepted and is now being served.
+    pub fn connection_opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.connected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A previously opened connection closed (any reason).
+    pub fn connection_closed(&self) {
+        self.connected.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused because the limit was reached.
+    pub fn connection_rejected(&self) {
+        self.rejected_over_limit.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was closed by the idle-timeout sweep.
+    pub fn idle_timeout(&self) {
+        self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The reactor loop woke from its wait.
+    pub fn reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an observed worker-queue depth; keeps the maximum.
+    pub fn observe_worker_queue_depth(&self, depth: u64) {
+        self.worker_queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
 /// Per-connection state: the access context bound by `GDPR.AUTH`.
 ///
 /// The simulated server keeps one session for its single in-process
@@ -81,6 +160,7 @@ pub enum Engine {
 pub struct Dispatcher {
     engine: Engine,
     stats: Arc<DispatchStatsCells>,
+    clients: Arc<ClientStatsCells>,
     repl: Arc<ReplicationState>,
 }
 
@@ -91,6 +171,7 @@ impl Dispatcher {
         Dispatcher {
             engine: Engine::Kv(store),
             stats: Arc::new(DispatchStatsCells::default()),
+            clients: Arc::new(ClientStatsCells::default()),
             repl: Arc::new(ReplicationState::default()),
         }
     }
@@ -101,6 +182,7 @@ impl Dispatcher {
         Dispatcher {
             engine: Engine::Gdpr(store),
             stats: Arc::new(DispatchStatsCells::default()),
+            clients: Arc::new(ClientStatsCells::default()),
             repl: Arc::new(ReplicationState::default()),
         }
     }
@@ -110,6 +192,19 @@ impl Dispatcher {
     #[must_use]
     pub fn replication(&self) -> &Arc<ReplicationState> {
         &self.repl
+    }
+
+    /// The connection-layer counter cells shared by this dispatcher's
+    /// clones; the transports write them, the stats surfaces read them.
+    #[must_use]
+    pub fn client_cells(&self) -> &Arc<ClientStatsCells> {
+        &self.clients
+    }
+
+    /// Snapshot of the connection-layer counters.
+    #[must_use]
+    pub fn client_stats(&self) -> ClientStats {
+        self.clients.snapshot()
     }
 
     /// The engine being served.
@@ -205,6 +300,18 @@ impl Dispatcher {
                 stats.erased_by_retention,
             ));
         }
+        let clients = self.clients.snapshot();
+        out.push_str(&format!(
+            "# Clients\nclients_connected:{}\nclients_accepted:{}\n\
+             clients_rejected_over_limit:{}\nclients_idle_timeouts:{}\n\
+             clients_reactor_wakeups:{}\nclients_worker_queue_hwm:{}\n",
+            clients.connected,
+            clients.accepted,
+            clients.rejected_over_limit,
+            clients.idle_timeouts,
+            clients.reactor_wakeups,
+            clients.worker_queue_hwm,
+        ));
         let repl = self.repl.info();
         out.push_str("# Replication\n");
         if repl.is_replica {
@@ -313,7 +420,9 @@ impl Dispatcher {
                 Engine::Kv(_) => {
                     Frame::Error("ERR compliance layer not enabled on this server".to_string())
                 }
-                Engine::Gdpr(store) => dispatch_gdpr(store, &self.repl, &request, session),
+                Engine::Gdpr(store) => {
+                    dispatch_gdpr(store, &self.repl, &self.clients, &request, session)
+                }
             };
         }
         match &self.engine {
@@ -638,6 +747,7 @@ fn metadata_frame(meta: &PersonalMetadata) -> Frame {
 fn dispatch_gdpr(
     store: &GdprStore,
     repl: &ReplicationState,
+    clients: &ClientStatsCells,
     request: &GdprRequest,
     session: &mut Session,
 ) -> Frame {
@@ -791,6 +901,18 @@ fn dispatch_gdpr(
                     ));
                 }
             }
+            // The connection layer: fan-in capacity bounds how many
+            // subjects can exercise their rights concurrently.
+            let c = clients.snapshot();
+            lines.push(format!("clients_connected={}", c.connected));
+            lines.push(format!("clients_accepted={}", c.accepted));
+            lines.push(format!(
+                "clients_rejected_over_limit={}",
+                c.rejected_over_limit
+            ));
+            lines.push(format!("clients_idle_timeouts={}", c.idle_timeouts));
+            lines.push(format!("clients_reactor_wakeups={}", c.reactor_wakeups));
+            lines.push(format!("clients_worker_queue_hwm={}", c.worker_queue_hwm));
             // Replication: erasure timeliness is only as good as the lag
             // of the worst copy, so the propagation gauges are compliance
             // metrics in their own right.

@@ -11,10 +11,14 @@
 //!   or the full [`gdpr_core`] compliance layer, including the `GDPR.*`
 //!   wire surface (session auth, grants, metadata get/set, subject
 //!   rights).
-//! * [`tcp`] — a thread-per-connection RESP2 server over
-//!   `std::net::TcpListener`: incremental decoding, pipelined requests,
-//!   connection limits, read/write timeouts and graceful shutdown that
-//!   drains in-flight requests.
+//! * [`tcp`] — the RESP2 server facade over `std::net::TcpListener`:
+//!   incremental decoding, pipelined requests, connection limits,
+//!   read/write timeouts and graceful shutdown that drains in-flight
+//!   requests, served by either of two transports.
+//! * [`reactor`] — the default transport: a readiness-driven event loop
+//!   (epoll via the `polling` shim, `poll(2)` fallback) owning every
+//!   connection socket, plus a fixed worker pool executing dispatcher
+//!   batches — thousands of idle connections without one thread each.
 //! * [`client`] — a blocking [`client::TcpRemoteClient`] plus
 //!   [`client::TcpRemoteAdapter`], which implements
 //!   [`ycsb::concurrent::SharedKvInterface`] over a pool of real sockets
@@ -29,6 +33,7 @@
 
 pub mod client;
 pub mod dispatch;
+pub mod reactor;
 pub mod replication;
 pub mod tcp;
 

@@ -1,22 +1,34 @@
-//! The thread-per-connection RESP2 server over `std::net`.
+//! The RESP2 TCP front-end: one listener, two interchangeable transports.
 //!
-//! The container this repository builds in has no async runtime available,
-//! so the server follows the classic Redis-era shape instead: one accept
-//! thread, one OS thread per connection, blocking reads with a short poll
-//! timeout so every thread notices the shutdown flag promptly. What the
-//! paper's Redis deployment got from its event loop — pipelining — is kept:
-//! each read drains the incremental [`Decoder`] completely and all replies
-//! of the batch are written back in a single syscall.
+//! * [`Transport::Reactor`] (default) — the event-driven connection layer
+//!   in [`crate::reactor`]: a single readiness-polling thread owns the
+//!   listener and every non-blocking connection socket, and a fixed
+//!   worker pool executes [`Dispatcher`] batches. Thousands of mostly
+//!   idle connections cost one registered descriptor each instead of one
+//!   OS thread each.
+//! * [`Transport::Threads`] — the classic Redis-era shape kept as a
+//!   baseline and fallback: one accept thread, one OS thread per
+//!   connection, blocking reads with a short poll timeout so every
+//!   thread notices the shutdown flag promptly.
 //!
-//! Shutdown protocol: [`TcpServerHandle::request_shutdown`] raises a flag
-//! and wakes the accept loop with a loopback connection. Connection
-//! threads keep serving until their *next idle* read (so every request
-//! whose bytes already reached the server is answered — nothing in flight
-//! is dropped), then close. [`TcpServerHandle::shutdown`] joins them all.
+//! Both transports share [`ServerConfig`], the connection counters on the
+//! dispatcher (`# Clients` in `INFO`), pipelining (each read drains the
+//! incremental [`Decoder`] completely and the whole batch of replies is
+//! written back together), the idle-timeout rule (measured from the last
+//! *complete* request frame, so a byte-trickling client cannot hold a
+//! slot open), and the shutdown protocol:
+//! [`TcpServerHandle::request_shutdown`] raises a flag, the transport
+//! answers every request whose bytes already reached the server, then
+//! closes. [`TcpServerHandle::shutdown`] joins all transport threads.
+//!
+//! The transport is selected by [`ServerConfig::transport`], whose
+//! default honors the `GDPR_TRANSPORT` environment variable
+//! (`reactor`/`threads`) — which is how the integration suites run
+//! unmodified against both implementations.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,40 +37,103 @@ use resp::decode::Decoder;
 use resp::encode::encode_frame;
 use resp::Frame;
 
-use crate::dispatch::{Dispatcher, Session};
+use crate::dispatch::{ClientStatsCells, Dispatcher, Session};
 
-/// Tunables of the TCP front-end.
+/// Which connection layer serves the listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Event-driven reactor + worker pool (see [`crate::reactor`]).
+    #[default]
+    Reactor,
+    /// One OS thread per connection (the original transport).
+    Threads,
+}
+
+impl Transport {
+    /// Parse a transport label (`reactor` / `threads`).
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "reactor" | "epoll" | "event" => Some(Transport::Reactor),
+            "threads" | "thread" => Some(Transport::Threads),
+            _ => None,
+        }
+    }
+
+    /// The default transport, honoring the `GDPR_TRANSPORT` environment
+    /// variable so whole test suites can be pointed at either
+    /// implementation without touching code.
+    #[must_use]
+    pub fn from_env_or_default() -> Self {
+        std::env::var("GDPR_TRANSPORT")
+            .ok()
+            .as_deref()
+            .and_then(Transport::parse)
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Reactor => write!(f, "reactor"),
+            Transport::Threads => write!(f, "threads"),
+        }
+    }
+}
+
+/// Tunables of the TCP front-end, shared by both transports.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Maximum concurrently served connections; further clients receive an
-    /// error frame and are disconnected.
+    /// The connection layer to serve with (default: `GDPR_TRANSPORT` env
+    /// var, else the reactor).
+    pub transport: Transport,
+    /// Maximum concurrently served connections; further clients receive a
+    /// final `-ERR max connections reached` frame and are disconnected.
+    /// `0` means unlimited (useful on the reactor, whose per-connection
+    /// cost is a registered descriptor rather than an OS thread).
     pub max_connections: usize,
+    /// Worker threads executing dispatcher batches on the reactor
+    /// transport; `0` sizes the pool automatically as
+    /// `min(available cores, engine shards)`.
+    pub workers: usize,
     /// Drop a connection after this long without receiving a complete
-    /// request.
+    /// request frame (partial frames do not count — see the slow-loris
+    /// tests).
     pub read_timeout: Duration,
     /// Socket write timeout for replies.
     pub write_timeout: Duration,
     /// Largest request frame accepted before the connection is dropped
     /// with a protocol error (see [`resp::decode::Decoder`]).
     pub max_frame_bytes: usize,
-    /// How often blocked reads wake up to check the shutdown flag.
+    /// How often blocked reads (threads transport) or the event loop
+    /// (reactor) wake up to check the shutdown flag.
     pub poll_interval: Duration,
+    /// Per-connection reply buffers are reused across pipelined batches
+    /// and shrunk back to this capacity after a larger reply (e.g. a big
+    /// `GDPR.EXPORT`) so one burst does not pin memory forever.
+    pub buffer_cap_bytes: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            max_connections: 64,
+            transport: Transport::from_env_or_default(),
+            max_connections: 1024,
+            workers: 0,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             max_frame_bytes: 8 * 1024 * 1024,
             poll_interval: Duration::from_millis(25),
+            buffer_cap_bytes: 64 * 1024,
         }
     }
 }
 
 /// Counters describing transport-level activity (the dispatcher keeps the
-/// request/error counters).
+/// request/error counters). Backed by the dispatcher's shared
+/// [`crate::dispatch::ClientStats`] cells, so both transports report
+/// through the same counters that `INFO` / `GDPR.STATS` surface.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Connections accepted and served.
@@ -69,24 +144,17 @@ pub struct TransportStats {
     pub active: usize,
 }
 
-struct Shared {
-    dispatcher: Dispatcher,
-    config: ServerConfig,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
-    active: AtomicUsize,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-}
-
-/// A running TCP server.
+/// A running TCP server over either transport.
 ///
 /// Dropping the handle requests shutdown but does not wait for the
 /// threads; call [`TcpServerHandle::shutdown`] for a clean join.
 pub struct TcpServer {
-    shared: Arc<Shared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    backend: Backend,
+}
+
+enum Backend {
+    Threads(ThreadsServer),
+    Reactor(crate::reactor::ReactorServer),
 }
 
 /// Public alias: the value returned by [`TcpServer::bind`] acts as the
@@ -96,98 +164,102 @@ pub type TcpServerHandle = TcpServer;
 impl std::fmt::Debug for TcpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpServer")
-            .field("addr", &self.shared.addr)
-            .field("active", &self.shared.active.load(Ordering::Relaxed))
+            .field("addr", &self.local_addr())
+            .field("transport", &self.transport())
+            .field("active", &self.transport_stats().active)
             .finish()
     }
 }
 
 impl TcpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// the dispatcher's engine.
+    /// the dispatcher's engine on [`ServerConfig::transport`].
     ///
     /// # Errors
     ///
-    /// Returns the bind/listen error.
+    /// Returns the bind/listen error (or, on the reactor, the poller
+    /// creation error).
     pub fn bind(
         dispatcher: Dispatcher,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<TcpServerHandle> {
         let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            dispatcher,
-            config,
-            addr: local,
-            shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-        });
-        let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let backend = match config.transport {
+            Transport::Threads => {
+                Backend::Threads(ThreadsServer::start(dispatcher, listener, config)?)
+            }
+            Transport::Reactor => Backend::Reactor(crate::reactor::ReactorServer::start(
+                dispatcher, listener, config,
+            )?),
+        };
+        Ok(TcpServer { backend })
+    }
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_connections = Arc::clone(&connections);
-        let accept_thread = std::thread::Builder::new()
-            .name("gdpr-server-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared, &accept_connections))
-            .expect("spawn accept thread");
-
-        Ok(TcpServer {
-            shared,
-            accept_thread: Some(accept_thread),
-            connections,
-        })
+    /// The transport actually serving this listener.
+    #[must_use]
+    pub fn transport(&self) -> Transport {
+        match &self.backend {
+            Backend::Threads(_) => Transport::Threads,
+            Backend::Reactor(_) => Transport::Reactor,
+        }
     }
 
     /// The address the server actually listens on.
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.addr
+        match &self.backend {
+            Backend::Threads(s) => s.shared.addr,
+            Backend::Reactor(s) => s.local_addr(),
+        }
     }
 
     /// The dispatcher serving this listener.
     #[must_use]
     pub fn dispatcher(&self) -> &Dispatcher {
-        &self.shared.dispatcher
+        match &self.backend {
+            Backend::Threads(s) => &s.shared.dispatcher,
+            Backend::Reactor(s) => s.dispatcher(),
+        }
     }
 
     /// Whether shutdown has been requested (by [`Self::request_shutdown`]
     /// or a client's `SHUTDOWN` command).
     #[must_use]
     pub fn is_shutdown_requested(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst)
+        match &self.backend {
+            Backend::Threads(s) => s.shared.shutdown.load(Ordering::SeqCst),
+            Backend::Reactor(s) => s.is_shutdown_requested(),
+        }
     }
 
     /// Transport-level counters.
     #[must_use]
     pub fn transport_stats(&self) -> TransportStats {
+        let clients = self.dispatcher().client_stats();
         TransportStats {
-            accepted: self.shared.accepted.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            active: self.shared.active.load(Ordering::Relaxed),
+            accepted: clients.accepted,
+            rejected: clients.rejected_over_limit,
+            active: usize::try_from(clients.connected).unwrap_or(usize::MAX),
         }
     }
 
-    /// Raise the shutdown flag and wake the accept loop. Safe to call from
+    /// Raise the shutdown flag and wake the transport. Safe to call from
     /// any thread (including connection handlers); returns immediately.
     pub fn request_shutdown(&self) {
-        request_shutdown(&self.shared);
+        match &self.backend {
+            Backend::Threads(s) => request_shutdown(&s.shared),
+            Backend::Reactor(s) => s.request_shutdown(),
+        }
     }
 
-    /// Request shutdown and join the accept thread and every connection
-    /// thread. In-flight requests already received by the server are
-    /// answered before their connections close.
+    /// Request shutdown and join every transport thread. In-flight
+    /// requests already received by the server are answered before their
+    /// connections close.
     pub fn shutdown(mut self) {
-        self.request_shutdown();
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        let handles: Vec<_> = std::mem::take(&mut *self.connections.lock());
-        for handle in handles {
-            let _ = handle.join();
+        match &mut self.backend {
+            Backend::Threads(s) => s.shutdown(),
+            Backend::Reactor(s) => s.shutdown(),
         }
     }
 
@@ -203,7 +275,72 @@ impl TcpServer {
 impl Drop for TcpServer {
     fn drop(&mut self) {
         // Best effort: stop the threads, but do not block in drop.
+        self.request_shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection transport
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    dispatcher: Dispatcher,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn clients(&self) -> &ClientStatsCells {
+        self.dispatcher.client_cells()
+    }
+}
+
+/// The thread-per-connection backend.
+struct ThreadsServer {
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ThreadsServer {
+    fn start(
+        dispatcher: Dispatcher,
+        listener: TcpListener,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            dispatcher,
+            config,
+            addr: local,
+            shutdown: AtomicBool::new(false),
+        });
+        let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("gdpr-server-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_connections))?;
+
+        Ok(ThreadsServer {
+            shared,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    fn shutdown(&mut self) {
         request_shutdown(&self.shared);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.connections.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -213,6 +350,22 @@ fn request_shutdown(shared: &Shared) {
     }
     // Wake the accept loop with a throwaway loopback connection.
     let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(250));
+}
+
+/// Whether the connection count is at the configured cap (`0` = never).
+pub(crate) fn at_connection_limit(limit: usize, connected: u64) -> bool {
+    limit != 0 && connected >= limit as u64
+}
+
+/// Refuse a connection with a final `-ERR max connections reached` frame
+/// (best effort — the peer may already be gone) and record the rejection.
+pub(crate) fn reject_over_limit(mut stream: TcpStream, clients: &ClientStatsCells) {
+    clients.connection_rejected();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.write_all(&encode_frame(&Frame::Error(
+        "ERR max connections reached".to_string(),
+    )));
 }
 
 fn accept_loop(
@@ -233,22 +386,18 @@ fn accept_loop(
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
-            let mut stream = stream;
-            let _ = stream.write_all(&encode_frame(&Frame::Error(
-                "ERR max connections reached".to_string(),
-            )));
+        let clients = shared.clients();
+        if at_connection_limit(shared.config.max_connections, clients.snapshot().connected) {
+            reject_over_limit(stream, clients);
             continue;
         }
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        clients.connection_opened();
         let conn_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name("gdpr-server-conn".to_string())
             .spawn(move || {
                 serve_connection(stream, &conn_shared);
-                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                conn_shared.clients().connection_closed();
             })
             .expect("spawn connection thread");
         let mut conns = connections.lock();
@@ -261,7 +410,9 @@ fn accept_loop(
 
 /// Serve one connection until the client disconnects, errors, idles out or
 /// the server shuts down. Every read drains the decoder completely and the
-/// whole batch of replies is written back in one syscall (pipelining).
+/// whole batch of replies is written back in one syscall (pipelining); the
+/// reply buffer is reused across batches and shrunk back to the configured
+/// cap after an oversized reply.
 fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
@@ -270,7 +421,8 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let mut decoder = Decoder::with_max_frame_bytes(shared.config.max_frame_bytes);
     let mut session = Session::new();
     let mut read_buf = [0u8; 16 * 1024];
-    let mut last_activity = Instant::now();
+    let mut replies: Vec<u8> = Vec::new();
+    let mut last_frame = Instant::now();
 
     loop {
         // Sample the flag *before* reading: when shutdown is requested we
@@ -280,13 +432,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         match stream.read(&mut read_buf) {
             Ok(0) => return,
             Ok(n) => {
-                last_activity = Instant::now();
                 decoder.feed(&read_buf[..n]);
-                let mut replies = Vec::new();
+                replies.clear();
+                let mut decoded_any = false;
                 let mut shutdown_seen = false;
                 loop {
                     match decoder.next_frame() {
                         Ok(Some(frame)) => {
+                            decoded_any = true;
                             if resp::repl::is_replsync_command(&frame) {
                                 // The connection becomes a replication
                                 // stream: answer everything already
@@ -323,8 +476,16 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                         }
                     }
                 }
-                if !replies.is_empty() && stream.write_all(&replies).is_err() {
-                    return;
+                // Only a *complete* request frame counts as activity: a
+                // client trickling a frame byte-by-byte still idles out.
+                if decoded_any {
+                    last_frame = Instant::now();
+                }
+                if !replies.is_empty() {
+                    if stream.write_all(&replies).is_err() {
+                        return;
+                    }
+                    shrink_buffer(&mut replies, shared.config.buffer_cap_bytes);
                 }
                 if shutdown_seen {
                     request_shutdown(shared);
@@ -338,7 +499,8 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 if stopping {
                     return;
                 }
-                if last_activity.elapsed() > shared.config.read_timeout {
+                if last_frame.elapsed() > shared.config.read_timeout {
+                    shared.clients().idle_timeout();
                     let _ = stream
                         .write_all(&encode_frame(&Frame::Error("ERR idle timeout".to_string())));
                     return;
@@ -349,9 +511,22 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Drop an oversized reusable buffer back to the configured capacity cap
+/// once its contents are consumed, so one huge reply (a large export, a
+/// deep pipeline) does not pin memory for the connection's lifetime.
+pub(crate) fn shrink_buffer(buf: &mut Vec<u8>, cap: usize) {
+    debug_assert!(buf.is_empty() || buf.len() <= buf.capacity());
+    if buf.capacity() > cap {
+        buf.clear();
+        buf.shrink_to(cap);
+    } else {
+        buf.clear();
+    }
+}
+
 /// Whether a decoded frame is the `SHUTDOWN` command (checked at the
 /// transport layer, which owns the shutdown flag).
-fn is_shutdown_command(frame: &Frame) -> bool {
+pub(crate) fn is_shutdown_command(frame: &Frame) -> bool {
     match frame {
         Frame::Array(items) => matches!(
             items.first(),
@@ -373,138 +548,200 @@ mod tests {
         TcpServer::bind(dispatcher, "127.0.0.1:0", config).unwrap()
     }
 
+    /// Every transport-behavior test in this module runs against both
+    /// transports; `config.transport` is overridden per run.
+    fn for_both_transports(mut test: impl FnMut(Transport)) {
+        for transport in [Transport::Reactor, Transport::Threads] {
+            test(transport);
+        }
+    }
+
     #[test]
     fn serves_basic_roundtrips_over_a_real_socket() {
-        let server = kv_server(ServerConfig::default());
-        let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        client.set("k", b"v").unwrap();
-        assert_eq!(client.get("k").unwrap(), Some(b"v".to_vec()));
-        assert_eq!(client.get("missing").unwrap(), None);
-        assert!(client.delete("k").unwrap());
-        assert_eq!(server.dispatcher().stats().requests, 4);
-        server.shutdown();
+        for_both_transports(|transport| {
+            let server = kv_server(ServerConfig {
+                transport,
+                ..ServerConfig::default()
+            });
+            let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            client.set("k", b"v").unwrap();
+            assert_eq!(client.get("k").unwrap(), Some(b"v".to_vec()));
+            assert_eq!(client.get("missing").unwrap(), None);
+            assert!(client.delete("k").unwrap());
+            assert_eq!(server.dispatcher().stats().requests, 4, "{transport}");
+            assert_eq!(server.transport(), transport);
+            server.shutdown();
+        });
     }
 
     #[test]
     fn pipelined_batch_returns_every_reply_in_order() {
-        let server = kv_server(ServerConfig::default());
-        let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        let frames: Vec<Frame> = (0..50)
-            .map(|i| Frame::command(["SET", &format!("k{i}"), &format!("v{i}")]))
-            .collect();
-        let replies = client.pipeline(&frames).unwrap();
-        assert_eq!(replies.len(), 50);
-        assert!(replies.iter().all(|r| *r == Frame::Simple("OK".into())));
-        let frames: Vec<Frame> = (0..50)
-            .map(|i| Frame::command(["GET", &format!("k{i}")]))
-            .collect();
-        let replies = client.pipeline(&frames).unwrap();
-        for (i, reply) in replies.iter().enumerate() {
-            assert_eq!(*reply, Frame::Bulk(format!("v{i}").into_bytes()));
-        }
-        server.shutdown();
+        for_both_transports(|transport| {
+            let server = kv_server(ServerConfig {
+                transport,
+                ..ServerConfig::default()
+            });
+            let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            let frames: Vec<Frame> = (0..50)
+                .map(|i| Frame::command(["SET", &format!("k{i}"), &format!("v{i}")]))
+                .collect();
+            let replies = client.pipeline(&frames).unwrap();
+            assert_eq!(replies.len(), 50);
+            assert!(replies.iter().all(|r| *r == Frame::Simple("OK".into())));
+            let frames: Vec<Frame> = (0..50)
+                .map(|i| Frame::command(["GET", &format!("k{i}")]))
+                .collect();
+            let replies = client.pipeline(&frames).unwrap();
+            for (i, reply) in replies.iter().enumerate() {
+                assert_eq!(*reply, Frame::Bulk(format!("v{i}").into_bytes()));
+            }
+            server.shutdown();
+        });
     }
 
     #[test]
     fn connection_limit_rejects_excess_clients() {
-        let config = ServerConfig {
-            max_connections: 1,
-            ..ServerConfig::default()
-        };
-        let server = kv_server(config);
-        let mut first = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        first.ping().unwrap();
-        // The second client is rejected with an error frame.
-        let mut second = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        let err = second.ping().unwrap_err();
-        assert!(
-            matches!(err, crate::ServerError::Server(ref m) if m.contains("max connections")),
-            "{err}"
-        );
-        assert_eq!(server.transport_stats().rejected, 1);
-        server.shutdown();
+        for_both_transports(|transport| {
+            let config = ServerConfig {
+                transport,
+                max_connections: 1,
+                ..ServerConfig::default()
+            };
+            let server = kv_server(config);
+            let mut first = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            first.ping().unwrap();
+            // The second client is rejected with a final error frame.
+            let mut second = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            let err = second.ping().unwrap_err();
+            assert!(
+                matches!(err, crate::ServerError::Server(ref m) if m.contains("max connections")),
+                "{transport}: {err}"
+            );
+            assert_eq!(server.transport_stats().rejected, 1, "{transport}");
+            server.shutdown();
+        });
     }
 
     #[test]
     fn idle_connections_are_dropped_after_the_read_timeout() {
-        let config = ServerConfig {
-            read_timeout: Duration::from_millis(100),
-            poll_interval: Duration::from_millis(10),
-            ..ServerConfig::default()
-        };
-        let server = kv_server(config);
-        let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        client.ping().unwrap();
-        std::thread::sleep(Duration::from_millis(400));
-        // The server has either sent the idle-timeout error or closed the
-        // socket; either way the next roundtrip fails.
-        assert!(client.ping().is_err());
-        server.shutdown();
+        for_both_transports(|transport| {
+            let config = ServerConfig {
+                transport,
+                read_timeout: Duration::from_millis(100),
+                poll_interval: Duration::from_millis(10),
+                ..ServerConfig::default()
+            };
+            let server = kv_server(config);
+            let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            client.ping().unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+            // The server has either sent the idle-timeout error or closed
+            // the socket; either way the next roundtrip fails.
+            assert!(client.ping().is_err(), "{transport}");
+            assert_eq!(server.dispatcher().client_stats().idle_timeouts, 1);
+            server.shutdown();
+        });
     }
 
     #[test]
     fn oversized_frames_poison_only_their_connection() {
-        let config = ServerConfig {
-            max_frame_bytes: 1024,
-            ..ServerConfig::default()
-        };
-        let server = kv_server(config);
-        let mut bad = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        let huge = vec![b'x'; 4096];
-        let err = bad
-            .roundtrip(&Frame::command([b"SET".to_vec(), b"k".to_vec(), huge]))
-            .unwrap_err();
-        assert!(matches!(err, crate::ServerError::Server(_)), "{err}");
-        // A fresh connection still works.
-        let mut good = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        good.set("k", b"small").unwrap();
-        server.shutdown();
+        for_both_transports(|transport| {
+            let config = ServerConfig {
+                transport,
+                max_frame_bytes: 1024,
+                ..ServerConfig::default()
+            };
+            let server = kv_server(config);
+            let mut bad = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            let huge = vec![b'x'; 4096];
+            let err = bad
+                .roundtrip(&Frame::command([b"SET".to_vec(), b"k".to_vec(), huge]))
+                .unwrap_err();
+            assert!(
+                matches!(err, crate::ServerError::Server(_)),
+                "{transport}: {err}"
+            );
+            // A fresh connection still works.
+            let mut good = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            good.set("k", b"small").unwrap();
+            server.shutdown();
+        });
     }
 
     #[test]
     fn shutdown_command_stops_the_server() {
-        let server = kv_server(ServerConfig::default());
-        let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
-        client.set("k", b"v").unwrap();
-        client.shutdown_server().unwrap();
-        server.wait_for_shutdown_request(Duration::from_millis(5));
-        assert!(server.is_shutdown_requested());
-        server.shutdown();
+        for_both_transports(|transport| {
+            let server = kv_server(ServerConfig {
+                transport,
+                ..ServerConfig::default()
+            });
+            let mut client = TcpRemoteClient::connect(server.local_addr()).unwrap();
+            client.set("k", b"v").unwrap();
+            client.shutdown_server().unwrap();
+            server.wait_for_shutdown_request(Duration::from_millis(5));
+            assert!(server.is_shutdown_requested(), "{transport}");
+            server.shutdown();
+        });
     }
 
     #[test]
     fn shutdown_drains_requests_already_on_the_wire() {
-        let server = kv_server(ServerConfig::default());
-        let addr = server.local_addr();
-        let mut client = TcpRemoteClient::connect(addr).unwrap();
-        // Write a large pipelined batch and only then request shutdown:
-        // the bytes are already queued on the server socket, so every
-        // reply must still arrive.
-        let frames: Vec<Frame> = (0..200)
-            .map(|i| Frame::command(["SET", &format!("k{i}"), "v"]))
-            .collect();
-        client.send_batch(&frames).unwrap();
-        // Give loopback delivery a moment so the batch is queued on the
-        // server socket before the flag goes up; the drain guarantee is
-        // about bytes the server has already received.
-        std::thread::sleep(Duration::from_millis(50));
-        server.request_shutdown();
-        let replies = client.read_replies(frames.len()).unwrap();
-        assert_eq!(replies.len(), 200);
-        assert!(replies.iter().all(|r| *r == Frame::Simple("OK".into())));
-        server.shutdown();
+        for_both_transports(|transport| {
+            let server = kv_server(ServerConfig {
+                transport,
+                ..ServerConfig::default()
+            });
+            let addr = server.local_addr();
+            let mut client = TcpRemoteClient::connect(addr).unwrap();
+            // Write a large pipelined batch and only then request
+            // shutdown: the bytes are already queued on the server socket,
+            // so every reply must still arrive.
+            let frames: Vec<Frame> = (0..200)
+                .map(|i| Frame::command(["SET", &format!("k{i}"), "v"]))
+                .collect();
+            client.send_batch(&frames).unwrap();
+            // Give loopback delivery a moment so the batch is queued on
+            // the server socket before the flag goes up; the drain
+            // guarantee is about bytes the server has already received.
+            std::thread::sleep(Duration::from_millis(50));
+            server.request_shutdown();
+            let replies = client.read_replies(frames.len()).unwrap();
+            assert_eq!(replies.len(), 200, "{transport}");
+            assert!(replies.iter().all(|r| *r == Frame::Simple("OK".into())));
+            server.shutdown();
+        });
     }
 
     #[test]
     fn accept_after_shutdown_is_refused() {
-        let server = kv_server(ServerConfig::default());
-        let addr = server.local_addr();
-        server.shutdown();
-        // The listener is gone; connecting now fails (or is dropped
-        // immediately by the OS backlog).
-        let client = TcpRemoteClient::connect(addr);
-        if let Ok(mut c) = client {
-            assert!(c.ping().is_err());
-        }
+        for_both_transports(|transport| {
+            let server = kv_server(ServerConfig {
+                transport,
+                ..ServerConfig::default()
+            });
+            let addr = server.local_addr();
+            server.shutdown();
+            // The listener is gone; connecting now fails (or is dropped
+            // immediately by the OS backlog).
+            let client = TcpRemoteClient::connect(addr);
+            if let Ok(mut c) = client {
+                assert!(c.ping().is_err(), "{transport}");
+            }
+        });
+    }
+
+    #[test]
+    fn shrink_buffer_drops_oversized_capacity_back_to_the_cap() {
+        let mut buf = Vec::with_capacity(1 << 20);
+        buf.extend_from_slice(&[0u8; 1 << 20]);
+        shrink_buffer(&mut buf, 4096);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() <= 8192, "{}", buf.capacity());
+        // A buffer under the cap keeps its capacity (no thrash).
+        let mut small = Vec::with_capacity(1024);
+        small.extend_from_slice(b"xyz");
+        shrink_buffer(&mut small, 4096);
+        assert!(small.is_empty());
+        assert!(small.capacity() >= 1024);
     }
 }

@@ -82,7 +82,7 @@ fn main() {
     let max_shards = arg_value(&args, "maxshards").unwrap_or(8);
     let max_threads = arg_value(&args, "maxthreads").unwrap_or(8);
 
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = bench::host_cores();
     println!(
         "aof_scaling — YCSB-A mix on the file-backed engine, records={records}, ops={ops}, cores={cores}"
     );
@@ -185,21 +185,18 @@ fn main() {
         );
     }
 
-    let json = render_json(records, ops, seed, cores, &cells);
+    let json = render_json(records, ops, seed, &cells);
     std::fs::write("BENCH_aof_scaling.json", &json).expect("write BENCH_aof_scaling.json");
     println!("\nwrote BENCH_aof_scaling.json ({} cells)", cells.len());
 }
 
-fn render_json(records: u64, ops: u64, seed: u64, cores: usize, cells: &[Cell]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"aof_scaling\",\n");
+fn render_json(records: u64, ops: u64, seed: u64, cells: &[Cell]) -> String {
+    let mut out = bench::json_envelope("aof_scaling");
     out.push_str("  \"workload\": \"A\",\n");
     out.push_str("  \"store\": \"kvstore file-backed sharded AOF\",\n");
     out.push_str(&format!("  \"records\": {records},\n"));
     out.push_str(&format!("  \"operations\": {ops},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         out.push_str(&format!(

@@ -261,7 +261,7 @@ fn main() {
 
     // The bench side holds N client sockets too.
     let _ = polling::raise_nofile_limit(65_536);
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = bench::host_cores();
     println!(
         "conn_scaling — idle-heavy connection sweep, conns={conns:?} (threads transport capped \
          at {threads_cap}), hot={hot}, hotops={hotops}, cores={cores}"
@@ -311,18 +311,15 @@ fn main() {
         );
     }
 
-    let json = render_json(cores, hot, hotops, &cells);
+    let json = render_json(hot, hotops, &cells);
     std::fs::write("BENCH_conn_scaling.json", &json).expect("write BENCH_conn_scaling.json");
     println!("wrote BENCH_conn_scaling.json ({} cells)", cells.len());
 }
 
-fn render_json(cores: usize, hot: usize, hotops: usize, cells: &[Cell]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"conn_scaling\",\n");
+fn render_json(hot: usize, hotops: usize, cells: &[Cell]) -> String {
+    let mut out = bench::json_envelope("conn_scaling");
     out.push_str("  \"transport\": \"tcp-loopback\",\n");
     out.push_str("  \"policy\": \"none\",\n");
-    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str(&format!("  \"hot_connections\": {hot},\n"));
     out.push_str(&format!("  \"hot_ops_per_connection\": {hotops},\n"));
     out.push_str("  \"cells\": [\n");

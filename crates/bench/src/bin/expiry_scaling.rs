@@ -197,7 +197,7 @@ fn main() {
     let reps = arg_value(&args, "reps").unwrap_or(1).max(1);
     let seed = arg_value(&args, "seed").unwrap_or(42);
 
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = bench::host_cores();
     println!(
         "expiry_scaling — strict-expiry index sweep, maxkeys={max_keys}, ticks={ticks}, cores={cores}"
     );
@@ -261,20 +261,17 @@ fn main() {
         }
     }
 
-    let json = render_json(seed, ticks, reps, cores, &cells);
+    let json = render_json(seed, ticks, reps, &cells);
     std::fs::write("BENCH_expiry_scaling.json", &json).expect("write BENCH_expiry_scaling.json");
     println!("\nwrote BENCH_expiry_scaling.json ({} cells)", cells.len());
 }
 
-fn render_json(seed: u64, ticks: u64, reps: u64, cores: usize, cells: &[Cell]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"expiry_scaling\",\n");
+fn render_json(seed: u64, ticks: u64, reps: u64, cells: &[Cell]) -> String {
+    let mut out = bench::json_envelope("expiry_scaling");
     out.push_str("  \"store\": \"kvstore Db, strict expiry, simulated clock\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"reps_min_of\": {reps},\n"));
     out.push_str(&format!("  \"steady_ticks\": {ticks},\n"));
-    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         out.push_str(&format!(

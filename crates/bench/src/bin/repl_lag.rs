@@ -76,7 +76,7 @@ fn main() {
     let burst = arg_value(&args, "burst").unwrap_or(100);
     let shards = arg_value(&args, "shards").unwrap_or(4) as usize;
     let max_repl_shards = arg_value(&args, "maxreplshards").unwrap_or(8);
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = bench::host_cores();
     let deadline = Duration::from_secs(120);
 
     println!(
@@ -212,29 +212,19 @@ fn main() {
         replica_shards *= 2;
     }
 
-    let json = render_json(records, bursts, burst, shards, cores, &cells);
+    let json = render_json(records, bursts, burst, shards, &cells);
     std::fs::write("BENCH_repl_lag.json", &json).expect("write BENCH_repl_lag.json");
     println!("\nwrote BENCH_repl_lag.json ({} cells)", cells.len());
 }
 
-fn render_json(
-    records: u64,
-    bursts: u64,
-    burst: u64,
-    shards: usize,
-    cores: usize,
-    cells: &[Cell],
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"repl_lag\",\n");
+fn render_json(records: u64, bursts: u64, burst: u64, shards: usize, cells: &[Cell]) -> String {
+    let mut out = bench::json_envelope("repl_lag");
     out.push_str("  \"transport\": \"tcp-loopback\",\n");
     out.push_str("  \"policy\": \"eventual\",\n");
     out.push_str(&format!("  \"preload_records\": {records},\n"));
     out.push_str(&format!("  \"bursts\": {bursts},\n"));
     out.push_str(&format!("  \"burst_size\": {burst},\n"));
     out.push_str(&format!("  \"primary_shards\": {shards},\n"));
-    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         out.push_str(&format!(

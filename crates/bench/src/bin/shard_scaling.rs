@@ -64,7 +64,7 @@ fn main() {
         _ => CompliancePolicy::eventual(),
     };
 
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = bench::host_cores();
     println!(
         "shard_scaling — YCSB-A mix, policy={}, records={records}, ops={ops}, cores={cores}",
         policy.name
@@ -112,28 +112,18 @@ fn main() {
         println!("4 threads: 4 shards / 1 shard = {:.2}x", many / one);
     }
 
-    let json = render_json(&policy.name, records, ops, seed, cores, &cells);
+    let json = render_json(&policy.name, records, ops, seed, &cells);
     std::fs::write("BENCH_shard_scaling.json", &json).expect("write BENCH_shard_scaling.json");
     println!("\nwrote BENCH_shard_scaling.json ({} cells)", cells.len());
 }
 
-fn render_json(
-    policy: &str,
-    records: u64,
-    ops: u64,
-    seed: u64,
-    cores: usize,
-    cells: &[Cell],
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"shard_scaling\",\n");
+fn render_json(policy: &str, records: u64, ops: u64, seed: u64, cells: &[Cell]) -> String {
+    let mut out = bench::json_envelope("shard_scaling");
     out.push_str("  \"workload\": \"A\",\n");
     out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
     out.push_str(&format!("  \"records\": {records},\n"));
     out.push_str(&format!("  \"operations\": {ops},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         out.push_str(&format!(

@@ -86,7 +86,7 @@ fn main() {
         _ => "eventual",
     };
 
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = bench::host_cores();
     println!(
         "tcp_throughput — YCSB-A mix over real sockets, policy={policy_name}, \
          records={records}, ops={ops}, shards={shards}, cores={cores}"
@@ -118,7 +118,7 @@ fn main() {
         cells.push(Cell { threads, load, run });
     }
 
-    let json = render_json(policy_name, records, ops, seed, shards, cores, &cells);
+    let json = render_json(policy_name, records, ops, seed, shards, &cells);
     std::fs::write("BENCH_tcp_throughput.json", &json).expect("write BENCH_tcp_throughput.json");
     println!("\nwrote BENCH_tcp_throughput.json ({} cells)", cells.len());
 }
@@ -129,12 +129,9 @@ fn render_json(
     ops: u64,
     seed: u64,
     shards: usize,
-    cores: usize,
     cells: &[Cell],
 ) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"tcp_throughput\",\n");
+    let mut out = bench::json_envelope("tcp_throughput");
     out.push_str("  \"workload\": \"A\",\n");
     out.push_str("  \"transport\": \"tcp-loopback\",\n");
     out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
@@ -142,7 +139,6 @@ fn render_json(
     out.push_str(&format!("  \"operations\": {ops},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"shards\": {shards},\n"));
-    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         out.push_str(&format!(

@@ -27,6 +27,34 @@ pub fn cleanup_scratch(dir: &std::path::Path) {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Schema version stamped into every `BENCH_*.json` envelope. Bump when
+/// the shared envelope fields change shape so downstream tooling can
+/// dispatch on it.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Logical cores on the host (1 when undetectable). Recorded in every
+/// benchmark artefact: scaling sweeps are meaningless without knowing
+/// how much hardware parallelism the run actually had.
+#[must_use]
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Opening lines of a `BENCH_*.json` document: the common envelope every
+/// harness binary shares (`schema_version`, `bench` name, `host_cores`).
+/// Callers append their bench-specific fields and the `cells` array, then
+/// close the object.
+#[must_use]
+pub fn json_envelope(bench: &str) -> String {
+    format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \
+         \"host_cores\": {},\n",
+        host_cores()
+    )
+}
+
 /// Parse `key=value` style command-line overrides used by the harness
 /// binaries (e.g. `records=100000 ops=200000`).
 #[must_use]
@@ -47,6 +75,16 @@ mod tests {
         assert!(dir.exists());
         cleanup_scratch(&dir);
         assert!(!dir.exists());
+    }
+
+    #[test]
+    fn json_envelope_carries_shared_fields() {
+        let head = json_envelope("unit_test");
+        assert!(head.starts_with("{\n"));
+        assert!(head.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
+        assert!(head.contains("\"bench\": \"unit_test\""));
+        assert!(head.contains(&format!("\"host_cores\": {}", host_cores())));
+        assert!(head.ends_with(",\n"), "caller appends more fields");
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl GdprStore {
     ///
     /// Returns storage or corruption errors.
     pub fn keys_of_subject(&self, subject: &str) -> Result<Vec<String>> {
+        let _timed = self.rights_timing.keysof.start_timer();
         if self.policy.maintain_indexes {
             return Ok(self.index.keys_of_subject(subject));
         }
@@ -163,6 +164,7 @@ impl GdprStore {
     ///
     /// Returns storage or audit errors.
     pub fn right_to_erasure(&self, ctx: &AccessContext, subject: &str) -> Result<ErasureReport> {
+        let _timed = self.rights_timing.erase.start_timer();
         let now = self.now_ms();
         let keys = self.keys_of_subject(subject)?;
         let mut erased = Vec::with_capacity(keys.len());
@@ -220,6 +222,7 @@ impl GdprStore {
     ///
     /// Returns storage or corruption errors.
     pub fn right_to_portability(&self, ctx: &AccessContext, subject: &str) -> Result<String> {
+        let _timed = self.rights_timing.export.start_timer();
         let report = self.right_of_access(ctx, subject)?;
         let items: Vec<Json> = report
             .items
@@ -288,6 +291,7 @@ impl GdprStore {
         subject: &str,
         purpose: &str,
     ) -> Result<ObjectionReport> {
+        let _timed = self.rights_timing.object.start_timer();
         let now = self.now_ms();
         let mut updated = Vec::new();
         for key in self.keys_of_subject(subject)? {

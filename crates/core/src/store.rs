@@ -76,6 +76,19 @@ pub struct GdprStats {
     pub erased_by_retention: u64,
 }
 
+/// Always-on per-right latency recorders. The paper (and the GDPRbench
+/// follow-up) make rights-fulfilment latency the headline compliance
+/// metric, so each right records into its own histogram on every
+/// invocation — allowed, denied or failed alike.
+#[derive(Debug, Default)]
+pub(crate) struct RightsTimers {
+    pub(crate) erase: obs::AtomicHistogram,
+    pub(crate) export: obs::AtomicHistogram,
+    pub(crate) keysof: obs::AtomicHistogram,
+    pub(crate) getmeta: obs::AtomicHistogram,
+    pub(crate) object: obs::AtomicHistogram,
+}
+
 /// Lock-free compliance counters (snapshotted into [`GdprStats`]).
 #[derive(Debug, Default)]
 pub(crate) struct GdprStatsCells {
@@ -130,6 +143,7 @@ pub struct GdprStore {
     pub(crate) policy: CompliancePolicy,
     pub(crate) clock: SharedClock,
     pub(crate) stats: GdprStatsCells,
+    pub(crate) rights_timing: RightsTimers,
     /// When the store was opened with an in-memory audit sink, a shared
     /// view of it (lets examples and the breach module read the trail back
     /// without going through the filesystem).
@@ -204,6 +218,7 @@ impl GdprStore {
             policy,
             clock,
             stats: GdprStatsCells::default(),
+            rights_timing: RightsTimers::default(),
             audit_mirror: None,
         };
         store.rebuild_index()?;
@@ -226,6 +241,22 @@ impl GdprStore {
     #[must_use]
     pub fn stats(&self) -> GdprStats {
         self.stats.snapshot()
+    }
+
+    /// Snapshots of the per-right latency histograms, in a fixed order
+    /// (`erase`, `export`, `keysof`, `getmeta`, `object`). Every
+    /// invocation of the corresponding right is counted, whether it was
+    /// allowed, denied or errored.
+    #[must_use]
+    pub fn right_latencies(&self) -> Vec<(&'static str, obs::LatencyHistogram)> {
+        let t = &self.rights_timing;
+        vec![
+            ("erase", t.erase.snapshot()),
+            ("export", t.export.snapshot()),
+            ("keysof", t.keysof.snapshot()),
+            ("getmeta", t.getmeta.snapshot()),
+            ("object", t.object.snapshot()),
+        ]
     }
 
     /// Journal statistics aggregated over the engine's per-shard AOF
@@ -755,6 +786,7 @@ impl GdprStore {
     ///
     /// Returns corruption or storage errors.
     pub fn metadata(&self, ctx: &AccessContext, key: &str) -> Result<Option<PersonalMetadata>> {
+        let _timed = self.rights_timing.getmeta.start_timer();
         let now = self.now_ms();
         let meta = self.load_metadata(key)?;
         self.emit_audit(

@@ -339,6 +339,9 @@ pub struct ShardedAof {
     /// this is non-zero, so the common no-replica case pays nothing on
     /// the append path (no global lock, no record copy).
     tailers: std::sync::atomic::AtomicUsize,
+    /// How long writers block in [`ShardedAof::commit`] waiting for
+    /// group-commit durability (only populated under per-write fsync).
+    commit_wait: obs::AtomicHistogram,
 }
 
 impl ShardedAof {
@@ -482,6 +485,7 @@ impl ShardedAof {
             }),
             backlog_cap: config.repl_backlog_records as usize,
             tailers: std::sync::atomic::AtomicUsize::new(0),
+            commit_wait: obs::AtomicHistogram::new(),
         };
         Ok(Some((aof, loaded)))
     }
@@ -736,10 +740,18 @@ impl ShardedAof {
     ///
     /// Propagates the leader's fsync error to the caller that led.
     pub fn commit(&self, ticket: Ticket) -> Result<()> {
+        let waited = std::time::Instant::now();
         for (segment, pos) in ticket.waits {
             self.commit_segment(segment, pos)?;
         }
+        self.commit_wait.record(waited.elapsed());
         Ok(())
+    }
+
+    /// Snapshot of the group-commit wait histogram (see `commit`).
+    #[must_use]
+    pub fn commit_wait_snapshot(&self) -> obs::LatencyHistogram {
+        self.commit_wait.snapshot()
     }
 
     fn commit_segment(&self, segment: usize, pos: u64) -> Result<()> {

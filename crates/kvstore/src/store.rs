@@ -40,6 +40,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use obs::{AtomicHistogram, LatencyHistogram};
 
 use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
@@ -100,6 +103,9 @@ struct Inner {
     router: ShardRouter,
     config: StoreConfig,
     counters: EngineCounters,
+    /// How long per-key commands hold their shard lock (execute + journal
+    /// append), the engine's main contention signal.
+    shard_lock_hold: AtomicHistogram,
 }
 
 /// A thread-safe handle to the storage engine.
@@ -160,6 +166,7 @@ impl KvStore {
             router,
             config,
             counters: EngineCounters::default(),
+            shard_lock_hold: AtomicHistogram::new(),
         };
         Ok(KvStore {
             inner: Arc::new(inner),
@@ -299,6 +306,7 @@ impl KvStore {
             Some(key) => {
                 let shard_idx = self.inner.router.shard_of(key);
                 let mut shard = self.inner.shards[shard_idx].lock();
+                let held = Instant::now();
                 let reply = command.execute(&mut shard.db)?;
                 if journal {
                     // Append to the owning shard's segment while the shard
@@ -309,6 +317,8 @@ impl KvStore {
                     }
                     journaled = true;
                 }
+                drop(shard);
+                self.inner.shard_lock_hold.record(held.elapsed());
                 reply
             }
             None => {
@@ -802,6 +812,26 @@ impl KvStore {
     }
 
     // ----- introspection --------------------------------------------------------
+
+    /// Snapshots of the engine's stage-latency histograms, in a fixed
+    /// order: how long per-key commands held their shard lock, and how
+    /// long writers waited in [`ShardedAof::commit`] for group-commit
+    /// durability (empty when persistence is off or fsync is not
+    /// per-write).
+    #[must_use]
+    pub fn stage_latencies(&self) -> Vec<(&'static str, LatencyHistogram)> {
+        vec![
+            ("shard_lock_hold", self.inner.shard_lock_hold.snapshot()),
+            (
+                "aof_commit_wait",
+                self.inner
+                    .aof
+                    .as_ref()
+                    .map(ShardedAof::commit_wait_snapshot)
+                    .unwrap_or_default(),
+            ),
+        ]
+    }
 
     /// A point-in-time statistics snapshot (keyspace counters summed over
     /// shards).

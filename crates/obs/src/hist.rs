@@ -1,0 +1,256 @@
+//! The shared log-scale latency histogram.
+//!
+//! Formerly `ycsb::stats::LatencyHistogram`; lifted here so the YCSB
+//! driver, the server's always-on metrics and the Prometheus exposition
+//! all agree on one bucketing scheme. Buckets are powers of two in
+//! microseconds — 1 µs, 2 µs, 4 µs, … 2²⁶ µs (~67 s) — plus one overflow
+//! bucket, so `record` is O(log log) cheap, merging is element-wise, and
+//! percentiles are exact to within one bucket (reported as the upper
+//! bound of the containing bucket).
+
+use std::time::Duration;
+
+/// Number of buckets: 27 power-of-two upper bounds plus the overflow.
+pub const BUCKETS: usize = BOUNDS + 1;
+/// Number of finite bucket upper bounds (1 µs … 2²⁶ µs).
+pub const BOUNDS: usize = 27;
+
+/// The bucket index for a latency of `micros` microseconds: the first
+/// power-of-two bound that is ≥ `micros`, or the overflow bucket.
+#[must_use]
+pub fn bucket_index(micros: u64) -> usize {
+    // Bound i is 2^i, so the containing bucket is ceil(log2(micros)).
+    let idx = (64 - micros.max(1).saturating_sub(1).leading_zeros()) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// The upper bound (µs) of finite bucket `idx`.
+#[must_use]
+pub fn bucket_bound_micros(idx: usize) -> u64 {
+    1u64 << idx.min(BOUNDS - 1)
+}
+
+/// A log-scale latency histogram (microsecond resolution, power-of-two
+/// buckets), cheap enough to update on every operation.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    pub(crate) counts: [u64; BUCKETS],
+    pub(crate) total: u64,
+    pub(crate) sum_micros: u128,
+    pub(crate) max_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram covering 1 µs … ~67 s.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    /// Record one operation latency.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[bucket_index(micros)] += 1;
+        self.total += 1;
+        self.sum_micros += u128::from(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded latencies, in microseconds.
+    #[must_use]
+    pub fn sum_micros(&self) -> u128 {
+        self.sum_micros
+    }
+
+    /// Per-bucket sample counts (index `i` is the bucket bounded by
+    /// [`bucket_bound_micros`]`(i)`; the last entry is the overflow
+    /// bucket). Exposed for exposition formats that re-render the
+    /// distribution (Prometheus `le` buckets).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Mean latency in microseconds.
+    #[must_use]
+    pub fn mean_micros(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.total as f64
+        }
+    }
+
+    /// Maximum observed latency in microseconds.
+    #[must_use]
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros
+    }
+
+    /// Approximate latency percentile (0.0–1.0) in microseconds, reported
+    /// as the upper bound of the containing bucket.
+    #[must_use]
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target.max(1) {
+                return if i < BOUNDS {
+                    bucket_bound_micros(i)
+                } else {
+                    self.max_micros
+                };
+            }
+        }
+        self.max_micros
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// One-line `p50=..µs p95=..µs p99=..µs max=..µs count=..` rendering
+    /// shared by the `INFO # Latency` section and `GDPR.STATS`.
+    #[must_use]
+    pub fn summary_fields(&self) -> String {
+        format!(
+            "p50={},p95={},p99={},max={},count={}",
+            self.percentile_micros(0.50),
+            self.percentile_micros(0.95),
+            self.percentile_micros(0.99),
+            self.max_micros,
+            self.total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+        assert_eq!(h.percentile_micros(0.99), 0);
+        assert_eq!(h.summary_fields(), "p50=0,p95=0,p99=0,max=0,count=0");
+    }
+
+    #[test]
+    fn bucket_index_matches_linear_scan() {
+        // The closed form must agree with "first bound ≥ micros".
+        for micros in (0..5000u64).chain([1 << 20, (1 << 26) - 1, 1 << 26, (1 << 26) + 1]) {
+            let linear = (0..BOUNDS as u64)
+                .position(|i| micros <= 1u64 << i)
+                .unwrap_or(BUCKETS - 1);
+            assert_eq!(bucket_index(micros), linear, "micros={micros}");
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for micros in [1u64, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.percentile_micros(0.5);
+        let p95 = h.percentile_micros(0.95);
+        let p99 = h.percentile_micros(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(h.max_micros() >= 100_000);
+        assert!(h.mean_micros() > 0.0);
+    }
+
+    #[test]
+    fn percentile_is_within_one_bucket_of_exact() {
+        // 1..=1000 µs uniformly: the reported percentile must be the
+        // power-of-two bound just above the exact value.
+        let mut h = LatencyHistogram::new();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        for (p, exact) in [(0.5, 500u64), (0.95, 950), (0.99, 990)] {
+            let reported = h.percentile_micros(p);
+            assert!(reported >= exact, "p{p}: {reported} < {exact}");
+            assert!(reported < exact * 2, "p{p}: {reported} ≥ 2×{exact}");
+        }
+    }
+
+    #[test]
+    fn huge_latency_lands_in_overflow_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(600));
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile_micros(1.0) >= 1 << 26);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1_000));
+        b.record(Duration::from_micros(2_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.max_micros() >= 2_000);
+        assert_eq!(a.sum_micros(), 3_010);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_in_one() {
+        let samples_a = [3u64, 17, 250, 9_000];
+        let samples_b = [1u64, 64, 1_000_000];
+        let mut merged = LatencyHistogram::new();
+        let mut split_a = LatencyHistogram::new();
+        let mut split_b = LatencyHistogram::new();
+        for &s in &samples_a {
+            merged.record(Duration::from_micros(s));
+            split_a.record(Duration::from_micros(s));
+        }
+        for &s in &samples_b {
+            merged.record(Duration::from_micros(s));
+            split_b.record(Duration::from_micros(s));
+        }
+        split_a.merge(&split_b);
+        assert_eq!(split_a.count(), merged.count());
+        assert_eq!(split_a.sum_micros(), merged.sum_micros());
+        assert_eq!(split_a.max_micros(), merged.max_micros());
+        assert_eq!(split_a.bucket_counts(), merged.bucket_counts());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(split_a.percentile_micros(p), merged.percentile_micros(p));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability primitives shared across the whole stack.
+//!
+//! The paper's claim is that GDPR features carry a *measurable* storage
+//! cost; this crate is what makes the cost measurable in a running server
+//! rather than only in offline benchmark binaries. It is deliberately
+//! zero-dependency (std only) so every other crate — the engine, the
+//! compliance layer, the server, the benchmark harness — can depend on it
+//! without cycles:
+//!
+//! * [`hist::LatencyHistogram`] — the log-scale (power-of-two buckets,
+//!   microsecond resolution) histogram the YCSB driver has always used,
+//!   lifted here so servers and benchmarks share one bucketing scheme;
+//! * [`recorder::AtomicHistogram`] — the always-on recording form:
+//!   striped atomic buckets (per-thread stripe selection, merge on
+//!   scrape) so the hot path pays a clock read plus a few relaxed atomic
+//!   bumps and concurrent recorders do not share cache lines;
+//! * [`slowlog::Slowlog`] — a bounded ring of the slowest requests,
+//!   Redis-`SLOWLOG` style (threshold in microseconds, `GET`/`RESET`/
+//!   `LEN` surface is wired up in the server's dispatcher);
+//! * [`prom::PromWriter`] — Prometheus text-exposition (version 0.0.4)
+//!   rendering for counters, gauges and the histograms above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod prom;
+pub mod recorder;
+pub mod slowlog;
+
+pub use hist::LatencyHistogram;
+pub use prom::PromWriter;
+pub use recorder::AtomicHistogram;
+pub use slowlog::{Slowlog, SlowlogEntry};

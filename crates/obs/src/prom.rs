@@ -1,0 +1,206 @@
+//! Prometheus text-exposition (format version 0.0.4) rendering.
+//!
+//! Deliberately minimal: counters, gauges and histograms — exactly what
+//! the server exports. The writer emits `# HELP`/`# TYPE` headers once
+//! per metric name (Prometheus rejects duplicates), escapes label
+//! values, and renders histograms with cumulative `le` buckets in
+//! **seconds** (the Prometheus base unit), converting from this crate's
+//! microsecond buckets.
+
+use std::collections::HashSet;
+
+use crate::hist::{bucket_bound_micros, LatencyHistogram, BOUNDS};
+
+/// Builds one Prometheus text-exposition document.
+///
+/// Metrics with the same name must be emitted with distinct label sets;
+/// group all series of one name into adjacent calls so the document
+/// keeps the conventional one-header-per-family layout.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    headered: HashSet<String>,
+}
+
+impl PromWriter {
+    /// Create an empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit one counter series. `labels` is a list of `(name, value)`
+    /// pairs; pass `&[]` for an unlabelled series.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        self.series(name, labels, &value.to_string());
+    }
+
+    /// Emit one gauge series.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "gauge");
+        self.series(name, labels, &value.to_string());
+    }
+
+    /// Emit one histogram series (cumulative `le` buckets in seconds,
+    /// plus `_sum` and `_count`) from a latency histogram snapshot.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LatencyHistogram,
+    ) {
+        self.header(name, help, "histogram");
+        let counts = hist.bucket_counts();
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().take(BOUNDS).enumerate() {
+            cumulative += count;
+            let le = micros_to_seconds_str(bucket_bound_micros(i));
+            self.bucket_series(name, labels, &le, cumulative);
+        }
+        self.bucket_series(name, labels, "+Inf", hist.count());
+        self.series(
+            &format!("{name}_sum"),
+            labels,
+            &format!("{}", hist.sum_micros() as f64 / 1e6),
+        );
+        self.series(&format!("{name}_count"), labels, &hist.count().to_string());
+    }
+
+    /// Finish and return the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.headered.insert(name.to_string()) {
+            self.out.push_str(&format!("# HELP {name} {help}\n"));
+            self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+        }
+    }
+
+    fn bucket_series(&mut self, name: &str, labels: &[(&str, &str)], le: &str, value: u64) {
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", le));
+        self.series(&format!("{name}_bucket"), &with_le, &value.to_string());
+    }
+
+    fn series(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label_value(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render a microsecond bound as seconds without float-noise: Rust's
+/// `f64` Display is shortest-roundtrip decimal (never scientific for
+/// these magnitudes), so 1 µs → `0.000001`, 67 s → `67.108864`.
+fn micros_to_seconds_str(micros: u64) -> String {
+    format!("{}", micros as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counter_and_gauge_rendering() {
+        let mut w = PromWriter::new();
+        w.counter("gdpr_allowed_ops_total", "Ops allowed.", &[], 42);
+        w.gauge(
+            "clients_connected",
+            "Open connections.",
+            &[("transport", "reactor")],
+            3,
+        );
+        let doc = w.finish();
+        assert!(doc.contains("# HELP gdpr_allowed_ops_total Ops allowed.\n"));
+        assert!(doc.contains("# TYPE gdpr_allowed_ops_total counter\n"));
+        assert!(doc.contains("gdpr_allowed_ops_total 42\n"));
+        assert!(doc.contains("clients_connected{transport=\"reactor\"} 3\n"));
+    }
+
+    #[test]
+    fn header_emitted_once_per_name() {
+        let mut w = PromWriter::new();
+        w.counter("c", "help", &[("family", "get")], 1);
+        w.counter("c", "help", &[("family", "set")], 2);
+        let doc = w.finish();
+        assert_eq!(doc.matches("# HELP c ").count(), 1);
+        assert_eq!(doc.matches("# TYPE c ").count(), 1);
+        assert!(doc.contains("c{family=\"get\"} 1\n"));
+        assert!(doc.contains("c{family=\"set\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_seconds() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(Duration::from_micros(1)); // bucket le=0.000001
+        hist.record(Duration::from_micros(3)); // bucket le=0.000004
+        hist.record(Duration::from_secs(600)); // overflow
+
+        let mut w = PromWriter::new();
+        w.histogram("lat_seconds", "Latency.", &[("family", "get")], &hist);
+        let doc = w.finish();
+
+        assert!(doc.contains("# TYPE lat_seconds histogram\n"));
+        assert!(doc.contains("lat_seconds_bucket{family=\"get\",le=\"0.000001\"} 1\n"));
+        assert!(doc.contains("lat_seconds_bucket{family=\"get\",le=\"0.000002\"} 1\n"));
+        assert!(doc.contains("lat_seconds_bucket{family=\"get\",le=\"0.000004\"} 2\n"));
+        // Largest finite bound still excludes the overflow sample...
+        assert!(doc.contains("lat_seconds_bucket{family=\"get\",le=\"67.108864\"} 2\n"));
+        // ...which +Inf and _count include.
+        assert!(doc.contains("lat_seconds_bucket{family=\"get\",le=\"+Inf\"} 3\n"));
+        assert!(doc.contains("lat_seconds_count{family=\"get\"} 3\n"));
+        assert!(doc.contains("lat_seconds_sum{family=\"get\"} 600.000004\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.gauge("g", "h", &[("k", "a\"b\\c\nd")], 1);
+        let doc = w.finish();
+        assert!(doc.contains("g{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn seconds_formatting_never_scientific() {
+        for i in 0..super::BOUNDS {
+            let s = micros_to_seconds_str(bucket_bound_micros(i));
+            assert!(!s.contains('e') && !s.contains('E'), "bound {i}: {s}");
+            assert!(s.parse::<f64>().is_ok());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Always-on concurrent histogram recording.
+//!
+//! [`AtomicHistogram`] is the shared-mutable form of
+//! [`LatencyHistogram`](crate::hist::LatencyHistogram): a small set of
+//! cache-line-aligned *stripes*, each holding atomic bucket counters.
+//! Every thread picks a stripe once (thread-local, round-robin over a
+//! global counter) and then records with relaxed atomic adds only, so a
+//! request-path sample costs one clock read plus three uncontended
+//! relaxed RMWs. Scrapes merge all stripes into a plain snapshot; the
+//! merged view is not a point-in-time atomic cut, which is fine for
+//! monitoring (per-stripe counts are individually consistent enough that
+//! `count` can lag `sum` by at most the in-flight samples).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::hist::{bucket_index, LatencyHistogram, BUCKETS};
+
+/// Number of stripes per histogram. Power of two so stripe selection is
+/// a mask; 8 is plenty for the worker counts the server runs (reactor
+/// defaults to a handful of workers) while keeping scrape cost and
+/// memory (8 × ~256 B) trivial even with dozens of histograms live.
+const STRIPES: usize = 8;
+
+/// Monotonic source of thread stripe ids.
+static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: usize =
+        NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+}
+
+/// One stripe of counters, aligned so two stripes never share a cache
+/// line and concurrent recorders never false-share.
+#[repr(align(128))]
+struct Stripe {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrently-updatable log-scale latency histogram.
+///
+/// `record` is wait-free and safe from any thread; `snapshot` merges the
+/// stripes into an ordinary [`LatencyHistogram`] for rendering.
+pub struct AtomicHistogram {
+    stripes: Box<[Stripe]>,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Create an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicHistogram {
+            stripes: (0..STRIPES).map(|_| Stripe::new()).collect(),
+        }
+    }
+
+    /// Record one latency sample (relaxed atomics on this thread's stripe).
+    pub fn record(&self, latency: Duration) {
+        self.record_micros(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one latency sample given directly in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        let stripe = &self.stripes[THREAD_STRIPE.with(|s| *s)];
+        stripe.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        stripe.total.fetch_add(1, Ordering::Relaxed);
+        stripe.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        stripe.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far (cheap, no bucket merge).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.total.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Start a scope timer that records into this histogram when dropped,
+    /// covering every exit path (including `?` early returns).
+    pub fn start_timer(&self) -> ScopeTimer<'_> {
+        ScopeTimer {
+            hist: self,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Merge all stripes into a plain histogram for rendering.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for stripe in self.stripes.iter() {
+            for (dst, src) in out.counts.iter_mut().zip(stripe.counts.iter()) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+            out.total += stripe.total.load(Ordering::Relaxed);
+            out.sum_micros += u128::from(stripe.sum_micros.load(Ordering::Relaxed));
+            out.max_micros = out
+                .max_micros
+                .max(stripe.max_micros.load(Ordering::Relaxed));
+        }
+        out
+    }
+}
+
+/// Records the elapsed time since [`AtomicHistogram::start_timer`] into
+/// the histogram when dropped.
+#[must_use = "dropping immediately records a ~zero sample"]
+pub struct ScopeTimer<'a> {
+    hist: &'a AtomicHistogram,
+    start: std::time::Instant,
+}
+
+impl Drop for ScopeTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed());
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHistogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = AtomicHistogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(3_000));
+        h.record_micros(50);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.sum_micros(), 3_060);
+        assert_eq!(snap.max_micros(), 3_000);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record_micros(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 8_000);
+        // Sum of t*1000+i over t in 0..8, i in 0..1000.
+        let expect: u64 = (0..8u64)
+            .flat_map(|t| (0..1_000u64).map(move |i| t * 1_000 + i))
+            .sum();
+        assert_eq!(snap.sum_micros(), u128::from(expect));
+        assert_eq!(snap.max_micros(), 7_999);
+    }
+
+    #[test]
+    fn snapshot_matches_plain_histogram() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for micros in [0u64, 1, 2, 3, 500, 65_536, 1 << 30] {
+            atomic.record_micros(micros);
+            plain.record(Duration::from_micros(micros));
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.bucket_counts(), plain.bucket_counts());
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.sum_micros(), plain.sum_micros());
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(snap.percentile_micros(p), plain.percentile_micros(p));
+        }
+    }
+}

@@ -121,6 +121,17 @@ impl WireCommand {
             .map(Vec::as_slice)
             .ok_or_else(|| RespError::InvalidCommand(format!("{} missing argument {i}", self.name)))
     }
+
+    /// The first argument upper-cased — the subcommand of container
+    /// commands like `SLOWLOG GET` / `SLOWLOG RESET`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RespError::InvalidCommand`] if the argument is missing or
+    /// not valid UTF-8.
+    pub fn subcommand(&self) -> Result<String, RespError> {
+        self.arg_str(0).map(str::to_ascii_uppercase)
+    }
 }
 
 /// The GDPR operations expressible on the wire, as `GDPR.*` commands.

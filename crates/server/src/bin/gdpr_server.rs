@@ -10,6 +10,7 @@
 //!             [groupcommit=1] [gcwait=2] [index=wheel|btree]
 //!             [replicaof=host:port] [backlog=records]
 //!             [grant=actor:purpose[,actor:purpose...]] [duration=secs]
+//!             [metrics=host:port] [slowlog=micros] [slowlogmax=N]
 //! ```
 //!
 //! * `compliance` — 0 = raw engine (plain Redis surface only), 1 =
@@ -47,6 +48,13 @@
 //!   them on each replica its readers authenticate against.
 //! * `duration` — auto-shutdown after N seconds (0 = run until a client
 //!   sends `SHUTDOWN` or the process is signalled).
+//! * `metrics` — serve Prometheus text exposition at
+//!   `http://host:port/metrics` from a tiny accept thread (off unless
+//!   given; `metrics=127.0.0.1:0` picks a free port and prints it).
+//! * `slowlog` — slow-request threshold in microseconds (default 10000;
+//!   0 logs every request, negative disables). Query over the wire with
+//!   `SLOWLOG GET|LEN|RESET`.
+//! * `slowlogmax` — retained slowlog entries (default 128).
 //!
 //! The server exits cleanly when a client sends `SHUTDOWN`: in-flight
 //! requests are answered, every connection thread is joined, and the final
@@ -70,6 +78,10 @@ fn arg_str<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
 }
 
 fn arg_u64(args: &[String], key: &str) -> Option<u64> {
+    arg_str(args, key).and_then(|v| v.parse().ok())
+}
+
+fn arg_i64(args: &[String], key: &str) -> Option<i64> {
     arg_str(args, key).and_then(|v| v.parse().ok())
 }
 
@@ -166,6 +178,15 @@ fn main() {
         }
         Dispatcher::gdpr(Arc::new(store))
     };
+    let slowlog_threshold =
+        arg_i64(&args, "slowlog").unwrap_or(gdpr_server::metrics::DEFAULT_SLOWLOG_THRESHOLD_MICROS);
+    let slowlog_max = arg_u64(&args, "slowlogmax")
+        .unwrap_or(gdpr_server::metrics::DEFAULT_SLOWLOG_MAX_LEN as u64)
+        as usize;
+    let dispatcher = dispatcher.with_metrics(Arc::new(gdpr_server::metrics::ServerMetrics::new(
+        slowlog_threshold,
+        slowlog_max,
+    )));
 
     let mut server_config = ServerConfig {
         transport,
@@ -177,6 +198,18 @@ fn main() {
         server_config.read_timeout = Duration::from_secs(secs);
     }
     let server = TcpServer::bind(dispatcher, addr.as_str(), server_config).expect("bind listener");
+    let metrics_handle = arg_str(&args, "metrics").map(|metrics_addr| {
+        let listener = gdpr_server::metrics_http::MetricsServer::start(
+            metrics_addr,
+            server.dispatcher().clone(),
+        )
+        .expect("bind metrics listener");
+        println!(
+            "gdpr-server: Prometheus metrics at http://{}/metrics",
+            listener.local_addr()
+        );
+        listener
+    });
     let replica_handle = arg_str(&args, "replicaof").map(|primary| {
         println!("gdpr-server: replica of {primary} (writes will be redirected)");
         gdpr_server::replication::start_replica(server.dispatcher().clone(), primary)
@@ -199,6 +232,9 @@ fn main() {
 
     if let Some(handle) = replica_handle {
         handle.stop();
+    }
+    if let Some(listener) = metrics_handle {
+        listener.shutdown();
     }
     let dispatch = server.dispatcher().stats();
     let transport = server.transport_stats();

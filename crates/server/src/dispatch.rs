@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use gdpr_core::acl::Grant;
 use gdpr_core::metadata::PersonalMetadata;
@@ -27,6 +28,7 @@ use kvstore::store::KvStore;
 use resp::command::{GdprRequest, WireCommand};
 use resp::Frame;
 
+use crate::metrics::{CommandFamily, ServerMetrics};
 use crate::replication::ReplicationState;
 
 /// Counters describing dispatcher activity.
@@ -76,6 +78,24 @@ pub struct ClientStatsCells {
     reactor_wakeups: AtomicU64,
     worker_queue_hwm: AtomicU64,
 }
+
+/// The single source of truth for connection-layer metric names: every
+/// surface that renders them — `INFO`'s `# Clients` section, the
+/// `clients_*` lines of `GDPR.STATS`, the Prometheus exposition — walks
+/// this table, so the three can never drift in name or order again.
+/// Entries are `(name, is_gauge, accessor)`.
+pub(crate) type ClientStatField = (&'static str, bool, fn(&ClientStats) -> u64);
+
+pub(crate) const CLIENT_STAT_FIELDS: &[ClientStatField] = &[
+    ("clients_connected", true, |c| c.connected),
+    ("clients_accepted", false, |c| c.accepted),
+    ("clients_rejected_over_limit", false, |c| {
+        c.rejected_over_limit
+    }),
+    ("clients_idle_timeouts", false, |c| c.idle_timeouts),
+    ("clients_reactor_wakeups", false, |c| c.reactor_wakeups),
+    ("clients_worker_queue_hwm", true, |c| c.worker_queue_hwm),
+];
 
 impl ClientStatsCells {
     /// A consistent-enough snapshot (individual relaxed loads).
@@ -162,6 +182,7 @@ pub struct Dispatcher {
     stats: Arc<DispatchStatsCells>,
     clients: Arc<ClientStatsCells>,
     repl: Arc<ReplicationState>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl Dispatcher {
@@ -173,6 +194,7 @@ impl Dispatcher {
             stats: Arc::new(DispatchStatsCells::default()),
             clients: Arc::new(ClientStatsCells::default()),
             repl: Arc::new(ReplicationState::default()),
+            metrics: Arc::new(ServerMetrics::default()),
         }
     }
 
@@ -184,7 +206,23 @@ impl Dispatcher {
             stats: Arc::new(DispatchStatsCells::default()),
             clients: Arc::new(ClientStatsCells::default()),
             repl: Arc::new(ReplicationState::default()),
+            metrics: Arc::new(ServerMetrics::default()),
         }
+    }
+
+    /// Replace the default metrics state (used by the binary to apply
+    /// `slowlog=` / `slowlogmax=` flags). Call before cloning: clones
+    /// made earlier keep the state they were created with.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<ServerMetrics>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The observability state shared by this dispatcher's clones.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
     /// The replication state shared by this dispatcher's clones, the TCP
@@ -262,13 +300,29 @@ impl Dispatcher {
         }
     }
 
-    /// Render the `INFO` reply: engine counters, the per-segment journal
-    /// section (the paper's risk-window metric observable per shard over
-    /// the wire), and — on a compliance engine — the GDPR counters.
+    /// Render the `INFO` reply: server identity, engine counters, the
+    /// per-segment journal section (the paper's risk-window metric
+    /// observable per shard over the wire), on a compliance engine the
+    /// GDPR counters, and the latency percentiles of every live
+    /// histogram.
     #[must_use]
     pub fn render_info(&self) -> String {
         let engine = self.raw_engine();
-        let mut out = engine.stats().render();
+        let mut out = format!(
+            "# Server\nversion:{}\npid:{}\nuptime_seconds:{}\ntransport:{}\nshards:{}\n\
+             host_cores:{}\nengine:{}\n",
+            env!("CARGO_PKG_VERSION"),
+            std::process::id(),
+            self.metrics.uptime_seconds(),
+            self.metrics.transport(),
+            engine.shard_count(),
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            match &self.engine {
+                Engine::Kv(_) => "kv",
+                Engine::Gdpr(_) => "gdpr",
+            },
+        );
+        out.push_str(&engine.stats().render());
         if let Some(segments) = engine.aof_segment_stats() {
             out.push_str("# AofSegments\n");
             out.push_str(&format!(
@@ -301,17 +355,10 @@ impl Dispatcher {
             ));
         }
         let clients = self.clients.snapshot();
-        out.push_str(&format!(
-            "# Clients\nclients_connected:{}\nclients_accepted:{}\n\
-             clients_rejected_over_limit:{}\nclients_idle_timeouts:{}\n\
-             clients_reactor_wakeups:{}\nclients_worker_queue_hwm:{}\n",
-            clients.connected,
-            clients.accepted,
-            clients.rejected_over_limit,
-            clients.idle_timeouts,
-            clients.reactor_wakeups,
-            clients.worker_queue_hwm,
-        ));
+        out.push_str("# Clients\n");
+        for (name, _, get) in CLIENT_STAT_FIELDS {
+            out.push_str(&format!("{name}:{}\n", get(&clients)));
+        }
         let repl = self.repl.info();
         out.push_str("# Replication\n");
         if repl.is_replica {
@@ -334,6 +381,11 @@ impl Dispatcher {
                 repl.connected_replicas, repl.records_streamed, repl.lost_streams,
             ));
         }
+        out.push_str("# Latency\n");
+        for line in self.latency_lines(':') {
+            out.push_str(&line);
+            out.push('\n');
+        }
         out
     }
 
@@ -353,16 +405,82 @@ impl Dispatcher {
     }
 
     /// Handle one decoded request frame and produce the reply frame.
+    ///
+    /// This is the observability interception point: every parsed
+    /// command is timed into its family histogram and, over the
+    /// configured threshold, captured into the `SLOWLOG` ring.
     pub fn handle_frame(&self, frame: &Frame, session: &mut Session) -> Frame {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let reply = match WireCommand::from_frame(frame) {
-            Ok(cmd) => self.dispatch(&cmd, session),
-            Err(e) => Frame::Error(format!("ERR {e}")),
+        let started = Instant::now();
+        let (reply, timed) = match WireCommand::from_frame(frame) {
+            Ok(cmd) => {
+                let family = CommandFamily::classify(&cmd.name);
+                (self.dispatch(&cmd, session), Some((family, cmd)))
+            }
+            Err(e) => (Frame::Error(format!("ERR {e}")), None),
         };
         if matches!(reply, Frame::Error(_)) {
             self.stats.errors.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some((family, cmd)) = timed {
+            let elapsed = started.elapsed();
+            self.metrics.record_command(family, elapsed);
+            let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+            if self.metrics.slowlog.should_log(micros) {
+                self.metrics.slowlog.push(micros, &cmd.name, &cmd.args);
+            }
+        }
         reply
+    }
+
+    /// The `SLOWLOG GET [n] | RESET | LEN` container command, with
+    /// Redis-shaped replies (`GET` returns `[id, unix_seconds,
+    /// duration_micros, [command…]]` entries, newest first).
+    fn slowlog_command(&self, cmd: &WireCommand) -> Frame {
+        let slowlog = &self.metrics.slowlog;
+        let sub = match cmd.subcommand() {
+            Ok(sub) => sub,
+            Err(_) => return Frame::Error("ERR SLOWLOG requires GET|RESET|LEN".to_string()),
+        };
+        match sub.as_str() {
+            "GET" => {
+                let count = match cmd.arity() {
+                    1 => 10,
+                    2 => match cmd.arg_u64(1) {
+                        Ok(n) => n as usize,
+                        Err(e) => return Frame::Error(format!("ERR {e}")),
+                    },
+                    _ => {
+                        return Frame::Error("ERR SLOWLOG GET takes at most one count".to_string())
+                    }
+                };
+                let entries = slowlog
+                    .entries(count)
+                    .into_iter()
+                    .map(|entry| {
+                        Frame::Array(vec![
+                            Frame::Integer(entry.id as i64),
+                            Frame::Integer(entry.unix_secs as i64),
+                            Frame::Integer(entry.duration_micros as i64),
+                            Frame::Array(
+                                entry
+                                    .command
+                                    .into_iter()
+                                    .map(|arg| Frame::Bulk(arg.into_bytes()))
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Frame::Array(entries)
+            }
+            "RESET" => {
+                slowlog.reset();
+                Frame::Simple("OK".to_string())
+            }
+            "LEN" => Frame::Integer(slowlog.len() as i64),
+            other => Frame::Error(format!("ERR unknown SLOWLOG subcommand '{other}'")),
+        }
     }
 
     /// Handle one parsed wire command.
@@ -371,6 +489,7 @@ impl Dispatcher {
         match cmd.name.as_str() {
             "PING" => return Frame::Simple("PONG".to_string()),
             "INFO" => return Frame::Bulk(self.render_info().into_bytes()),
+            "SLOWLOG" => return self.slowlog_command(cmd),
             // SHUTDOWN is acknowledged here; the transport layer watches
             // for the name and begins its graceful shutdown after the
             // reply is flushed.
@@ -420,9 +539,7 @@ impl Dispatcher {
                 Engine::Kv(_) => {
                     Frame::Error("ERR compliance layer not enabled on this server".to_string())
                 }
-                Engine::Gdpr(store) => {
-                    dispatch_gdpr(store, &self.repl, &self.clients, &request, session)
-                }
+                Engine::Gdpr(store) => dispatch_gdpr(self, store, &request, session),
             };
         }
         match &self.engine {
@@ -743,11 +860,12 @@ fn metadata_frame(meta: &PersonalMetadata) -> Frame {
     ])
 }
 
-/// Execute a `GDPR.*` request against the compliance layer.
+/// Execute a `GDPR.*` request against the compliance layer. Takes the
+/// dispatcher itself so the `GDPR.STATS` arm can render the shared
+/// client-stat table and latency report alongside the store's counters.
 fn dispatch_gdpr(
+    dispatcher: &Dispatcher,
     store: &GdprStore,
-    repl: &ReplicationState,
-    clients: &ClientStatsCells,
     request: &GdprRequest,
     session: &mut Session,
 ) -> Frame {
@@ -902,21 +1020,17 @@ fn dispatch_gdpr(
                 }
             }
             // The connection layer: fan-in capacity bounds how many
-            // subjects can exercise their rights concurrently.
-            let c = clients.snapshot();
-            lines.push(format!("clients_connected={}", c.connected));
-            lines.push(format!("clients_accepted={}", c.accepted));
-            lines.push(format!(
-                "clients_rejected_over_limit={}",
-                c.rejected_over_limit
-            ));
-            lines.push(format!("clients_idle_timeouts={}", c.idle_timeouts));
-            lines.push(format!("clients_reactor_wakeups={}", c.reactor_wakeups));
-            lines.push(format!("clients_worker_queue_hwm={}", c.worker_queue_hwm));
+            // subjects can exercise their rights concurrently. Names come
+            // from the same descriptor table INFO renders, so the two
+            // surfaces cannot drift.
+            let c = dispatcher.clients.snapshot();
+            for (name, _, get) in CLIENT_STAT_FIELDS {
+                lines.push(format!("{name}={}", get(&c)));
+            }
             // Replication: erasure timeliness is only as good as the lag
             // of the worst copy, so the propagation gauges are compliance
             // metrics in their own right.
-            let info = repl.info();
+            let info = dispatcher.repl.info();
             if info.is_replica {
                 lines.push("repl_role=replica".to_string());
                 lines.push(format!(
@@ -937,6 +1051,9 @@ fn dispatch_gdpr(
                 lines.push(format!("repl_records_streamed={}", info.records_streamed));
                 lines.push(format!("repl_lost_streams={}", info.lost_streams));
             }
+            // The same latency report INFO's # Latency section renders,
+            // with this surface's `=` separator.
+            lines.extend(dispatcher.latency_lines('='));
             string_array_frame(lines)
         }
         // `GdprRequest` is non-exhaustive: a newer wire surface than this

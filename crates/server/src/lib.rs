@@ -33,6 +33,8 @@
 
 pub mod client;
 pub mod dispatch;
+pub mod metrics;
+pub mod metrics_http;
 pub mod reactor;
 pub mod replication;
 pub mod tcp;

@@ -73,6 +73,9 @@ struct Job {
     key: usize,
     frames: Vec<Frame>,
     session: Session,
+    /// When the reactor enqueued the batch; the worker that pops it
+    /// records the difference as queue wait.
+    enqueued_at: Instant,
 }
 
 /// A completed batch travelling back to the reactor.
@@ -157,6 +160,9 @@ fn worker_loop(
     dispatcher: &Dispatcher,
 ) {
     while let Some(mut job) = jobs.pop() {
+        dispatcher
+            .metrics()
+            .record_worker_queue_wait(job.enqueued_at.elapsed());
         let mut replies = Vec::new();
         let mut shutdown_seen = false;
         for frame in &job.frames {
@@ -591,6 +597,7 @@ impl Reactor {
             key: slot + 1,
             frames,
             session,
+            enqueued_at: Instant::now(),
         });
         self.dispatcher
             .client_cells()
@@ -828,6 +835,7 @@ mod tests {
                 key: i + 1,
                 frames: Vec::new(),
                 session: Session::new(),
+                enqueued_at: Instant::now(),
             });
         }
         queue.close();

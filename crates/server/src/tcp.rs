@@ -185,6 +185,10 @@ impl TcpServer {
         config: ServerConfig,
     ) -> std::io::Result<TcpServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        dispatcher.metrics().set_transport(match config.transport {
+            Transport::Threads => "threads",
+            Transport::Reactor => "reactor",
+        });
         let backend = match config.transport {
             Transport::Threads => {
                 Backend::Threads(ThreadsServer::start(dispatcher, listener, config)?)

@@ -1,104 +1,12 @@
 //! Measurement: latency histograms and run reports.
+//!
+//! The histogram itself now lives in the shared observability crate
+//! (`obs::hist`) so the live server and this benchmark driver report
+//! through one bucketing scheme; it is re-exported here unchanged.
 
 use std::time::Duration;
 
-/// A log-scale latency histogram (microsecond resolution, power-of-two-ish
-/// buckets), cheap enough to update on every operation.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    /// Bucket upper bounds in microseconds.
-    bounds: Vec<u64>,
-    counts: Vec<u64>,
-    total: u64,
-    sum_micros: u128,
-    max_micros: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Create an empty histogram covering 1 µs … ~67 s.
-    #[must_use]
-    pub fn new() -> Self {
-        // 1, 2, 4, ... µs up to 2^26 µs (~67 s), plus an overflow bucket.
-        let bounds: Vec<u64> = (0..27).map(|i| 1u64 << i).collect();
-        let buckets = bounds.len() + 1;
-        LatencyHistogram {
-            bounds,
-            counts: vec![0; buckets],
-            total: 0,
-            sum_micros: 0,
-            max_micros: 0,
-        }
-    }
-
-    /// Record one operation latency.
-    pub fn record(&mut self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = match self.bounds.iter().position(|&b| micros <= b) {
-            Some(i) => i,
-            None => self.counts.len() - 1,
-        };
-        self.counts[idx] += 1;
-        self.total += 1;
-        self.sum_micros += u128::from(micros);
-        self.max_micros = self.max_micros.max(micros);
-    }
-
-    /// Number of recorded samples.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean latency in microseconds.
-    #[must_use]
-    pub fn mean_micros(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_micros as f64 / self.total as f64
-        }
-    }
-
-    /// Maximum observed latency in microseconds.
-    #[must_use]
-    pub fn max_micros(&self) -> u64 {
-        self.max_micros
-    }
-
-    /// Approximate latency percentile (0.0–1.0) in microseconds, reported
-    /// as the upper bound of the containing bucket.
-    #[must_use]
-    pub fn percentile_micros(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= target.max(1) {
-                return self.bounds.get(i).copied().unwrap_or(self.max_micros);
-            }
-        }
-        self.max_micros
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_micros += other.sum_micros;
-        self.max_micros = self.max_micros.max(other.max_micros);
-    }
-}
+pub use obs::hist::LatencyHistogram;
 
 /// The result of one benchmark phase (load or transactions).
 #[derive(Debug, Clone)]
@@ -152,49 +60,6 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_micros(), 0.0);
-        assert_eq!(h.percentile_micros(0.99), 0);
-    }
-
-    #[test]
-    fn percentiles_are_ordered() {
-        let mut h = LatencyHistogram::new();
-        for micros in [1u64, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 100_000] {
-            h.record(Duration::from_micros(micros));
-        }
-        assert_eq!(h.count(), 10);
-        let p50 = h.percentile_micros(0.5);
-        let p95 = h.percentile_micros(0.95);
-        let p99 = h.percentile_micros(0.99);
-        assert!(p50 <= p95 && p95 <= p99);
-        assert!(h.max_micros() >= 100_000);
-        assert!(h.mean_micros() > 0.0);
-    }
-
-    #[test]
-    fn huge_latency_lands_in_overflow_bucket() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_secs(600));
-        assert_eq!(h.count(), 1);
-        assert!(h.percentile_micros(1.0) >= 1 << 26);
-    }
-
-    #[test]
-    fn merge_combines_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(Duration::from_micros(10));
-        b.record(Duration::from_micros(1_000));
-        b.record(Duration::from_micros(2_000));
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
-        assert!(a.max_micros() >= 2_000);
-    }
 
     #[test]
     fn run_report_throughput_and_summary() {

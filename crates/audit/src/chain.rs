@@ -23,10 +23,20 @@ pub fn genesis_digest() -> ChainDigest {
 /// Compute the chained digest of `record` given its predecessor's digest.
 #[must_use]
 pub fn chain_digest(previous: &str, record: &AuditRecord) -> ChainDigest {
+    chain_digest_line(previous, &record.to_line())
+}
+
+/// Compute the chained digest of an already-serialized record line.
+///
+/// The log writer serializes each record exactly once and feeds the same
+/// line to the chain and the sink; `line` must be the output of
+/// [`AuditRecord::to_line`] for the digest to match [`chain_digest`].
+#[must_use]
+pub fn chain_digest_line(previous: &str, line: &str) -> ChainDigest {
     let mut hasher = Sha256::new();
     hasher.update(previous.as_bytes());
     hasher.update(b"\n");
-    hasher.update(record.to_line().as_bytes());
+    hasher.update(line.as_bytes());
     to_hex(&hasher.finalize())
 }
 
@@ -88,7 +98,16 @@ impl ChainState {
 
     /// Fold a record into the chain, returning its digest.
     pub fn append(&mut self, record: &AuditRecord) -> ChainDigest {
-        let digest = chain_digest(&self.tip, record);
+        self.append_line(&record.to_line())
+    }
+
+    /// Fold an already-serialized record line into the chain.
+    ///
+    /// Byte-identical to [`Self::append`] when `line` came from
+    /// [`AuditRecord::to_line`]; lets the writer serialize once for both
+    /// the chain and the sink.
+    pub fn append_line(&mut self, line: &str) -> ChainDigest {
+        let digest = chain_digest_line(&self.tip, line);
         self.tip = digest.clone();
         self.length += 1;
         digest

@@ -105,13 +105,14 @@ impl AuditLog {
         self.next_sequence += 1;
         self.stats.records += 1;
 
-        let line = match &mut self.chain {
-            Some(chain) => {
-                let digest = chain.append(&record);
-                format!("{}#{}", record.to_line(), digest)
-            }
-            None => record.to_line(),
-        };
+        // Serialize exactly once: the same line feeds the chain digest and
+        // the sink, so this is byte-identical to hashing the record itself.
+        let mut line = record.to_line();
+        if let Some(chain) = &mut self.chain {
+            let digest = chain.append_line(&line);
+            line.push('#');
+            line.push_str(&digest);
+        }
         let timestamp = record.timestamp_ms;
         self.buffer.push(line);
 
@@ -247,13 +248,14 @@ impl AsyncAuditLog {
     pub fn record(&mut self, mut record: AuditRecord) -> u64 {
         record.sequence = self.next_sequence;
         self.next_sequence += 1;
-        let line = match &mut self.chain {
-            Some(chain) => {
-                let digest = chain.append(&record);
-                format!("{}#{}", record.to_line(), digest)
-            }
-            None => record.to_line(),
-        };
+        // Serialize exactly once: the same line feeds the chain digest and
+        // the sink, so this is byte-identical to hashing the record itself.
+        let mut line = record.to_line();
+        if let Some(chain) = &mut self.chain {
+            let digest = chain.append_line(&line);
+            line.push('#');
+            line.push_str(&digest);
+        }
         // A full queue blocks, which is the intended back-pressure.
         let _ = self.sender.send(WriterMessage::Line(line));
         record.sequence

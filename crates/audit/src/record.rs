@@ -184,23 +184,40 @@ impl AuditRecord {
     /// the trail files. Fields containing `|` or newlines are escaped.
     #[must_use]
     pub fn to_line(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\")
-                .replace('|', "\\p")
-                .replace('\n', "\\n")
+        use std::fmt::Write as _;
+        // The common case has nothing to escape; only allocate when a field
+        // actually contains a special character.
+        fn esc(s: &str) -> std::borrow::Cow<'_, str> {
+            if s.contains(['\\', '|', '\n']) {
+                std::borrow::Cow::Owned(
+                    s.replace('\\', "\\\\")
+                        .replace('|', "\\p")
+                        .replace('\n', "\\n"),
+                )
+            } else {
+                std::borrow::Cow::Borrowed(s)
+            }
         }
-        format!(
+        let key = self.key.as_deref().unwrap_or("");
+        let subject = self.subject.as_deref().unwrap_or("");
+        let purpose = self.purpose.as_deref().unwrap_or("");
+        let mut line = String::with_capacity(
+            48 + self.actor.len() + key.len() + subject.len() + purpose.len() + self.detail.len(),
+        );
+        let _ = write!(
+            line,
             "{}|{}|{}|{}|{}|{}|{}|{}|{}",
             self.sequence,
             self.timestamp_ms,
             esc(&self.actor),
             self.operation.as_str(),
-            esc(self.key.as_deref().unwrap_or("")),
-            esc(self.subject.as_deref().unwrap_or("")),
-            esc(self.purpose.as_deref().unwrap_or("")),
+            esc(key),
+            esc(subject),
+            esc(purpose),
             self.outcome.as_str(),
             esc(&self.detail),
-        )
+        );
+        line
     }
 
     /// Parse a line produced by [`Self::to_line`].

@@ -42,6 +42,28 @@ pub fn host_cores() -> usize {
         .unwrap_or(1)
 }
 
+/// CPU seconds this process has consumed (user + system), or `None` when
+/// the platform does not expose `/proc/self/stat`.
+///
+/// On shared hosts wall-clock throughput is dominated by stolen CPU — a
+/// noisy neighbour can halve a round's rate without the code under test
+/// changing at all. Process CPU time only accrues while the benchmark is
+/// actually running, so ops per CPU-second is stable where ops per
+/// wall-second is not.
+#[must_use]
+pub fn process_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; everything after the closing
+    // paren is fixed-position. utime and stime are fields 14 and 15
+    // (1-based), i.e. indices 11 and 12 after the paren.
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_ascii_whitespace();
+    let utime: f64 = fields.nth(11)?.parse().ok()?;
+    let stime: f64 = fields.next()?.parse().ok()?;
+    // USER_HZ is 100 on every Linux configuration Rust targets.
+    Some((utime + stime) / 100.0)
+}
+
 /// Opening lines of a `BENCH_*.json` document: the common envelope every
 /// harness binary shares (`schema_version`, `bench` name, `host_cores`).
 /// Callers append their bench-specific fields and the `cells` array, then

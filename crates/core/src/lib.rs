@@ -82,6 +82,7 @@ pub mod audit_pipeline;
 pub mod breach;
 pub mod compliance;
 pub mod export;
+pub mod hot_cache;
 pub mod index;
 pub mod location;
 pub mod metadata;

@@ -181,6 +181,10 @@ impl GdprStore {
                     if self.policy.maintain_indexes {
                         segment.remove(&key);
                     }
+                    // Erasure must also purge the hot tier before the
+                    // bracket releases: no read after this point may be
+                    // served from a cached copy of the erased value.
+                    self.hot.invalidate(&key);
                     Ok(existed)
                 })?;
             if existed {
@@ -309,6 +313,9 @@ impl GdprStore {
                     if self.policy.maintain_indexes {
                         segment.remove_purpose(&key, purpose);
                     }
+                    // The cached metadata predates the objection; drop it
+                    // so the next read re-admits the objecting copy.
+                    self.hot.invalidate(&key);
                     Ok(true)
                 })?;
             if objected {

@@ -32,6 +32,7 @@ use parking_lot::RwLock;
 
 use crate::acl::{AccessController, AccessDecision, Grant};
 use crate::audit_pipeline::AuditPipeline;
+use crate::hot_cache::{HotCache, HotCacheConfig, HotCacheStats, HotEntry, Probe};
 use crate::index::ShardedMetadataIndex;
 use crate::location::LocationInventory;
 use crate::metadata::PersonalMetadata;
@@ -74,6 +75,14 @@ pub struct GdprStats {
     pub erased_by_request: u64,
     /// Keys erased because their retention period elapsed.
     pub erased_by_retention: u64,
+    /// Reads served from the TinyLFU hot tier.
+    pub cache_hits: u64,
+    /// Reads that went through the full compliance pipeline.
+    pub cache_misses: u64,
+    /// Hot-tier admissions.
+    pub cache_admissions: u64,
+    /// Hot-tier entries dropped by mutation-bracket invalidation.
+    pub cache_invalidations: u64,
 }
 
 /// Always-on per-right latency recorders. The paper (and the GDPRbench
@@ -123,6 +132,9 @@ impl GdprStatsCells {
             audit_records: self.audit_records.load(Ordering::Relaxed),
             erased_by_request: self.erased_by_request.load(Ordering::Relaxed),
             erased_by_retention: self.erased_by_retention.load(Ordering::Relaxed),
+            // The hot-cache counters live on the cache itself; the store
+            // façade overlays them (see `GdprStore::stats`).
+            ..GdprStats::default()
         }
     }
 }
@@ -137,6 +149,7 @@ impl GdprStatsCells {
 /// compliance, where that serialization *is* the measured guarantee).
 pub struct GdprStore {
     pub(crate) kv: KvStore,
+    pub(crate) hot: Arc<HotCache>,
     pub(crate) audit: AuditPipeline,
     pub(crate) acl: RwLock<AccessController>,
     pub(crate) index: ShardedMetadataIndex,
@@ -210,8 +223,14 @@ impl GdprStore {
             policy.audit_flush.is_real_time(),
         );
 
+        let hot = Arc::new(HotCache::new(
+            HotCacheConfig::from_env_or_default(),
+            kv.router(),
+        ));
+        Self::hook_engine_invalidation(&kv, &hot);
         let store = GdprStore {
             index: ShardedMetadataIndex::new(kv.router()),
+            hot,
             kv,
             audit,
             acl: RwLock::new(AccessController::new()),
@@ -237,10 +256,50 @@ impl GdprStore {
         &self.kv
     }
 
-    /// Compliance-layer counters.
+    /// Compliance-layer counters (including the hot-read cache's).
     #[must_use]
     pub fn stats(&self) -> GdprStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        let hot = self.hot.stats();
+        stats.cache_hits = hot.hits;
+        stats.cache_misses = hot.misses;
+        stats.cache_admissions = hot.admissions;
+        stats.cache_invalidations = hot.invalidations;
+        stats
+    }
+
+    /// Replace the hot-read cache configuration (takes effect on an empty
+    /// cache; used by the server's `hotcache=` flag and the benches).
+    pub fn set_hot_cache(&mut self, config: HotCacheConfig) {
+        self.hot = Arc::new(HotCache::new(config, self.kv.router()));
+        Self::hook_engine_invalidation(&self.kv, &self.hot);
+    }
+
+    /// Route engine-internal removals — `maxmemory` eviction, lazy and
+    /// active expiry — into hot-cache invalidation. The engine fires the
+    /// listener while the owning shard's lock is still held, so the stale
+    /// entry is gone (and in-flight admissions are epoch-fenced) before
+    /// any later read can observe the removal. A removed metadata shadow
+    /// invalidates the primary key it guards. This is what lets a cache
+    /// hit skip engine revalidation entirely.
+    fn hook_engine_invalidation(kv: &KvStore, hot: &Arc<HotCache>) {
+        let cache = Arc::clone(hot);
+        kv.set_removal_listener(Some(Arc::new(move |key: &str, _cause| {
+            let primary = key.strip_prefix(META_PREFIX).unwrap_or(key);
+            cache.invalidate(primary);
+        })));
+    }
+
+    /// Whether the TinyLFU hot-read cache is live.
+    #[must_use]
+    pub fn hot_cache_enabled(&self) -> bool {
+        self.hot.is_enabled()
+    }
+
+    /// Hot-read cache counters.
+    #[must_use]
+    pub fn hot_cache_stats(&self) -> HotCacheStats {
+        self.hot.stats()
     }
 
     /// Snapshots of the per-right latency histograms, in a fixed order
@@ -513,6 +572,9 @@ impl GdprStore {
             if self.policy.maintain_indexes {
                 segment.insert(key, &meta.subject, meta.purposes.iter().cloned());
             }
+            // Last step of the bracket: drop any hot entry and fence
+            // in-flight admissions of the pre-write value.
+            self.hot.invalidate(key);
             Ok(())
         })?;
 
@@ -565,6 +627,7 @@ impl GdprStore {
             if self.policy.maintain_indexes {
                 segment.insert(key, &meta.subject, meta.purposes.iter().cloned());
             }
+            self.hot.invalidate(key);
             Ok(())
         })?;
         self.stats.inc_allowed();
@@ -609,6 +672,7 @@ impl GdprStore {
                     self.kv.expire_at(key, at)?;
                 }
             }
+            self.hot.invalidate(key);
             Ok(meta)
         })?;
         self.stats.inc_allowed();
@@ -640,6 +704,57 @@ impl GdprStore {
     /// policy demands metadata) and storage errors.
     pub fn get(&self, ctx: &AccessContext, key: &str) -> Result<Option<Bytes>> {
         let now = self.now_ms();
+
+        // Hot tier first: a resident entry carries value and metadata, so
+        // a hit touches no engine shard at all — every mutation bracket
+        // invalidates synchronously, and removals that bypass the brackets
+        // (maxmemory eviction, lazy and active expiry) invalidate through
+        // the engine's removal listener while the shard lock is still
+        // held. The one removal no listener can deliver is a retention
+        // deadline that has passed but not yet fired; the cached metadata
+        // carries that deadline, checked here. Access/purpose checks
+        // re-run on the cached metadata so revocations and objections are
+        // never bypassed, and the audit record is identical to the slow
+        // path's: the trail must not depend on cache state.
+        let mut token = None;
+        match self.hot.probe(key) {
+            Probe::Hit(entry) => {
+                let live = entry
+                    .meta
+                    .as_ref()
+                    .and_then(|m| m.expires_at_ms)
+                    .is_none_or(|at| now < at);
+                if live {
+                    if let Some(meta) = &entry.meta {
+                        self.check_access(ctx, &meta.subject, key)?;
+                        self.check_purpose(ctx, key, meta)?;
+                    }
+                    self.stats.inc_allowed();
+                    self.emit_audit(
+                        AuditRecord::new(now, &ctx.actor, Operation::Read)
+                            .key(key)
+                            .subject(
+                                entry
+                                    .meta
+                                    .as_ref()
+                                    .map(|m| m.subject.as_str())
+                                    .unwrap_or(""),
+                            )
+                            .purpose(&ctx.purpose)
+                            .detail(&format!("GET {} bytes", entry.value.len())),
+                    );
+                    self.flush_audit_if_strict()?;
+                    return Ok(Some(entry.value));
+                }
+                // Retention elapsed under the resident entry; drop it and
+                // fall through to the authoritative path, which lazily
+                // expires the shadow and applies the policy's
+                // missing-metadata behavior.
+                self.hot.invalidate(key);
+            }
+            Probe::Miss(t) => token = Some(t),
+        }
+
         let meta = match self.kv.exists(key)? {
             true => self.require_metadata(key)?,
             false => None,
@@ -649,6 +764,18 @@ impl GdprStore {
             self.check_purpose(ctx, key, meta)?;
         }
         let value = self.kv.get(key)?;
+        if let (Some(value), Some(token)) = (&value, token) {
+            // TinyLFU decides residency; the token refuses admission if
+            // any mutation bracket on this segment ran since the probe.
+            self.hot.admit(
+                key,
+                HotEntry {
+                    value: value.clone(),
+                    meta: meta.clone().map(std::sync::Arc::new),
+                },
+                token,
+            );
+        }
         self.stats.inc_allowed();
         self.emit_audit(
             AuditRecord::new(now, &ctx.actor, Operation::Read)
@@ -767,6 +894,9 @@ impl GdprStore {
                 segment.remove(key);
                 segment.insert(key, &meta.subject, meta.purposes.iter().cloned());
             }
+            // The cached entry carries the old metadata (subject,
+            // purposes, objections); it must not survive the re-stamp.
+            self.hot.invalidate(key);
             Ok(())
         })?;
         self.stats.inc_allowed();
@@ -818,6 +948,7 @@ impl GdprStore {
                 if self.policy.maintain_indexes {
                     segment.remove(key);
                 }
+                self.hot.invalidate(key);
                 Ok(existed)
             })?;
         if existed && self.policy.scrub_aof_on_erasure {
@@ -915,6 +1046,11 @@ impl GdprStore {
             }
             erased_data_keys += 1;
             self.index.with_key_segment(key, |segment| -> Result<()> {
+                // The engine already fired the deadline; whatever the hot
+                // tier holds for this key predates it (a concurrent
+                // re-creating put serializes on this bracket and leaves
+                // the cache empty anyway), so drop it unconditionally.
+                self.hot.invalidate(key);
                 // A concurrent put may have re-created the key (with fresh
                 // metadata and posting) after the engine expired it; only
                 // clean up if it is still gone.
@@ -1005,6 +1141,7 @@ impl GdprStore {
         if matches!(cmd, Command::FlushAll) {
             self.kv.execute(cmd)?;
             self.index.clear();
+            self.hot.clear();
             return Ok(());
         }
         let meta_data_key = cmd
@@ -1029,10 +1166,18 @@ impl GdprStore {
                             None => segment.remove(&data_key),
                         }
                     }
+                    self.hot.invalidate(&data_key);
                     Ok(())
                 }),
             None => {
+                // A replicated write to a data key (including the
+                // primary's journaled eviction DELs) must push the old
+                // value out of the replica's hot tier.
+                let touched = cmd.primary_key().map(str::to_string);
                 self.kv.execute(cmd)?;
+                if let Some(key) = touched {
+                    self.hot.invalidate(&key);
+                }
                 Ok(())
             }
         }
@@ -1415,6 +1560,104 @@ mod tests {
         store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
         assert_eq!(store.revoke("app", "billing"), 1);
         assert!(store.get(&ctx(), "k").is_err());
+    }
+
+    #[test]
+    fn hot_cache_serves_repeated_gets_and_invalidates_on_mutation() {
+        let store = permissive_store();
+        assert!(store.hot_cache_enabled());
+        store.put(&ctx(), "k", b"v1".to_vec(), meta()).unwrap();
+        // First read misses and admits; the second must hit.
+        assert_eq!(store.get(&ctx(), "k").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(store.get(&ctx(), "k").unwrap(), Some(b"v1".to_vec()));
+        let stats = store.stats();
+        assert!(stats.cache_admissions >= 1, "{stats:?}");
+        assert!(stats.cache_hits >= 1, "{stats:?}");
+        // Overwrite: the cached v1 must not survive the put bracket.
+        store.put(&ctx(), "k", b"v2".to_vec(), meta()).unwrap();
+        assert_eq!(store.get(&ctx(), "k").unwrap(), Some(b"v2".to_vec()));
+        assert!(store.stats().cache_invalidations >= 1);
+        // Delete: no hot copy may outlive the key.
+        store.delete(&ctx(), "k").unwrap();
+        assert_eq!(store.get(&ctx(), "k").unwrap(), None);
+    }
+
+    #[test]
+    fn hot_cache_never_serves_after_erasure() {
+        let store = permissive_store();
+        store.put(&ctx(), "k", b"secret".to_vec(), meta()).unwrap();
+        // Heat the key into the hot tier.
+        for _ in 0..4 {
+            store.get(&ctx(), "k").unwrap();
+        }
+        assert!(store.stats().cache_hits >= 1);
+        store.right_to_erasure(&ctx(), "alice").unwrap();
+        assert_eq!(
+            store.get(&ctx(), "k").unwrap(),
+            None,
+            "erased value served from the hot tier"
+        );
+    }
+
+    #[test]
+    fn hot_cache_respects_objections_recorded_after_admission() {
+        let store = permissive_store();
+        store.grant(Grant::new("app", "analytics"));
+        let m = meta().with_purpose("analytics");
+        store.put(&ctx(), "k", b"v".to_vec(), m).unwrap();
+        let analytics = AccessContext::new("app", "analytics");
+        // Admit under the analytics purpose, then object to it.
+        store.get(&analytics, "k").unwrap();
+        store.get(&analytics, "k").unwrap();
+        store
+            .right_to_object(&analytics, "alice", "analytics")
+            .unwrap();
+        assert!(
+            store.get(&analytics, "k").is_err(),
+            "objection must not be bypassed by the hot tier"
+        );
+        // The whitelisted purpose still reads fine.
+        assert_eq!(store.get(&ctx(), "k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn hot_cache_entries_do_not_survive_ttl_fire() {
+        let clock = SimClock::new(1_000_000);
+        let store = GdprStore::open(
+            CompliancePolicy::strict(),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .clock(clock.clone()),
+            Box::new(MemorySink::new()),
+        )
+        .unwrap();
+        store.grant(Grant::new("app", "billing"));
+        store
+            .put(&ctx(), "k", b"v".to_vec(), meta().with_ttl_millis(5_000))
+            .unwrap();
+        store.get(&ctx(), "k").unwrap();
+        store.get(&ctx(), "k").unwrap();
+        clock.advance_millis(6_000);
+        store.tick().unwrap();
+        assert_eq!(
+            store.get(&ctx(), "k").unwrap(),
+            None,
+            "expired value served from the hot tier"
+        );
+    }
+
+    #[test]
+    fn disabling_the_hot_cache_keeps_reads_correct() {
+        let mut store = permissive_store();
+        store.set_hot_cache(crate::hot_cache::HotCacheConfig::disabled());
+        assert!(!store.hot_cache_enabled());
+        store.put(&ctx(), "k", b"v".to_vec(), meta()).unwrap();
+        store.get(&ctx(), "k").unwrap();
+        store.get(&ctx(), "k").unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_admissions, 0);
+        assert_eq!(store.get(&ctx(), "k").unwrap(), Some(b"v".to_vec()));
     }
 
     #[test]

@@ -179,6 +179,21 @@ impl Command {
         )
     }
 
+    /// Whether this command can *grow* the keyspace footprint — the subset
+    /// of writes the `noeviction` policy rejects with `-OOM` once the shard
+    /// is over budget. Deletions, TTL changes and flushes stay allowed so a
+    /// client can always reclaim space, matching Redis.
+    #[must_use]
+    pub fn may_grow_memory(&self) -> bool {
+        matches!(
+            self,
+            Command::Set { .. }
+                | Command::HSet { .. }
+                | Command::HSetMulti { .. }
+                | Command::SAdd { .. }
+        )
+    }
+
     /// The name of the command, as it would appear in a Redis log.
     #[must_use]
     pub fn name(&self) -> &'static str {

@@ -37,6 +37,51 @@ pub struct EncryptionAtRest {
     pub passphrase: Vec<u8>,
 }
 
+/// What the engine does when a shard's memory footprint exceeds its slice
+/// of [`StoreConfig::max_memory`] (the `maxmemory-policy` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Reject further writes with an OOM error (Redis' default).
+    #[default]
+    Noeviction,
+    /// Sample a handful of keys and evict the least recently accessed
+    /// (Redis `allkeys-lru`, with the same sampled approximation).
+    SampledLru,
+    /// Sample a handful of keys and evict one at random
+    /// (Redis `allkeys-random`).
+    SampledRandom,
+}
+
+impl EvictionPolicy {
+    /// Parse a policy label as used by the `evict=` server flag.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label.to_ascii_lowercase().as_str() {
+            "noeviction" | "none" => Some(EvictionPolicy::Noeviction),
+            "lru" | "allkeys-lru" | "sampled-lru" => Some(EvictionPolicy::SampledLru),
+            "random" | "allkeys-random" | "sampled-random" => Some(EvictionPolicy::SampledRandom),
+            _ => None,
+        }
+    }
+
+    /// The stable label used on every stats surface (`INFO`, `GDPR.STATS`,
+    /// Prometheus).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictionPolicy::Noeviction => "noeviction",
+            EvictionPolicy::SampledLru => "sampled-lru",
+            EvictionPolicy::SampledRandom => "sampled-random",
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -87,6 +132,12 @@ pub struct StoreConfig {
     /// Seed of the key → shard hash. Deterministic by default so replay
     /// partitioning and tests are reproducible.
     pub shard_hash_seed: u64,
+    /// Memory ceiling in bytes across the whole keyspace (0 = unlimited).
+    /// Each shard is budgeted `max_memory / shard_count` so enforcement
+    /// stays entirely under the shard's own lock.
+    pub max_memory: u64,
+    /// What to do when a shard exceeds its slice of `max_memory`.
+    pub eviction_policy: EvictionPolicy,
 }
 
 impl Default for StoreConfig {
@@ -107,6 +158,8 @@ impl Default for StoreConfig {
             rng_seed: None,
             shards: 1,
             shard_hash_seed: DEFAULT_HASH_SEED,
+            max_memory: 0,
+            eviction_policy: EvictionPolicy::Noeviction,
         }
     }
 }
@@ -231,6 +284,20 @@ impl StoreConfig {
         self.shard_hash_seed = seed;
         self
     }
+
+    /// Builder-style: cap keyspace memory at `bytes` (0 = unlimited).
+    #[must_use]
+    pub fn max_memory(mut self, bytes: u64) -> Self {
+        self.max_memory = bytes;
+        self
+    }
+
+    /// Builder-style: select the over-`maxmemory` eviction policy.
+    #[must_use]
+    pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction_policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +371,38 @@ mod tests {
     fn in_memory_aof_builder() {
         let c = StoreConfig::in_memory().aof_in_memory();
         assert_eq!(c.persistence, Persistence::AofInMemory);
+    }
+
+    #[test]
+    fn memory_builders() {
+        let c = StoreConfig::default();
+        assert_eq!(c.max_memory, 0, "default is unlimited, like stock Redis");
+        assert_eq!(c.eviction_policy, EvictionPolicy::Noeviction);
+        let c = StoreConfig::in_memory()
+            .max_memory(1 << 20)
+            .eviction_policy(EvictionPolicy::SampledLru);
+        assert_eq!(c.max_memory, 1 << 20);
+        assert_eq!(c.eviction_policy, EvictionPolicy::SampledLru);
+    }
+
+    #[test]
+    fn eviction_policy_labels_round_trip() {
+        for p in [
+            EvictionPolicy::Noeviction,
+            EvictionPolicy::SampledLru,
+            EvictionPolicy::SampledRandom,
+        ] {
+            assert_eq!(EvictionPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(
+            EvictionPolicy::parse("LRU"),
+            Some(EvictionPolicy::SampledLru)
+        );
+        assert_eq!(
+            EvictionPolicy::parse("allkeys-random"),
+            Some(EvictionPolicy::SampledRandom)
+        );
+        assert_eq!(EvictionPolicy::parse("bogus"), None);
     }
 
     #[test]

@@ -11,7 +11,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use rand::Rng;
 
 use crate::clock::{SharedClock, UnixMillis};
-use crate::object::{Bytes, Object, Value};
+use crate::config::EvictionPolicy;
+use crate::object::{entry_footprint, Bytes, Object, Value};
 use crate::ttl_wheel::{
     build_deadline_index, DeadlineIndex, DeadlineIndexKind, DeadlineIndexStats,
 };
@@ -29,6 +30,29 @@ pub enum RemovalCause {
     ActiveExpiry,
     /// `FLUSHDB`/`FLUSHALL`.
     Flush,
+    /// The `maxmemory` evictor reclaiming space (journaled as a `DEL`).
+    Eviction,
+}
+
+/// Callback invoked after the engine removes a key for any per-key cause
+/// (explicit delete, lazy/active expiry, `maxmemory` eviction) — wholesale
+/// flushes do not fire it. Runs while the owning shard's lock is held:
+/// implementations must be cheap and must not call back into the engine.
+pub type RemovalListener = std::sync::Arc<dyn Fn(&str, RemovalCause) + Send + Sync>;
+
+/// Holder for an optional [`RemovalListener`] (closures have no useful
+/// `Debug`, so the slot renders just its occupancy).
+#[derive(Clone, Default)]
+pub struct RemovalListenerSlot(Option<RemovalListener>);
+
+impl std::fmt::Debug for RemovalListenerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "RemovalListenerSlot(set)"
+        } else {
+            "RemovalListenerSlot(unset)"
+        })
+    }
 }
 
 /// Counters describing keyspace activity (a subset of Redis `INFO stats`).
@@ -42,8 +66,14 @@ pub struct DbStats {
     pub expired_keys: u64,
     /// Keys removed by explicit deletion commands.
     pub deleted_keys: u64,
+    /// Keys removed by the `maxmemory` evictor.
+    pub evicted_keys: u64,
     /// Total write operations applied.
     pub writes: u64,
+    /// Approximate resident bytes of the keyspace — a live gauge, summed
+    /// from [`entry_footprint`] deltas at every mutation. This is what the
+    /// `maxmemory` budget is enforced against.
+    pub mem_bytes: u64,
 }
 
 /// A single logical database (keyspace).
@@ -58,6 +88,11 @@ pub struct Db {
     /// equivalent for our hash map).
     expires_sample_pool: Vec<String>,
     expires_pool_index: HashMap<String, usize>,
+    /// *All* keys, laid out the same way for O(1) random sampling by the
+    /// `maxmemory` evictor (Redis samples the main dict for `allkeys-*`
+    /// policies).
+    keys_sample_pool: Vec<String>,
+    keys_pool_index: HashMap<String, usize>,
     /// Secondary index over expiration deadlines, used by the *strict*
     /// expiry mode the paper's modified Redis implements: a hierarchical
     /// timer wheel by default, or the original BTree index (see
@@ -69,6 +104,8 @@ pub struct Db {
     stats: DbStats,
     /// Number of keyspace changes since the last persistence checkpoint.
     dirty: u64,
+    /// Notified after every per-key removal (see [`RemovalListener`]).
+    removal_listener: RemovalListenerSlot,
 }
 
 impl Db {
@@ -90,11 +127,14 @@ impl Db {
             expires: HashMap::new(),
             expires_sample_pool: Vec::new(),
             expires_pool_index: HashMap::new(),
+            keys_sample_pool: Vec::new(),
+            keys_pool_index: HashMap::new(),
             deadline_index,
             sorted_keys: BTreeSet::new(),
             clock,
             stats: DbStats::default(),
             dirty: 0,
+            removal_listener: RemovalListenerSlot::default(),
         }
     }
 
@@ -122,7 +162,41 @@ impl Db {
         self.dirty = 0;
     }
 
+    /// Approximate resident bytes of this keyspace (the `maxmemory` gauge).
+    #[must_use]
+    pub fn mem_bytes(&self) -> u64 {
+        self.stats.mem_bytes
+    }
+
     // ----- internal index maintenance -------------------------------------
+
+    fn mem_add(&mut self, bytes: usize) {
+        self.stats.mem_bytes += bytes as u64;
+    }
+
+    fn mem_sub(&mut self, bytes: usize) {
+        self.stats.mem_bytes = self.stats.mem_bytes.saturating_sub(bytes as u64);
+    }
+
+    /// Register a newly created key in the evictor's sampling pool.
+    fn index_key(&mut self, key: &str) {
+        let pos = self.keys_sample_pool.len();
+        self.keys_sample_pool.push(key.to_string());
+        self.keys_pool_index.insert(key.to_string(), pos);
+    }
+
+    /// Drop a removed key from the evictor's sampling pool (same
+    /// swap-remove idiom as the expiry pool).
+    fn unindex_key(&mut self, key: &str) {
+        if let Some(pos) = self.keys_pool_index.remove(key) {
+            let last = self.keys_sample_pool.len() - 1;
+            self.keys_sample_pool.swap_remove(pos);
+            if pos != last {
+                let moved = self.keys_sample_pool[pos].clone();
+                self.keys_pool_index.insert(moved, pos);
+            }
+        }
+    }
 
     fn index_expiry(&mut self, key: &str, at: UnixMillis) {
         if self.expires.insert(key.to_string(), at).is_none() {
@@ -151,8 +225,10 @@ impl Db {
 
     fn remove_key(&mut self, key: &str, cause: RemovalCause) -> Option<Object> {
         let removed = self.dict.remove(key);
-        if removed.is_some() {
+        if let Some(obj) = &removed {
+            self.mem_sub(entry_footprint(key, &obj.value));
             self.sorted_keys.remove(key);
+            self.unindex_key(key);
             self.unindex_expiry(key);
             self.dirty += 1;
             match cause {
@@ -162,9 +238,22 @@ impl Db {
                 RemovalCause::Explicit | RemovalCause::Flush => {
                     self.stats.deleted_keys += 1;
                 }
+                RemovalCause::Eviction => {
+                    self.stats.evicted_keys += 1;
+                }
+            }
+            if let Some(listener) = &self.removal_listener.0 {
+                (**listener)(key, cause);
             }
         }
         removed
+    }
+
+    /// Install (or clear) the removal listener. The listener fires for
+    /// every per-key removal — explicit deletes, lazy and active expiry,
+    /// and `maxmemory` eviction — but not for wholesale flushes.
+    pub fn set_removal_listener(&mut self, listener: Option<RemovalListener>) {
+        self.removal_listener = RemovalListenerSlot(listener);
     }
 
     /// Delete the key if its TTL has elapsed (Redis' `expireIfNeeded`).
@@ -191,14 +280,20 @@ impl Db {
     pub fn set_value(&mut self, key: &str, value: Value) {
         let now = self.now_millis();
         self.unindex_expiry(key);
+        let new_size = entry_footprint(key, &value);
         match self.dict.get_mut(key) {
             Some(obj) => {
+                let old_size = entry_footprint(key, &obj.value);
                 obj.value = value;
                 obj.mark_written(now);
+                self.mem_sub(old_size);
+                self.mem_add(new_size);
             }
             None => {
                 self.dict.insert(key.to_string(), Object::new(value, now));
                 self.sorted_keys.insert(key.to_string());
+                self.index_key(key);
+                self.mem_add(new_size);
             }
         }
         self.stats.writes += 1;
@@ -262,9 +357,12 @@ impl Db {
         self.expires.clear();
         self.expires_sample_pool.clear();
         self.expires_pool_index.clear();
+        self.keys_sample_pool.clear();
+        self.keys_pool_index.clear();
         self.deadline_index.clear();
         self.sorted_keys.clear();
         self.stats.deleted_keys += n as u64;
+        self.stats.mem_bytes = 0;
         self.dirty += n as u64;
         n
     }
@@ -280,17 +378,24 @@ impl Db {
     pub fn hset(&mut self, key: &str, field: &str, value: Bytes) -> Result<bool> {
         self.expire_if_needed(key);
         let now = self.now_millis();
+        let value_len = value.len();
         let obj = self
             .dict
             .entry(key.to_string())
             .or_insert_with(|| Object::new(Value::Hash(BTreeMap::new()), now));
-        if !self.sorted_keys.contains(key) {
-            self.sorted_keys.insert(key.to_string());
-        }
         match &mut obj.value {
             Value::Hash(map) => {
-                let fresh = map.insert(field.to_string(), value).is_none();
+                let prev = map.insert(field.to_string(), value);
+                let fresh = prev.is_none();
                 obj.mark_written(now);
+                if self.sorted_keys.insert(key.to_string()) {
+                    self.index_key(key);
+                    self.mem_add(crate::object::PER_KEY_OVERHEAD + key.len());
+                }
+                if let Some(old) = prev {
+                    self.mem_sub(field.len() + old.len());
+                }
+                self.mem_add(field.len() + value_len);
                 self.stats.writes += 1;
                 self.dirty += 1;
                 Ok(fresh)
@@ -380,9 +485,11 @@ impl Db {
         };
         let removed = match &mut obj.value {
             Value::Hash(map) => {
-                let removed = map.remove(field).is_some();
-                if removed {
+                let prev = map.remove(field);
+                let removed = prev.is_some();
+                if let Some(old) = prev {
                     obj.mark_written(now);
+                    self.mem_sub(field.len() + old.len());
                     self.stats.writes += 1;
                     self.dirty += 1;
                 }
@@ -409,18 +516,23 @@ impl Db {
     pub fn sadd(&mut self, key: &str, member: Bytes) -> Result<bool> {
         self.expire_if_needed(key);
         let now = self.now_millis();
+        let member_len = member.len();
         let obj = self
             .dict
             .entry(key.to_string())
             .or_insert_with(|| Object::new(Value::Set(BTreeSet::new()), now));
-        if !self.sorted_keys.contains(key) {
-            self.sorted_keys.insert(key.to_string());
-        }
         match &mut obj.value {
             Value::Set(members) => {
                 let added = members.insert(member);
                 if added {
                     obj.mark_written(now);
+                }
+                if self.sorted_keys.insert(key.to_string()) {
+                    self.index_key(key);
+                    self.mem_add(crate::object::PER_KEY_OVERHEAD + key.len());
+                }
+                if added {
+                    self.mem_add(member_len);
                     self.stats.writes += 1;
                     self.dirty += 1;
                 }
@@ -446,6 +558,7 @@ impl Db {
                 let removed = members.remove(member);
                 if removed {
                     obj.mark_written(now);
+                    self.mem_sub(member.len());
                     self.stats.writes += 1;
                     self.dirty += 1;
                 }
@@ -587,6 +700,47 @@ impl Db {
         removed
     }
 
+    // ----- maxmemory eviction ----------------------------------------------
+
+    /// Pick and remove one eviction victim according to `policy`, sampling
+    /// up to `sample` random keys from the whole keyspace (the
+    /// `maxmemory-samples` approximation Redis uses instead of a true LRU
+    /// list). Returns the evicted key so the caller can journal a `DEL`,
+    /// or `None` if the keyspace is empty or the policy never evicts.
+    pub fn evict_one<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        policy: EvictionPolicy,
+        sample: usize,
+    ) -> Option<String> {
+        if self.keys_sample_pool.is_empty() {
+            return None;
+        }
+        let victim = match policy {
+            EvictionPolicy::Noeviction => return None,
+            EvictionPolicy::SampledRandom => {
+                let idx = rng.gen_range(0..self.keys_sample_pool.len());
+                self.keys_sample_pool[idx].clone()
+            }
+            EvictionPolicy::SampledLru => {
+                // Approximated LRU: among `sample` random keys, evict the
+                // one idle the longest (smallest last-access timestamp).
+                let mut best: Option<(UnixMillis, String)> = None;
+                for _ in 0..sample.max(1) {
+                    let idx = rng.gen_range(0..self.keys_sample_pool.len());
+                    let key = &self.keys_sample_pool[idx];
+                    let last = self.dict.get(key).map_or(0, |o| o.last_access_ms);
+                    if best.as_ref().is_none_or(|(b, _)| last < *b) {
+                        best = Some((last, key.clone()));
+                    }
+                }
+                best?.1
+            }
+        };
+        self.remove_key(&victim, RemovalCause::Eviction);
+        Some(victim)
+    }
+
     /// Number of keys currently carrying a TTL.
     #[must_use]
     pub fn expires_len(&self) -> usize {
@@ -680,6 +834,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
 mod tests {
     use super::*;
     use crate::clock::{Clock, SimClock};
+    use rand::SeedableRng;
     use std::sync::Arc;
 
     fn sim_db() -> (Db, SimClock) {
@@ -888,6 +1043,92 @@ mod tests {
         assert!(db.dirty() >= 3);
         db.reset_dirty();
         assert_eq!(db.dirty(), 0);
+    }
+
+    #[test]
+    fn mem_bytes_tracks_mutations() {
+        use crate::object::PER_KEY_OVERHEAD;
+        let (mut db, _) = sim_db();
+        assert_eq!(db.mem_bytes(), 0);
+        db.set("k", b"abcd".to_vec());
+        let one = (PER_KEY_OVERHEAD + 1 + 4) as u64;
+        assert_eq!(db.mem_bytes(), one);
+        // Overwrite re-charges only the payload difference.
+        db.set("k", b"ab".to_vec());
+        assert_eq!(db.mem_bytes(), one - 2);
+        // Hash fields charge field + value bytes; key overhead once.
+        db.hset("h", "f1", b"v1".to_vec()).unwrap();
+        db.hset("h", "f2", b"v2".to_vec()).unwrap();
+        let h = (PER_KEY_OVERHEAD + 1 + 4 + 4) as u64;
+        assert_eq!(db.mem_bytes(), one - 2 + h);
+        // Overwriting a field swaps its payload.
+        db.hset("h", "f1", b"longer".to_vec()).unwrap();
+        assert_eq!(db.mem_bytes(), one - 2 + h + 4);
+        db.hdel("h", "f1").unwrap();
+        db.hdel("h", "f2").unwrap();
+        // Last hdel removes the key entirely, refunding the overhead.
+        assert_eq!(db.mem_bytes(), one - 2);
+        // Sets charge member bytes.
+        db.sadd("s", b"mmm".to_vec()).unwrap();
+        assert_eq!(db.mem_bytes(), one - 2 + (PER_KEY_OVERHEAD + 1 + 3) as u64);
+        db.srem("s", b"mmm").unwrap();
+        assert_eq!(db.mem_bytes(), one - 2);
+        db.delete("k");
+        assert_eq!(db.mem_bytes(), 0);
+    }
+
+    #[test]
+    fn mem_bytes_zero_after_flush_and_expiry() {
+        let (mut db, clock) = sim_db();
+        for i in 0..8 {
+            db.set(&format!("k{i}"), vec![0u8; 100]);
+            db.expire_in_millis(&format!("k{i}"), 50);
+        }
+        assert!(db.mem_bytes() > 0);
+        clock.advance_millis(100);
+        db.strict_expire_sweep();
+        assert_eq!(db.mem_bytes(), 0, "expiry refunds the footprint");
+        db.set("k", b"v".to_vec());
+        db.flush_all();
+        assert_eq!(db.mem_bytes(), 0, "flush resets the gauge");
+    }
+
+    #[test]
+    fn evict_one_lru_prefers_idle_keys() {
+        let (mut db, clock) = sim_db();
+        db.set("cold", b"v".to_vec());
+        clock.advance_millis(10_000);
+        db.set("hot", b"v".to_vec());
+        // Keep "hot" hot.
+        db.get("hot").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // Sample size 8 over a 2-key pool: both keys are sampled, so LRU
+        // must pick the idle one deterministically.
+        let victim = db
+            .evict_one(&mut rng, EvictionPolicy::SampledLru, 8)
+            .unwrap();
+        assert_eq!(victim, "cold");
+        assert_eq!(db.stats().evicted_keys, 1);
+        assert!(db.exists("hot"));
+    }
+
+    #[test]
+    fn evict_one_policies_and_empty_pool() {
+        let (mut db, _) = sim_db();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(db.evict_one(&mut rng, EvictionPolicy::SampledLru, 5), None);
+        db.set("k", b"v".to_vec());
+        assert_eq!(
+            db.evict_one(&mut rng, EvictionPolicy::Noeviction, 5),
+            None,
+            "noeviction never evicts"
+        );
+        let victim = db
+            .evict_one(&mut rng, EvictionPolicy::SampledRandom, 5)
+            .unwrap();
+        assert_eq!(victim, "k");
+        assert!(db.is_empty());
+        assert_eq!(db.mem_bytes(), 0);
     }
 
     #[test]

@@ -92,6 +92,15 @@ pub enum StoreError {
     Config(String),
     /// A command could not be parsed or had the wrong arity.
     InvalidCommand(String),
+    /// A write was rejected because the keyspace is over the configured
+    /// `maxmemory` ceiling and the eviction policy is `noeviction`
+    /// (Redis' `-OOM` reply).
+    Oom {
+        /// Bytes currently resident in the rejecting shard.
+        used: u64,
+        /// That shard's slice of the `maxmemory` budget, in bytes.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -112,6 +121,10 @@ impl fmt::Display for StoreError {
             }
             StoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             StoreError::InvalidCommand(msg) => write!(f, "invalid command: {msg}"),
+            StoreError::Oom { used, limit } => write!(
+                f,
+                "command not allowed when used memory > 'maxmemory' (used={used}, limit={limit})"
+            ),
         }
     }
 }
@@ -161,6 +174,10 @@ mod tests {
             },
             StoreError::Config("bad".into()),
             StoreError::InvalidCommand("arity".into()),
+            StoreError::Oom {
+                used: 2048,
+                limit: 1024,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -10,6 +10,23 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// Raw byte payload stored under a key or hash field.
 pub type Bytes = Vec<u8>;
 
+/// Fixed per-key bookkeeping overhead charged by the memory accounting, in
+/// bytes. A stored key costs more than its payload: the key string is held
+/// by the dictionary, the sorted-keys index and the sampling pools, and the
+/// [`Object`] header (access time, version, enum tag) rides along. The
+/// constant is a deliberate round number in the right ballpark — the gauge
+/// must track RSS *direction* under churn, not malloc's exact arithmetic.
+pub const PER_KEY_OVERHEAD: usize = 64;
+
+/// Approximate resident footprint of one keyspace entry: the fixed
+/// per-key overhead, the key bytes and the value payload. This is the
+/// quantity the per-shard `mem_bytes` gauge sums and `maxmemory`
+/// eviction budgets against.
+#[must_use]
+pub fn entry_footprint(key: &str, value: &Value) -> usize {
+    PER_KEY_OVERHEAD + key.len() + value.approximate_size()
+}
+
 /// A typed value stored under a key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Value {
@@ -142,6 +159,24 @@ mod tests {
         let mut h = BTreeMap::new();
         h.insert("field".to_string(), b"value".to_vec());
         assert_eq!(Value::Hash(h).approximate_size(), 10);
+    }
+
+    #[test]
+    fn entry_footprint_charges_overhead_key_and_payload() {
+        // The formula is pinned: overhead + key bytes + payload bytes.
+        let v = Value::from("abcd");
+        assert_eq!(entry_footprint("k", &v), PER_KEY_OVERHEAD + 1 + 4);
+        assert_eq!(
+            entry_footprint("user:alice:email", &v),
+            PER_KEY_OVERHEAD + 16 + 4
+        );
+        // Container payloads count member bytes, same as approximate_size.
+        let mut h = BTreeMap::new();
+        h.insert("field".to_string(), b"value".to_vec());
+        let hv = Value::Hash(h);
+        assert_eq!(entry_footprint("h", &hv), PER_KEY_OVERHEAD + 1 + 10);
+        // An empty string still costs its bookkeeping.
+        assert_eq!(entry_footprint("e", &Value::from("")), PER_KEY_OVERHEAD + 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Aggregated engine statistics (the `INFO` analogue).
 
 use crate::aof::AofStats;
+use crate::config::EvictionPolicy;
 use crate::db::DbStats;
 use crate::device::DeviceStats;
 use crate::ttl_wheel::DeadlineIndexStats;
@@ -21,6 +22,10 @@ pub struct EngineStats {
     pub keys_expired_by_cycles: u64,
     /// Automatic AOF rewrites triggered by the record threshold.
     pub auto_rewrites: u64,
+    /// The configured `maxmemory` ceiling in bytes (0 = unlimited).
+    pub max_memory: u64,
+    /// The configured over-`maxmemory` eviction policy.
+    pub eviction_policy: EvictionPolicy,
     /// Keyspace counters.
     pub db: DbStats,
     /// Deadline-index (strict-expiry) counters summed over shards: wheel
@@ -66,7 +71,8 @@ impl EngineStats {
             "# Stats\n\
              commands_processed:{}\nreads:{}\nwrites:{}\n\
              keyspace_hits:{}\nkeyspace_misses:{}\n\
-             expired_keys:{}\ndeleted_keys:{}\n\
+             expired_keys:{}\ndeleted_keys:{}\nevicted_keys:{}\n\
+             mem_bytes:{}\nmaxmemory:{}\nmaxmemory_policy:{}\n\
              expire_cycles:{}\nkeys_expired_by_cycles:{}\n\
              deadline_index:{}\nttl_entries:{}\nttl_inserts:{}\nttl_reschedules:{}\n\
              ttl_removes:{}\nttl_fired:{}\nwheel_cascades:{}\nwheel_stale_dropped:{}\n\
@@ -82,6 +88,10 @@ impl EngineStats {
             self.db.keyspace_misses,
             self.db.expired_keys,
             self.db.deleted_keys,
+            self.db.evicted_keys,
+            self.db.mem_bytes,
+            self.max_memory,
+            self.eviction_policy,
             self.expire_cycles,
             self.keys_expired_by_cycles,
             self.deadline_index.kind,
@@ -145,6 +155,10 @@ mod tests {
             "commands_processed",
             "keyspace_hits",
             "expired_keys",
+            "evicted_keys",
+            "mem_bytes",
+            "maxmemory:0",
+            "maxmemory_policy:noeviction",
             "deadline_index:wheel",
             "ttl_entries",
             "wheel_cascades",

@@ -51,7 +51,7 @@ use rand::SeedableRng;
 use crate::aof::AofStats;
 use crate::clock::{SharedClock, UnixMillis};
 use crate::commands::{Command, Reply};
-use crate::config::StoreConfig;
+use crate::config::{EvictionPolicy, StoreConfig};
 use crate::db::{Db, DbStats};
 use crate::expire::{run_expire_cycle, CycleOutcome};
 use crate::object::Bytes;
@@ -60,7 +60,11 @@ use crate::sharded_aof::{LoadedJournal, ReplTail, ReplWatermark, ShardedAof};
 use crate::snapshot;
 use crate::stats::EngineStats;
 use crate::ttl_wheel::DeadlineIndexStats;
-use crate::Result;
+use crate::{Result, StoreError};
+
+/// How many random keys the sampled eviction policies examine per victim
+/// (Redis' `maxmemory-samples` default).
+const EVICTION_SAMPLES: usize = 5;
 
 /// One slice of the keyspace: a dictionary plus its expiry-sampling RNG.
 struct Shard {
@@ -302,11 +306,25 @@ impl KvStore {
 
         let mut journaled = false;
         let mut ticket = None;
+        let mut evict_ticket = None;
         let reply = match command.primary_key() {
             Some(key) => {
                 let shard_idx = self.inner.router.shard_of(key);
                 let mut shard = self.inner.shards[shard_idx].lock();
                 let held = Instant::now();
+                if let Some(budget) = self.shard_mem_budget() {
+                    // `noeviction` rejects growth up front; a command that
+                    // can only shrink the keyspace is always allowed.
+                    if self.inner.config.eviction_policy == EvictionPolicy::Noeviction
+                        && command.may_grow_memory()
+                        && shard.db.mem_bytes() > budget
+                    {
+                        return Err(StoreError::Oom {
+                            used: shard.db.mem_bytes(),
+                            limit: budget,
+                        });
+                    }
+                }
                 let reply = command.execute(&mut shard.db)?;
                 if journal {
                     // Append to the owning shard's segment while the shard
@@ -316,6 +334,14 @@ impl KvStore {
                         ticket = aof.append(shard_idx, &command.encode())?;
                     }
                     journaled = true;
+                }
+                if is_write {
+                    // The sampled policies reclaim space right after the
+                    // write, under the same shard lock, and journal each
+                    // eviction as a DEL — so replicas and crash-replay see
+                    // the eviction at exactly this point of the key's
+                    // command stream and stay byte-convergent.
+                    evict_ticket = self.evict_to_budget(shard_idx, &mut shard)?;
                 }
                 drop(shard);
                 self.inner.shard_lock_hold.record(held.elapsed());
@@ -369,6 +395,9 @@ impl KvStore {
         if let (Some(ticket), Some(aof)) = (ticket, &self.inner.aof) {
             aof.commit(ticket)?;
         }
+        if let (Some(ticket), Some(aof)) = (evict_ticket, &self.inner.aof) {
+            aof.commit(ticket)?;
+        }
 
         let counters = &self.inner.counters;
         counters.commands.fetch_add(1, Ordering::Relaxed);
@@ -390,6 +419,49 @@ impl KvStore {
     /// order that keeps multi-shard operations deadlock-free).
     fn lock_all_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
         self.inner.shards.iter().map(Mutex::lock).collect()
+    }
+
+    /// Each shard's slice of the `maxmemory` budget, or `None` when the
+    /// ceiling is unlimited.
+    fn shard_mem_budget(&self) -> Option<u64> {
+        match self.inner.config.max_memory {
+            0 => None,
+            max => Some((max / self.inner.shards.len() as u64).max(1)),
+        }
+    }
+
+    /// Evict sampled victims from the locked shard until it is back under
+    /// its budget (or nothing is left to evict), journaling each eviction
+    /// as a `DEL` in the shard's segment under the held lock. Returns the
+    /// durability ticket for the eviction batch, if any. No-op under
+    /// `noeviction` or without a `maxmemory` ceiling.
+    fn evict_to_budget(
+        &self,
+        shard_idx: usize,
+        shard: &mut Shard,
+    ) -> Result<Option<crate::sharded_aof::Ticket>> {
+        let policy = self.inner.config.eviction_policy;
+        if policy == EvictionPolicy::Noeviction {
+            return Ok(None);
+        }
+        let Some(budget) = self.shard_mem_budget() else {
+            return Ok(None);
+        };
+        let Shard { db, rng } = shard;
+        let mut dels: Vec<Vec<u8>> = Vec::new();
+        while db.mem_bytes() > budget {
+            match db.evict_one(rng, policy, EVICTION_SAMPLES) {
+                Some(victim) => dels.push(Command::Del { key: victim }.encode()),
+                None => break,
+            }
+        }
+        if dels.is_empty() {
+            return Ok(None);
+        }
+        match &self.inner.aof {
+            Some(aof) => aof.append_batch(shard_idx, dels.iter().map(Vec::as_slice)),
+            None => Ok(None),
+        }
     }
 
     fn merge_key_query(
@@ -461,6 +533,19 @@ impl KvStore {
         Ok(self.execute(Command::Del {
             key: key.to_string(),
         })? == Reply::Int(1))
+    }
+
+    /// Install `listener` on every shard (replacing any previous one), or
+    /// clear it with `None`. The engine calls it after each per-key
+    /// removal — explicit deletes, lazy and active expiry, `maxmemory`
+    /// eviction — while the owning shard's lock is held, so caches layered
+    /// above the engine can invalidate synchronously even for removals
+    /// that never pass through their own write path. The listener must be
+    /// cheap and must not call back into the engine.
+    pub fn set_removal_listener(&self, listener: Option<crate::db::RemovalListener>) {
+        for shard in &self.inner.shards {
+            shard.lock().db.set_removal_listener(listener.clone());
+        }
     }
 
     /// Whether the key exists.
@@ -849,7 +934,9 @@ impl KvStore {
             db.keyspace_misses += s.keyspace_misses;
             db.expired_keys += s.expired_keys;
             db.deleted_keys += s.deleted_keys;
+            db.evicted_keys += s.evicted_keys;
             db.writes += s.writes;
+            db.mem_bytes += s.mem_bytes;
             deadline_index.absorb(&shard.db.deadline_index_stats());
         }
         let counters = &self.inner.counters;
@@ -860,6 +947,8 @@ impl KvStore {
             expire_cycles: counters.expire_cycles.load(Ordering::Relaxed),
             keys_expired_by_cycles: counters.keys_expired_by_cycles.load(Ordering::Relaxed),
             auto_rewrites: counters.auto_rewrites.load(Ordering::Relaxed),
+            max_memory: self.inner.config.max_memory,
+            eviction_policy: self.inner.config.eviction_policy,
             db,
             deadline_index,
             aof: self
@@ -908,6 +997,28 @@ impl KvStore {
     #[must_use]
     pub fn aof_len(&self) -> u64 {
         self.inner.aof.as_ref().map_or(0, ShardedAof::device_len)
+    }
+
+    /// The configured `maxmemory` ceiling in bytes (0 = unlimited).
+    #[must_use]
+    pub fn max_memory(&self) -> u64 {
+        self.inner.config.max_memory
+    }
+
+    /// The configured over-`maxmemory` eviction policy.
+    #[must_use]
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.inner.config.eviction_policy
+    }
+
+    /// Approximate resident bytes of the keyspace, summed over shards.
+    #[must_use]
+    pub fn mem_bytes(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().db.mem_bytes())
+            .sum()
     }
 }
 
@@ -1308,6 +1419,86 @@ mod tests {
         let outcome = store.tick().unwrap();
         assert_eq!(outcome.removed.len(), 64);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn noeviction_rejects_growth_with_oom_but_allows_reclaim() {
+        let store = KvStore::open(StoreConfig::in_memory().max_memory(512)).unwrap();
+        // Fill past the ceiling (each entry ~64 + key + 100 bytes).
+        let mut stored = 0;
+        loop {
+            match store.set(&format!("k{stored:03}"), vec![0u8; 100]) {
+                Ok(()) => stored += 1,
+                Err(StoreError::Oom { used, limit }) => {
+                    assert!(used > limit, "used={used} limit={limit}");
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(stored < 100, "OOM never hit");
+        }
+        assert!(stored >= 2, "at least a few writes fit under 512 bytes");
+        // Reads, deletions and TTL changes stay allowed over budget.
+        assert!(store.get("k000").unwrap().is_some());
+        assert!(store.expire_in("k000", Duration::from_secs(60)).unwrap());
+        assert!(store.delete("k000").unwrap());
+        assert_eq!(store.stats().db.evicted_keys, 0);
+    }
+
+    #[test]
+    fn sampled_eviction_keeps_shards_under_budget() {
+        for policy in [EvictionPolicy::SampledLru, EvictionPolicy::SampledRandom] {
+            let store = KvStore::open(
+                StoreConfig::in_memory()
+                    .shards(4)
+                    .rng_seed(11)
+                    .max_memory(16 * 1024)
+                    .eviction_policy(policy),
+            )
+            .unwrap();
+            for i in 0..400 {
+                store.set(&format!("k{i:04}"), vec![0u8; 100]).unwrap();
+            }
+            let stats = store.stats();
+            assert!(
+                stats.db.mem_bytes <= 16 * 1024,
+                "{policy}: mem {} exceeds ceiling",
+                stats.db.mem_bytes
+            );
+            assert!(stats.db.evicted_keys > 0, "{policy}: nothing evicted");
+            assert_eq!(store.len() as u64 + stats.db.evicted_keys, 400);
+        }
+    }
+
+    #[test]
+    fn evictions_are_journaled_and_replay_to_same_state() {
+        let dir = std::env::temp_dir().join(format!("kvstore-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evict.aof");
+        let _ = std::fs::remove_file(&path);
+        let canonical = {
+            let store = KvStore::open(
+                StoreConfig::with_aof(&path)
+                    .shards(2)
+                    .rng_seed(7)
+                    .max_memory(8 * 1024)
+                    .eviction_policy(EvictionPolicy::SampledLru),
+            )
+            .unwrap();
+            for i in 0..200 {
+                store.set(&format!("k{i:04}"), vec![1u8; 100]).unwrap();
+            }
+            assert!(store.stats().db.evicted_keys > 0);
+            store.fsync().unwrap();
+            store.canonical_state()
+        };
+        // Crash-replay of a journal containing eviction DELs reproduces
+        // the same keyspace — the replayer itself never evicts (the DELs
+        // carry the decisions), so replay with no maxmemory must converge.
+        let reopened = KvStore::open(StoreConfig::with_aof(&path).shards(2)).unwrap();
+        assert_eq!(reopened.canonical_state(), canonical);
+        assert_eq!(reopened.stats().db.evicted_keys, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!             [replicaof=host:port] [backlog=records]
 //!             [grant=actor:purpose[,actor:purpose...]] [duration=secs]
 //!             [metrics=host:port] [slowlog=micros] [slowlogmax=N]
+//!             [maxmemory=bytes] [evict=noeviction|lru|random] [hotcache=1]
 //! ```
 //!
 //! * `compliance` — 0 = raw engine (plain Redis surface only), 1 =
@@ -55,6 +56,17 @@
 //!   0 logs every request, negative disables). Query over the wire with
 //!   `SLOWLOG GET|LEN|RESET`.
 //! * `slowlogmax` — retained slowlog entries (default 128).
+//! * `maxmemory` — keyspace memory ceiling in bytes, split evenly across
+//!   shards (0 = unlimited, the default). Over the ceiling the behaviour
+//!   is `evict`'s choice; evictions are journaled as deletes, so replicas
+//!   and crash replay converge byte-for-byte.
+//! * `evict` — over-`maxmemory` policy: `noeviction` (default; growth
+//!   commands get Redis' `-OOM` reply), `lru` (sampled least-recently
+//!   accessed) or `random` (sampled random).
+//! * `hotcache` — 1 (default) enables the compliance layer's TinyLFU
+//!   hot-read cache, 0 disables it; overrides the `GDPR_HOT_CACHE`
+//!   environment variable. Ignored with `compliance=0` (the raw engine
+//!   has no compliance slow path to cache around).
 //!
 //! The server exits cleanly when a client sends `SHUTDOWN`: in-flight
 //! requests are answered, every connection thread is joined, and the final
@@ -127,11 +139,25 @@ fn main() {
             })
         })
         .unwrap_or_default();
+    let max_memory = arg_u64(&args, "maxmemory").unwrap_or(0);
+    let evict = arg_str(&args, "evict")
+        .map(|label| {
+            kvstore::config::EvictionPolicy::parse(label).unwrap_or_else(|| {
+                eprintln!(
+                    "  unknown eviction policy {label:?} (want noeviction|lru|random), \
+                     using noeviction"
+                );
+                kvstore::config::EvictionPolicy::Noeviction
+            })
+        })
+        .unwrap_or_default();
     let mut config = StoreConfig::in_memory()
         .shards(shards)
         .fsync(fsync)
         .group_commit(group_commit)
-        .deadline_index(index);
+        .deadline_index(index)
+        .max_memory(max_memory)
+        .eviction_policy(evict);
     if let Some(wait_ms) = arg_u64(&args, "gcwait") {
         config = config.group_commit_wait_ms(wait_ms);
     }
@@ -142,6 +168,9 @@ fn main() {
         "mem" => config = config.aof_in_memory(),
         "none" => {}
         path => config.persistence = kvstore::config::Persistence::AofFile(path.into()),
+    }
+    if max_memory > 0 {
+        println!("gdpr-server: maxmemory {max_memory} bytes, eviction policy {evict}");
     }
 
     let dispatcher = if compliance == 0 {
@@ -164,8 +193,23 @@ fn main() {
              ttl index {index}",
             policy.name
         );
-        let store =
+        let mut store =
             GdprStore::open(policy, config, Box::new(NullSink::new())).expect("open GDPR store");
+        // The flag overrides GDPR_HOT_CACHE; no flag keeps the
+        // environment's (or default-on) choice made at open.
+        if let Some(hotcache) = arg_u64(&args, "hotcache") {
+            store.set_hot_cache(
+                gdpr_core::hot_cache::HotCacheConfig::default().enabled(hotcache != 0),
+            );
+        }
+        println!(
+            "  hot-read cache {}",
+            if store.hot_cache_enabled() {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        );
         if let Some(grants) = arg_str(&args, "grant") {
             for pair in grants.split(',').filter(|p| !p.is_empty()) {
                 if let Some((actor, purpose)) = pair.split_once(':') {

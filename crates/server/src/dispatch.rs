@@ -322,7 +322,30 @@ impl Dispatcher {
                 Engine::Gdpr(_) => "gdpr",
             },
         );
-        out.push_str(&engine.stats().render());
+        let engine_stats = engine.stats();
+        out.push_str(&engine_stats.render());
+        // `# Memory`: the bounded-memory story in one section — live
+        // footprint vs the configured ceiling, the evictor's work so far,
+        // and (on a compliance engine) the hot-read cache counters.
+        out.push_str(&format!(
+            "# Memory\nmem_bytes:{}\nmaxmemory:{}\nmaxmemory_policy:{}\nevicted_keys:{}\n",
+            engine_stats.db.mem_bytes,
+            engine_stats.max_memory,
+            engine_stats.eviction_policy,
+            engine_stats.db.evicted_keys,
+        ));
+        if let Some(store) = self.gdpr_store() {
+            let cache = store.hot_cache_stats();
+            out.push_str(&format!(
+                "hot_cache_enabled:{}\ncache_hits:{}\ncache_misses:{}\n\
+                 cache_admissions:{}\ncache_invalidations:{}\n",
+                u8::from(store.hot_cache_enabled()),
+                cache.hits,
+                cache.misses,
+                cache.admissions,
+                cache.invalidations,
+            ));
+        }
         if let Some(segments) = engine.aof_segment_stats() {
             out.push_str("# AofSegments\n");
             out.push_str(&format!(
@@ -546,7 +569,7 @@ impl Dispatcher {
             Engine::Kv(store) => match translate(cmd) {
                 Ok(command) => match store.execute(command) {
                     Ok(reply) => reply_to_frame(reply),
-                    Err(e) => Frame::Error(format!("ERR {e}")),
+                    Err(e) => store_err_frame(&e),
                 },
                 Err(message) => Frame::Error(message),
             },
@@ -806,8 +829,28 @@ fn string_array_frame<I: IntoIterator<Item = String>>(items: I) -> Frame {
     )
 }
 
+/// Ready-to-send error message for a compliance-layer failure. A write
+/// rejected by the engine's `noeviction` maxmemory policy keeps Redis'
+/// `-OOM` error class (clients special-case that prefix); everything else
+/// is `-ERR`.
+fn gdpr_err_string(e: &gdpr_core::GdprError) -> String {
+    match e {
+        gdpr_core::GdprError::Store(oom @ kvstore::StoreError::Oom { .. }) => format!("OOM {oom}"),
+        other => format!("ERR {other}"),
+    }
+}
+
 fn gdpr_err(e: &gdpr_core::GdprError) -> Frame {
-    Frame::Error(format!("ERR {e}"))
+    Frame::Error(gdpr_err_string(e))
+}
+
+/// RESP error frame for a raw-engine failure (`-OOM` for maxmemory
+/// rejections, `-ERR` otherwise).
+fn store_err_frame(e: &kvstore::StoreError) -> Frame {
+    match e {
+        kvstore::StoreError::Oom { .. } => Frame::Error(format!("OOM {e}")),
+        other => Frame::Error(format!("ERR {other}")),
+    }
 }
 
 /// The session context, or the ready-to-send `NOAUTH` error.
@@ -979,10 +1022,23 @@ fn dispatch_gdpr(
                 format!("audit_records={}", stats.audit_records),
                 format!("erased_by_request={}", stats.erased_by_request),
                 format!("erased_by_retention={}", stats.erased_by_retention),
+                // The hot-read cache: hit rate tells how much of the GET
+                // load the compliance fast path absorbs; invalidations are
+                // the erasure-correctness work it performed.
+                format!("cache_hits={}", stats.cache_hits),
+                format!("cache_misses={}", stats.cache_misses),
+                format!("cache_admissions={}", stats.cache_admissions),
+                format!("cache_invalidations={}", stats.cache_invalidations),
             ];
             // One engine aggregation pass serves both the deadline-index
             // lines and the journal lines below.
             let engine = store.engine().stats();
+            // Bounded-memory accounting: the live footprint against the
+            // configured ceiling, and the sampled evictor's counter.
+            lines.push(format!("mem_bytes={}", engine.db.mem_bytes));
+            lines.push(format!("mem_maxmemory={}", engine.max_memory));
+            lines.push(format!("mem_maxmemory_policy={}", engine.eviction_policy));
+            lines.push(format!("mem_evicted_keys={}", engine.db.evicted_keys));
             // The strict-expiry deadline index (retention timeliness is a
             // compliance metric): wheel occupancy and cascade counters, or
             // the BTree baseline's entry count.
@@ -1085,14 +1141,14 @@ fn dispatch_gdpr_kv(store: &GdprStore, cmd: &WireCommand, session: &mut Session)
                 let value = cmd.arg_bytes(1).map_err(|e| format!("ERR {e}"))?.to_vec();
                 store
                     .put(&ctx, key, value, default_metadata(key, &ctx))
-                    .map_err(|e| format!("ERR {e}"))?;
+                    .map_err(|e| gdpr_err_string(&e))?;
                 Frame::Simple("OK".to_string())
             }
             "GET" => {
                 if cmd.arity() != 1 {
                     return Err(format!("ERR wrong number of arguments for '{}'", cmd.name));
                 }
-                match store.get(&ctx, arg(0)?).map_err(|e| format!("ERR {e}"))? {
+                match store.get(&ctx, arg(0)?).map_err(|e| gdpr_err_string(&e))? {
                     Some(value) => Frame::Bulk(value),
                     None => Frame::Null,
                 }
@@ -1103,7 +1159,7 @@ fn dispatch_gdpr_kv(store: &GdprStore, cmd: &WireCommand, session: &mut Session)
                 }
                 let existed = store
                     .delete(&ctx, arg(0)?)
-                    .map_err(|e| format!("ERR {e}"))?;
+                    .map_err(|e| gdpr_err_string(&e))?;
                 Frame::Integer(i64::from(existed))
             }
             "HMSET" => {
@@ -1124,7 +1180,7 @@ fn dispatch_gdpr_kv(store: &GdprStore, cmd: &WireCommand, session: &mut Session)
                 }
                 store
                     .put_record(&ctx, key, &fields, default_metadata(key, &ctx))
-                    .map_err(|e| format!("ERR {e}"))?;
+                    .map_err(|e| gdpr_err_string(&e))?;
                 Frame::Simple("OK".to_string())
             }
             "HGETALL" => {
@@ -1133,7 +1189,7 @@ fn dispatch_gdpr_kv(store: &GdprStore, cmd: &WireCommand, session: &mut Session)
                 }
                 match store
                     .get_record(&ctx, arg(0)?)
-                    .map_err(|e| format!("ERR {e}"))?
+                    .map_err(|e| gdpr_err_string(&e))?
                 {
                     Some(map) => reply_to_frame(Reply::Map(map)),
                     None => Frame::Null,
@@ -1146,7 +1202,7 @@ fn dispatch_gdpr_kv(store: &GdprStore, cmd: &WireCommand, session: &mut Session)
                 let count = cmd.arg_u64(1).map_err(|e| format!("ERR {e}"))? as usize;
                 let keys = store
                     .scan(&ctx, arg(0)?, count)
-                    .map_err(|e| format!("ERR {e}"))?;
+                    .map_err(|e| gdpr_err_string(&e))?;
                 string_array_frame(keys)
             }
             other => {
@@ -1500,6 +1556,18 @@ mod tests {
                 assert!(text.iter().any(|l| l == "aof_segments=1"), "{text:?}");
                 assert!(text.iter().any(|l| l.starts_with("aof_unsynced_records=")));
                 assert!(text.iter().any(|l| l.starts_with("aof_seg0=records:")));
+                // Bounded-memory and hot-cache accounting ride along.
+                assert!(text.iter().any(|l| l.starts_with("mem_bytes=")), "{text:?}");
+                assert!(text.contains(&"mem_maxmemory=0".to_string()), "{text:?}");
+                assert!(
+                    text.contains(&"mem_maxmemory_policy=noeviction".to_string()),
+                    "{text:?}"
+                );
+                assert!(text.iter().any(|l| l.starts_with("mem_evicted_keys=")));
+                assert!(text.iter().any(|l| l.starts_with("cache_hits=")));
+                assert!(text.iter().any(|l| l.starts_with("cache_misses=")));
+                assert!(text.iter().any(|l| l.starts_with("cache_admissions=")));
+                assert!(text.iter().any(|l| l.starts_with("cache_invalidations=")));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1530,6 +1598,12 @@ mod tests {
             "aof_group_commits:",
             "# AofSegments",
             "aof_seg0:records=",
+            "# Memory",
+            "mem_bytes:",
+            "maxmemory_policy:noeviction",
+            "hot_cache_enabled:",
+            "cache_hits:",
+            "cache_invalidations:",
             "# Gdpr",
             "allowed_ops:",
             "# Replication",
@@ -1546,6 +1620,36 @@ mod tests {
         };
         assert!(info.contains("# Stats"));
         assert!(!info.contains("# Gdpr"));
+    }
+
+    #[test]
+    fn oom_keeps_its_redis_error_class() {
+        // One byte of maxmemory under `noeviction`: the first SET lands
+        // (the shard was empty), every later growth command is rejected
+        // with the `-OOM` class Redis clients special-case.
+        let d = Dispatcher::kv(KvStore::open(StoreConfig::in_memory().max_memory(1)).unwrap());
+        let mut session = Session::new();
+        assert_eq!(
+            d.handle_frame(&Frame::command(["SET", "k", "v"]), &mut session),
+            Frame::Simple("OK".into())
+        );
+        match d.handle_frame(&Frame::command(["SET", "k", "v2"]), &mut session) {
+            Frame::Error(message) => assert!(message.starts_with("OOM "), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Reads and deletes stay allowed over the ceiling.
+        assert_eq!(
+            d.handle_frame(&Frame::command(["GET", "k"]), &mut session),
+            Frame::Bulk(b"v".to_vec())
+        );
+        assert_eq!(
+            d.handle_frame(&Frame::command(["DEL", "k"]), &mut session),
+            Frame::Integer(1)
+        );
+        // The compliance layer's error wrapper preserves the class.
+        let wrapped = gdpr_core::GdprError::from(kvstore::StoreError::Oom { used: 9, limit: 1 });
+        assert!(gdpr_err_string(&wrapped).starts_with("OOM "), "{wrapped}");
+        assert!(matches!(gdpr_err(&wrapped), Frame::Error(m) if m.starts_with("OOM ")));
     }
 
     #[test]

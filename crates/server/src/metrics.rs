@@ -457,6 +457,27 @@ impl Dispatcher {
         for (name, help, value) in gauges {
             w.gauge(name, help, &[], *value);
         }
+        // Bounded-memory accounting: the live footprint against the
+        // configured ceiling, and the evictor's counter labelled with the
+        // policy that produced the evictions.
+        w.gauge(
+            "mem_bytes",
+            "Approximate bytes resident in the keyspace.",
+            &[],
+            engine.db.mem_bytes,
+        );
+        w.gauge(
+            "maxmemory",
+            "Configured maxmemory ceiling in bytes (0 = unlimited).",
+            &[],
+            engine.max_memory,
+        );
+        w.counter(
+            "evicted_keys",
+            "Keys evicted to stay under maxmemory.",
+            &[("policy", engine.eviction_policy.label())],
+            engine.db.evicted_keys,
+        );
 
         // --- compliance layer ------------------------------------------------
         if let Some(store) = self.gdpr_store() {
@@ -487,10 +508,36 @@ impl Dispatcher {
                     "Keys erased because retention elapsed.",
                     stats.erased_by_retention,
                 ),
+                (
+                    "gdpr_cache_hits",
+                    "GETs served from the TinyLFU hot-read cache.",
+                    stats.cache_hits,
+                ),
+                (
+                    "gdpr_cache_misses",
+                    "GETs that took the full compliance slow path.",
+                    stats.cache_misses,
+                ),
+                (
+                    "gdpr_cache_admissions",
+                    "Values admitted into the hot tier by TinyLFU.",
+                    stats.cache_admissions,
+                ),
+                (
+                    "gdpr_cache_invalidations",
+                    "Hot entries dropped by mutation, erasure or expiry.",
+                    stats.cache_invalidations,
+                ),
             ];
             for (name, help, value) in gdpr {
                 w.counter(name, help, &[], *value);
             }
+            w.gauge(
+                "gdpr_hot_cache_enabled",
+                "1 while the TinyLFU hot-read cache is enabled.",
+                &[],
+                u64::from(store.hot_cache_enabled()),
+            );
         }
 
         // --- replication -----------------------------------------------------

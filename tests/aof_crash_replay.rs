@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use gdpr_storage::kvstore::aof::FsyncPolicy;
-use gdpr_storage::kvstore::config::StoreConfig;
+use gdpr_storage::kvstore::config::{EvictionPolicy, StoreConfig};
 use gdpr_storage::kvstore::sharded_aof::segment_path;
 use gdpr_storage::kvstore::store::KvStore;
 
@@ -393,5 +393,45 @@ fn legacy_single_file_journal_migrates_on_open() {
     let reopened = KvStore::open(StoreConfig::with_aof(&path).shards(2)).unwrap();
     assert_eq!(reopened.len(), 30);
     assert_eq!(reopened.get("new-key").unwrap(), Some(b"fresh".to_vec()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_deletes_replay_to_the_same_bounded_state() {
+    let dir = test_dir("evict");
+    let path = dir.join("journal.aof");
+    let ceiling = 16 * 1024u64;
+    let digest_before;
+    {
+        let store = KvStore::open(
+            StoreConfig::with_aof(&path)
+                .shards(4)
+                .max_memory(ceiling)
+                .eviction_policy(EvictionPolicy::SampledLru),
+        )
+        .unwrap();
+        // Several ceilings' worth of writes: the evictor must shed keys
+        // and journal each shed as a DEL.
+        for i in 0..600 {
+            store
+                .set(&format!("evict{i:04}"), vec![i as u8; 100])
+                .unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.db.evicted_keys > 0, "{stats:?}");
+        assert!(stats.db.mem_bytes <= ceiling, "{stats:?}");
+        store.fsync().unwrap();
+        digest_before = state_digest(&store);
+        // "Crash": dropped without a clean close.
+    }
+    // Replay WITHOUT a ceiling and at a different shard count: the
+    // journal's eviction DELs alone must reproduce the bounded state —
+    // no resurrected keys, nothing extra missing.
+    let store = KvStore::open(StoreConfig::with_aof(&path).shards(2)).unwrap();
+    assert_eq!(
+        state_digest(&store),
+        digest_before,
+        "replayed state must match the pre-crash bounded state"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

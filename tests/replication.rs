@@ -24,7 +24,7 @@ use gdpr_storage::gdpr_server::client::TcpRemoteClient;
 use gdpr_storage::gdpr_server::dispatch::Dispatcher;
 use gdpr_storage::gdpr_server::replication::{self, ReplicaHandle};
 use gdpr_storage::gdpr_server::tcp::{ServerConfig, TcpServer, TcpServerHandle};
-use gdpr_storage::kvstore::config::StoreConfig;
+use gdpr_storage::kvstore::config::{EvictionPolicy, StoreConfig};
 use gdpr_storage::kvstore::store::KvStore;
 use gdpr_storage::resp::command::GdprRequest;
 use std::sync::Arc;
@@ -412,4 +412,48 @@ fn replica_survives_a_primary_restart_and_resyncs() {
     );
     handle.stop();
     server2.shutdown();
+}
+
+#[test]
+fn maxmemory_evictions_replicate_as_journaled_deletes() {
+    // A bounded primary evicts under write pressure; the replica runs
+    // UNbounded, so it only converges if every eviction travels the
+    // stream as an explicit journaled DEL rather than happening silently
+    // inside the primary's shards.
+    let ceiling = 16 * 1024u64;
+    let store = KvStore::open(
+        StoreConfig::in_memory()
+            .aof_in_memory()
+            .shards(4)
+            .max_memory(ceiling)
+            .eviction_policy(EvictionPolicy::SampledLru),
+    )
+    .unwrap();
+    let server = TcpServer::bind(
+        Dispatcher::kv(store.clone()),
+        "127.0.0.1:0",
+        fast_server_config(),
+    )
+    .unwrap();
+    let (replica, handle) = kv_replica(2, server.local_addr());
+
+    // Several ceilings' worth of values written while the replica tails
+    // the live stream — evictions race the feed, not just the full sync.
+    for i in 0..600 {
+        store.set(&format!("evict{i:04}"), vec![b'x'; 100]).unwrap();
+    }
+    let stats = store.stats();
+    assert!(stats.db.evicted_keys > 0, "{stats:?}");
+    assert!(stats.db.mem_bytes <= ceiling, "{stats:?}");
+
+    wait_until("replica converges past the evictions", || {
+        converged(server.dispatcher(), &replica)
+    });
+    assert_eq!(
+        server.dispatcher().state_digest_hex(),
+        replica.state_digest_hex(),
+        "digests must be byte-equivalent with eviction enabled"
+    );
+    handle.stop();
+    server.shutdown();
 }

@@ -1,0 +1,325 @@
+//! GDPRbench sweep: the four role workloads (customer, controller,
+//! processor, regulator) against the compliance store, varying engine
+//! shard count × driver thread count in-process, plus both live-TCP
+//! transports at the top of the sweep, with per-right latency
+//! percentiles throughout.
+//!
+//! A second section measures the two metadata hot paths in isolation:
+//! `GDPR.KEYSOF` fan-out across shards and `GDPR.EXPORT` of a
+//! multi-hundred-key subject.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin gdprbench \
+//!     [subjects=N] [keys=N] [ops=N] [seed=N] [maxshards=N] [maxthreads=N] \
+//!     [tcp=0|1] [hotkeys=N]
+//! ```
+//!
+//! Emits a human table and writes `BENCH_gdprbench.json` into the current
+//! directory.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::arg_value;
+use gdpr_core::acl::Grant;
+use gdpr_core::policy::CompliancePolicy;
+use gdpr_core::store::{AccessContext, GdprStore};
+use gdpr_server::dispatch::Dispatcher;
+use gdpr_server::tcp::{ServerConfig, TcpServer, Transport};
+use gdprbench::{BenchSpec, ClientFactory, InProcessFactory, Role, RunSummary, Runner, TcpFactory};
+use kvstore::config::StoreConfig;
+use obs::hist::LatencyHistogram;
+
+struct Cell {
+    workload: &'static str,
+    transport: &'static str,
+    shards: usize,
+    threads: usize,
+    load: RunSummary,
+    run: RunSummary,
+}
+
+struct HotPath {
+    path: &'static str,
+    shards: usize,
+    keys: u64,
+    hist: LatencyHistogram,
+}
+
+fn open_store(shards: usize) -> Arc<GdprStore> {
+    let store = GdprStore::open(
+        CompliancePolicy::eventual(),
+        StoreConfig::in_memory().aof_in_memory().shards(shards),
+        Box::new(audit::sink::NullSink::new()),
+    )
+    .expect("open GDPR store");
+    for (actor, purpose) in BenchSpec::grants() {
+        store.grant(Grant::new(actor, purpose));
+    }
+    Arc::new(store)
+}
+
+fn sweep_axis(max: u64) -> Vec<usize> {
+    let mut axis = Vec::new();
+    let mut v = 1usize;
+    while v as u64 <= max.max(1) {
+        axis.push(v);
+        v *= 2;
+    }
+    axis
+}
+
+/// Load + run one role through `load_factory`/`run_factory`.
+fn drive(
+    spec: &BenchSpec,
+    threads: usize,
+    load_factory: &dyn ClientFactory,
+    run_factory: &dyn ClientFactory,
+) -> (RunSummary, RunSummary) {
+    let runner = Runner::new(threads);
+    let load = runner.run_load(spec, load_factory).expect("load phase");
+    let run = runner
+        .run_transactions(spec, run_factory)
+        .expect("transaction phase");
+    (load, run)
+}
+
+fn print_cell(cell: &Cell) {
+    println!(
+        "  {:<10} {:<11} shards={:<3} threads={:<3} load {:>9.0} ops/s   run {:>9.0} ops/s   \
+         p99 {:>6}us   denials {:<5} failures {}",
+        cell.workload,
+        cell.transport,
+        cell.shards,
+        cell.threads,
+        cell.load.throughput(),
+        cell.run.throughput(),
+        cell.run.overall.percentile_micros(0.99),
+        cell.run.denials,
+        cell.run.failures,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let subjects = arg_value(&args, "subjects").unwrap_or(400);
+    let keys = arg_value(&args, "keys").unwrap_or(4);
+    let ops = arg_value(&args, "ops").unwrap_or(8_000);
+    let seed = arg_value(&args, "seed").unwrap_or(42);
+    let max_shards = arg_value(&args, "maxshards").unwrap_or(2);
+    let max_threads = arg_value(&args, "maxthreads").unwrap_or(2);
+    let tcp = arg_value(&args, "tcp").unwrap_or(1) != 0;
+    let hot_keys = arg_value(&args, "hotkeys").unwrap_or(400);
+
+    let cores = bench::host_cores();
+    println!(
+        "gdprbench — four-role suite, subjects={subjects}, keys/subject={keys}, ops={ops}, \
+         cores={cores}"
+    );
+    if cores == 1 {
+        println!("  note: single-core host — expect parity, not speedup, across the sweep");
+    }
+
+    let mut cells = Vec::new();
+    for role in Role::all() {
+        let spec = BenchSpec::new(role, subjects, keys, ops).seed(seed);
+        for &shards in &sweep_axis(max_shards) {
+            for &threads in &sweep_axis(max_threads) {
+                let store = open_store(shards);
+                let (load, run) = drive(
+                    &spec,
+                    threads,
+                    &InProcessFactory::for_load(Arc::clone(&store)),
+                    &InProcessFactory::for_role(store, role),
+                );
+                let cell = Cell {
+                    workload: role.name(),
+                    transport: "inproc",
+                    shards,
+                    threads,
+                    load,
+                    run,
+                };
+                print_cell(&cell);
+                cells.push(cell);
+            }
+        }
+        if tcp {
+            // Both live transports at the top of the sweep: same spec, same
+            // store shape, real sockets.
+            for (label, transport) in [
+                ("tcp-reactor", Transport::Reactor),
+                ("tcp-threads", Transport::Threads),
+            ] {
+                let shards = *sweep_axis(max_shards).last().unwrap();
+                let threads = *sweep_axis(max_threads).last().unwrap();
+                let store = open_store(shards);
+                let config = ServerConfig {
+                    transport,
+                    ..ServerConfig::default()
+                };
+                let handle = TcpServer::bind(Dispatcher::gdpr(store), "127.0.0.1:0", config)
+                    .expect("bind tcp server");
+                let addr = handle.local_addr();
+                let (load, run) = drive(
+                    &spec,
+                    threads,
+                    &TcpFactory::for_load(addr),
+                    &TcpFactory::for_role(addr, role),
+                );
+                handle.shutdown();
+                let cell = Cell {
+                    workload: role.name(),
+                    transport: label,
+                    shards,
+                    threads,
+                    load,
+                    run,
+                };
+                print_cell(&cell);
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Hot paths: one subject owning `hot_keys` records. KEYSOF fans out
+    // across every shard's index segment; EXPORT additionally reads every
+    // value and renders the portability JSON.
+    println!("\nhot paths — one subject, {hot_keys} keys:");
+    let mut hot_paths = Vec::new();
+    for &shards in &sweep_axis(max_shards) {
+        let store = open_store(shards);
+        let loader = AccessContext::new(gdprbench::spec::LOAD_ACTOR, gdprbench::spec::LOAD_PURPOSE);
+        for k in 0..hot_keys {
+            let mut meta = gdpr_core::metadata::PersonalMetadata::new("hot-subject");
+            meta.purposes
+                .insert(gdprbench::spec::LOAD_PURPOSE.to_string());
+            store
+                .put(&loader, &format!("hot:k{k:05}"), vec![b'x'; 100], meta)
+                .expect("hot load");
+        }
+        let auditor = AccessContext::new(Role::Regulator.actor(), Role::Regulator.purpose());
+        for (path, f) in [
+            (
+                "keysof",
+                Box::new(|| store.keys_of_subject("hot-subject").expect("keysof").len() as u64)
+                    as Box<dyn Fn() -> u64>,
+            ),
+            (
+                "export",
+                Box::new(|| {
+                    store
+                        .right_to_portability(&auditor, "hot-subject")
+                        .expect("export")
+                        .len() as u64
+                }),
+            ),
+        ] {
+            let mut hist = LatencyHistogram::new();
+            let mut checksum = 0u64;
+            for _ in 0..200 {
+                let begin = Instant::now();
+                checksum = f();
+                hist.record(begin.elapsed());
+            }
+            assert!(checksum > 0, "hot path returned nothing");
+            println!(
+                "  {path:<7} shards={shards:<3} p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  max {:>7}us",
+                hist.percentile_micros(0.50),
+                hist.percentile_micros(0.95),
+                hist.percentile_micros(0.99),
+                hist.max_micros(),
+            );
+            hot_paths.push(HotPath {
+                path,
+                shards,
+                keys: hot_keys,
+                hist,
+            });
+        }
+    }
+
+    let json = render_json(subjects, keys, ops, seed, &cells, &hot_paths);
+    std::fs::write("BENCH_gdprbench.json", &json).expect("write BENCH_gdprbench.json");
+    println!(
+        "\nwrote BENCH_gdprbench.json ({} cells, {} hot-path rows)",
+        cells.len(),
+        hot_paths.len()
+    );
+}
+
+fn per_right_json(summary: &RunSummary) -> String {
+    let mut out = String::from("[");
+    for (i, (right, hist)) in summary.per_right.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"right\": \"{right}\", \"count\": {}, \"p50_micros\": {}, \"p95_micros\": {}, \
+             \"p99_micros\": {}}}",
+            hist.count(),
+            hist.percentile_micros(0.50),
+            hist.percentile_micros(0.95),
+            hist.percentile_micros(0.99),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn render_json(
+    subjects: u64,
+    keys: u64,
+    ops: u64,
+    seed: u64,
+    cells: &[Cell],
+    hot_paths: &[HotPath],
+) -> String {
+    let mut out = bench::json_envelope("gdprbench");
+    out.push_str(&format!("  \"subjects\": {subjects},\n"));
+    out.push_str(&format!("  \"keys_per_subject\": {keys},\n"));
+    out.push_str(&format!("  \"operations\": {ops},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"transport\": \"{}\", \"shards\": {}, \"threads\": {}, \
+             \"load_ops_per_sec\": {:.1}, \"run_ops_per_sec\": {:.1}, \"run_elapsed_ms\": {}, \
+             \"run_p50_micros\": {}, \"run_p99_micros\": {}, \"denials\": {}, \"failures\": {}, \
+             \"per_right\": {}}}{}\n",
+            cell.workload,
+            cell.transport,
+            cell.shards,
+            cell.threads,
+            cell.load.throughput(),
+            cell.run.throughput(),
+            cell.run.elapsed.as_millis(),
+            cell.run.overall.percentile_micros(0.50),
+            cell.run.overall.percentile_micros(0.99),
+            cell.run.denials,
+            cell.run.failures,
+            per_right_json(&cell.run),
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"hot_paths\": [\n");
+    for (i, hp) in hot_paths.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"shards\": {}, \"subject_keys\": {}, \"p50_micros\": {}, \
+             \"p95_micros\": {}, \"p99_micros\": {}, \"max_micros\": {}}}{}\n",
+            hp.path,
+            hp.shards,
+            hp.keys,
+            hp.hist.percentile_micros(0.50),
+            hp.hist.percentile_micros(0.95),
+            hp.hist.percentile_micros(0.99),
+            hp.hist.max_micros(),
+            if i + 1 == hot_paths.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

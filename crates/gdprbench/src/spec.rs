@@ -1,0 +1,200 @@
+//! Roles, op mixes and the workload specification.
+//!
+//! A [`BenchSpec`] is a pure description: it names a [`Role`], sizes the
+//! subject/record universe and fixes a seed. Expansion into a concrete op
+//! stream lives in [`crate::ops`] and takes nothing but the spec, so shard
+//! counts, thread counts and transports can never leak into generation.
+
+/// The four GDPRbench parties. Each role runs a distinct op mix under its
+/// own actor/purpose pair (installed as an access grant before a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Role {
+    /// A data subject exercising rights over their own data.
+    Customer,
+    /// The operator curating metadata (purpose changes, re-stamps).
+    Controller,
+    /// The data-plane consumer reading values under purpose checks.
+    Processor,
+    /// The supervisory authority auditing holdings and counters.
+    Regulator,
+}
+
+impl Role {
+    /// Every role, in canonical order.
+    #[must_use]
+    pub fn all() -> [Role; 4] {
+        [
+            Role::Customer,
+            Role::Controller,
+            Role::Processor,
+            Role::Regulator,
+        ]
+    }
+
+    /// The workload label (`customer`, `controller`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Customer => "customer",
+            Role::Controller => "controller",
+            Role::Processor => "processor",
+            Role::Regulator => "regulator",
+        }
+    }
+
+    /// Parse a workload label.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Role> {
+        match label {
+            "customer" => Some(Role::Customer),
+            "controller" => Some(Role::Controller),
+            "processor" => Some(Role::Processor),
+            "regulator" => Some(Role::Regulator),
+            _ => None,
+        }
+    }
+
+    /// The acting entity this role authenticates as.
+    #[must_use]
+    pub fn actor(self) -> &'static str {
+        match self {
+            Role::Customer => "customer",
+            Role::Controller => "controller",
+            Role::Processor => "processor",
+            Role::Regulator => "regulator",
+        }
+    }
+
+    /// The declared processing purpose bound to this role's sessions.
+    ///
+    /// The processor's purpose participates in purpose-limitation checks
+    /// on every data read; the rights paths the other roles exercise are
+    /// purpose-agnostic by design (a subject's erasure request is not
+    /// subject to the controller's purpose whitelist).
+    #[must_use]
+    pub fn purpose(self) -> &'static str {
+        match self {
+            Role::Customer => "account-service",
+            Role::Controller => "administration",
+            Role::Processor => "processing",
+            Role::Regulator => "audit",
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Actor/purpose of the load phase (bulk `GDPR.PUT`s stamping records).
+pub const LOAD_ACTOR: &str = "loader";
+/// Purpose the loader declares; every generated record whitelists it so
+/// the load itself always passes the purpose-limitation check.
+pub const LOAD_PURPOSE: &str = "load";
+
+/// Optional purposes a record may additionally whitelist. The processor's
+/// `processing` purpose appears on most records (reads mostly succeed);
+/// `marketing` is rare and exists mainly to be objected to.
+pub const PURPOSE_POOL: [&str; 3] = ["processing", "analytics", "marketing"];
+
+/// A complete, seeded GDPRbench workload description.
+///
+/// Everything a run needs is in here; in particular there is **no shard or
+/// thread field** — those belong to the store and the driver, and by
+/// construction cannot change what ops are generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchSpec {
+    /// The role whose mix the transaction phase draws from.
+    pub role: Role,
+    /// Number of data subjects in the universe.
+    pub subjects: u64,
+    /// Records loaded per subject.
+    pub keys_per_subject: u64,
+    /// Value payload size in bytes.
+    pub value_len: usize,
+    /// Transaction-phase operations to generate.
+    pub operation_count: u64,
+    /// Master seed; the load and transaction streams derive from it.
+    pub seed: u64,
+}
+
+impl BenchSpec {
+    /// A spec with the defaults used by the bench harness.
+    #[must_use]
+    pub fn new(role: Role, subjects: u64, keys_per_subject: u64, operation_count: u64) -> Self {
+        BenchSpec {
+            role,
+            subjects: subjects.max(1),
+            keys_per_subject: keys_per_subject.max(1),
+            value_len: 100,
+            operation_count,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style: set the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the value payload size.
+    #[must_use]
+    pub fn value_len(mut self, len: usize) -> Self {
+        self.value_len = len;
+        self
+    }
+
+    /// Total records the load phase inserts.
+    #[must_use]
+    pub fn record_count(&self) -> u64 {
+        self.subjects * self.keys_per_subject
+    }
+
+    /// Every actor/purpose grant a run needs (the loader plus all four
+    /// roles). Installed on the store before driving, exactly once,
+    /// regardless of which role the spec runs.
+    #[must_use]
+    pub fn grants() -> Vec<(&'static str, &'static str)> {
+        let mut grants = vec![(LOAD_ACTOR, LOAD_PURPOSE)];
+        for role in Role::all() {
+            grants.push((role.actor(), role.purpose()));
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_labels_roundtrip() {
+        for role in Role::all() {
+            assert_eq!(Role::parse(role.name()), Some(role));
+            assert_eq!(format!("{role}"), role.name());
+        }
+        assert_eq!(Role::parse("nope"), None);
+    }
+
+    #[test]
+    fn grants_cover_loader_and_all_roles() {
+        let grants = BenchSpec::grants();
+        assert_eq!(grants.len(), 5);
+        assert!(grants.contains(&(LOAD_ACTOR, LOAD_PURPOSE)));
+        for role in Role::all() {
+            assert!(grants.contains(&(role.actor(), role.purpose())));
+        }
+    }
+
+    #[test]
+    fn spec_clamps_degenerate_sizes() {
+        let spec = BenchSpec::new(Role::Customer, 0, 0, 10);
+        assert_eq!(spec.subjects, 1);
+        assert_eq!(spec.keys_per_subject, 1);
+        assert_eq!(spec.record_count(), 1);
+    }
+}

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use gdpr_core::store::GdprStore;
 use gdpr_server::dispatch::{Dispatcher, Session};
 use kvstore::store::KvStore;
 use parking_lot::Mutex;
@@ -35,6 +36,17 @@ impl RespKvServer {
     pub fn new(store: KvStore) -> Self {
         RespKvServer {
             dispatcher: Dispatcher::kv(store),
+            session: Arc::new(Mutex::new(Session::new())),
+        }
+    }
+
+    /// Wrap a compliance-layer store: the full `GDPR.*` command surface
+    /// plus purpose-checked data commands, over the simulated link. Same
+    /// dispatcher as the real TCP server in compliance mode.
+    #[must_use]
+    pub fn gdpr(store: Arc<GdprStore>) -> Self {
+        RespKvServer {
+            dispatcher: Dispatcher::gdpr(store),
             session: Arc::new(Mutex::new(Session::new())),
         }
     }

@@ -7,13 +7,16 @@
 //! * [`gdpr_core`] — the GDPR compliance layer (the paper's contribution)
 //! * [`kvstore`] — the Redis-like storage engine substrate
 //! * [`gdpr_server`] — the real RESP-over-TCP server and remote client
-//! * [`ycsb`] — the YCSB-style workload generator
+//! * [`ycsb`] — the YCSB-style workload generator for the data path
+//! * [`gdprbench`] — the GDPRbench-style four-role workload suite for the
+//!   rights/metadata paths
 //! * [`audit`], [`gdpr_crypto`], [`netsim`], [`resp`] — supporting substrates
 
 pub use audit;
 pub use gdpr_core;
 pub use gdpr_crypto;
 pub use gdpr_server;
+pub use gdprbench;
 pub use kvstore;
 pub use netsim;
 pub use resp;

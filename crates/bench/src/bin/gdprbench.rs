@@ -4,16 +4,25 @@
 //! transports at the top of the sweep, with per-right latency
 //! percentiles throughout.
 //!
-//! A second section measures the two metadata hot paths in isolation:
-//! `GDPR.KEYSOF` fan-out across shards and `GDPR.EXPORT` of a
-//! multi-hundred-key subject.
+//! A second section measures the metadata hot paths in isolation across
+//! a wider shard axis (`hotshards`, default 8):
+//!
+//! * `keysof` — `GDPR.KEYSOF` of a subject whose keys spread over every
+//!   shard (the presence map prunes nothing: worst case);
+//! * `keysof-lone` — `GDPR.KEYSOF` of a subject whose keys all live in
+//!   one shard (the presence map skips every other segment: the
+//!   ~flat-latency case the shard-presence bitmap restores);
+//! * `export` — monolithic `GDPR.EXPORT` of a multi-hundred-key subject
+//!   through the streaming renderer with per-segment batched reads;
+//! * `export-paged` — the same export driven to completion through the
+//!   paged `CURSOR` form (COUNT 64).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p bench --release --bin gdprbench \
 //!     [subjects=N] [keys=N] [ops=N] [seed=N] [maxshards=N] [maxthreads=N] \
-//!     [tcp=0|1] [hotkeys=N]
+//!     [tcp=0|1] [hotkeys=N] [hotshards=N]
 //! ```
 //!
 //! Emits a human table and writes `BENCH_gdprbench.json` into the current
@@ -30,6 +39,7 @@ use gdpr_server::dispatch::Dispatcher;
 use gdpr_server::tcp::{ServerConfig, TcpServer, Transport};
 use gdprbench::{BenchSpec, ClientFactory, InProcessFactory, Role, RunSummary, Runner, TcpFactory};
 use kvstore::config::StoreConfig;
+use kvstore::shard::{ShardRouter, DEFAULT_HASH_SEED};
 use obs::hist::LatencyHistogram;
 
 struct Cell {
@@ -112,6 +122,7 @@ fn main() {
     let max_threads = arg_value(&args, "maxthreads").unwrap_or(2);
     let tcp = arg_value(&args, "tcp").unwrap_or(1) != 0;
     let hot_keys = arg_value(&args, "hotkeys").unwrap_or(400);
+    let hot_shards = arg_value(&args, "hotshards").unwrap_or(8);
 
     let cores = bench::host_cores();
     println!(
@@ -184,21 +195,53 @@ fn main() {
         }
     }
 
-    // Hot paths: one subject owning `hot_keys` records. KEYSOF fans out
-    // across every shard's index segment; EXPORT additionally reads every
-    // value and renders the portability JSON.
+    // Hot paths: one subject owning `hot_keys` records. `keysof` fans out
+    // across every shard's index segment (its keys spread everywhere, so
+    // presence pruning cannot help); `keysof-lone` queries a subject whose
+    // keys are confined to a single shard, the case the presence map turns
+    // into a one-segment lookup regardless of shard count; `export` reads
+    // every value and streams the portability JSON; `export-paged` drives
+    // the same document through the CURSOR form.
     println!("\nhot paths — one subject, {hot_keys} keys:");
     let mut hot_paths = Vec::new();
-    for &shards in &sweep_axis(max_shards) {
+    for &shards in &sweep_axis(hot_shards) {
         let store = open_store(shards);
         let loader = AccessContext::new(gdprbench::spec::LOAD_ACTOR, gdprbench::spec::LOAD_PURPOSE);
-        for k in 0..hot_keys {
+        let hot_meta = || {
             let mut meta = gdpr_core::metadata::PersonalMetadata::new("hot-subject");
             meta.purposes
                 .insert(gdprbench::spec::LOAD_PURPOSE.to_string());
+            meta
+        };
+        for k in 0..hot_keys {
             store
-                .put(&loader, &format!("hot:k{k:05}"), vec![b'x'; 100], meta)
+                .put(
+                    &loader,
+                    &format!("hot:k{k:05}"),
+                    vec![b'x'; 100],
+                    hot_meta(),
+                )
                 .expect("hot load");
+        }
+        // The lone subject: same key count, but every key routes to shard
+        // 0 of this store's layout (candidates are filtered through the
+        // same seeded router the engine uses).
+        let router = ShardRouter::new(shards, DEFAULT_HASH_SEED);
+        let mut loaded = 0u64;
+        let mut candidate = 0u64;
+        while loaded < hot_keys {
+            let key = format!("lone:k{candidate:06}");
+            candidate += 1;
+            if router.shard_of(&key) != 0 {
+                continue;
+            }
+            let mut meta = gdpr_core::metadata::PersonalMetadata::new("lone-subject");
+            meta.purposes
+                .insert(gdprbench::spec::LOAD_PURPOSE.to_string());
+            store
+                .put(&loader, &key, vec![b'x'; 100], meta)
+                .expect("lone load");
+            loaded += 1;
         }
         let auditor = AccessContext::new(Role::Regulator.actor(), Role::Regulator.purpose());
         for (path, f) in [
@@ -208,12 +251,38 @@ fn main() {
                     as Box<dyn Fn() -> u64>,
             ),
             (
+                "keysof-lone",
+                Box::new(|| {
+                    store
+                        .keys_of_subject("lone-subject")
+                        .expect("keysof-lone")
+                        .len() as u64
+                }),
+            ),
+            (
                 "export",
                 Box::new(|| {
                     store
                         .right_to_portability(&auditor, "hot-subject")
                         .expect("export")
                         .len() as u64
+                }),
+            ),
+            (
+                "export-paged",
+                Box::new(|| {
+                    let mut total = 0u64;
+                    let mut cursor = None;
+                    loop {
+                        let page = store
+                            .export_page(&auditor, "hot-subject", cursor.as_ref(), 64)
+                            .expect("export page");
+                        total += page.chunk.len() as u64;
+                        match page.next_cursor {
+                            Some(next) => cursor = Some(next),
+                            None => return total,
+                        }
+                    }
                 }),
             ),
         ] {
@@ -226,7 +295,7 @@ fn main() {
             }
             assert!(checksum > 0, "hot path returned nothing");
             println!(
-                "  {path:<7} shards={shards:<3} p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  max {:>7}us",
+                "  {path:<12} shards={shards:<3} p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  max {:>7}us",
                 hist.percentile_micros(0.50),
                 hist.percentile_micros(0.95),
                 hist.percentile_micros(0.99),

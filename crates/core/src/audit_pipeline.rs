@@ -6,7 +6,7 @@
 //! (sequence numbers and the tamper-evident hash chain need one writer)
 //! but puts a small per-shard buffer in front of it:
 //!
-//! * under **real-time** compliance ([`FlushPolicy::is_real_time`]) every
+//! * under **real-time** compliance ([`crate::policy::ResponseMode::is_real_time`]) every
 //!   record still goes straight to the log — durability before
 //!   acknowledgement is the whole point of that policy, and the cost is
 //!   what Figure 1 measures;

@@ -6,6 +6,266 @@
 //! implements the tiny subset of JSON generation the export needs (objects,
 //! arrays, strings, numbers, booleans) rather than pulling in a full
 //! serializer.
+//!
+//! Besides the [`Json`] tree builder (used for small ad-hoc documents)
+//! the module provides the **streaming export renderer**: the portability
+//! envelope is written as header → items → footer directly into one
+//! reused `String`, so [`crate::store::GdprStore::right_to_portability`]
+//! never materializes a value tree, and the paged wire form
+//! (`GDPR.EXPORT subject CURSOR c [COUNT n]`, see [`ExportCursor`])
+//! produces chunks whose concatenation is byte-identical to the
+//! monolithic export.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use kvstore::object::Bytes;
+
+use crate::metadata::PersonalMetadata;
+
+/// Format tag of the portability envelope. `v2` moved `item_count`
+/// *after* the `items` array so a paged export can stream items without
+/// knowing the final count up front.
+pub const EXPORT_FORMAT: &str = "gdpr-portability-export/v2";
+
+/// Default `COUNT` of a paged export when the client does not send one.
+pub const DEFAULT_EXPORT_PAGE_ITEMS: usize = 128;
+
+/// Append `value`'s decimal digits directly to `out` (no intermediate
+/// `format!` allocation — this runs several times per exported item).
+pub fn write_u64(out: &mut String, value: u64) {
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    let mut v = value;
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[at..]).expect("decimal digits are ASCII"));
+}
+
+fn write_i64(out: &mut String, value: i64) {
+    if value < 0 {
+        out.push('-');
+    }
+    write_u64(out, value.unsigned_abs());
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Streaming form of [`bytes_to_json`]: append the value rendering (UTF-8
+/// passthrough, or `"hex:…"` for binary data) directly to `out`.
+pub fn write_bytes_value(out: &mut String, bytes: &[u8]) {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => write_json_string(out, text),
+        Err(_) => {
+            out.push_str("\"hex:");
+            for b in bytes {
+                out.push(char::from(HEX_DIGITS[(b >> 4) as usize]));
+                out.push(char::from(HEX_DIGITS[(b & 0xf) as usize]));
+            }
+            out.push('"');
+        }
+    }
+}
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
+/// Open the portability envelope: everything up to and including the `[`
+/// of the `items` array. Written exactly once, by the first page (or the
+/// monolithic export).
+pub fn write_export_header(out: &mut String, subject: &str, generated_at_ms: u64) {
+    out.push_str("{\"format\":\"");
+    out.push_str(EXPORT_FORMAT);
+    out.push_str("\",\"subject\":");
+    write_json_string(out, subject);
+    out.push_str(",\"generated_at_ms\":");
+    write_u64(out, generated_at_ms);
+    out.push_str(",\"items\":[");
+}
+
+/// Close the portability envelope. Written exactly once, by the last page
+/// (or the monolithic export); `item_count` is the total across all pages.
+pub fn write_export_footer(out: &mut String, item_count: u64) {
+    out.push_str("],\"item_count\":");
+    write_u64(out, item_count);
+    out.push('}');
+}
+
+/// Append one exported item. `emitted_before` is the number of items
+/// already in the `items` array across *all* pages — it decides whether a
+/// separating comma is needed, which is what makes page concatenation
+/// byte-identical to the monolithic render.
+pub fn write_export_item(
+    out: &mut String,
+    emitted_before: u64,
+    key: &str,
+    metadata: &PersonalMetadata,
+    value: Option<&[u8]>,
+    fields: Option<&BTreeMap<String, Bytes>>,
+) {
+    if emitted_before > 0 {
+        out.push(',');
+    }
+    out.push_str("{\"key\":");
+    write_json_string(out, key);
+    out.push_str(",\"subject\":");
+    write_json_string(out, &metadata.subject);
+    out.push_str(",\"purposes\":[");
+    for (i, purpose) in metadata.purposes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, purpose);
+    }
+    out.push_str("],\"recipients\":[");
+    for (i, recipient) in metadata.recipients.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, recipient);
+    }
+    out.push_str("],\"origin\":");
+    write_json_string(out, &metadata.origin);
+    out.push_str(",\"location\":");
+    write_json_string(out, metadata.location.as_str());
+    out.push_str(",\"expires_at_ms\":");
+    match metadata.expires_at_ms {
+        Some(ms) => write_u64(out, ms),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"automated_decisions\":");
+    out.push_str(if metadata.automated_decisions {
+        "true"
+    } else {
+        "false"
+    });
+    if let Some(value) = value {
+        out.push_str(",\"value\":");
+        write_bytes_value(out, value);
+    }
+    if let Some(fields) = fields {
+        out.push_str(",\"fields\":{");
+        for (i, (field, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, field);
+            out.push(':');
+            write_bytes_value(out, value);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Resumption cursor of a paged export (`GDPR.EXPORT subject CURSOR c`).
+///
+/// The cursor is a *position in the sorted key list*, identified by the
+/// last key the previous page consumed — not by an index — so it stays
+/// stable while the keyspace changes underneath:
+///
+/// * keys **erased after the cursor was handed out** are simply absent
+///   when the next page re-reads the index — they may be omitted from the
+///   export, but erased data is never served;
+/// * keys erased *before* the cursor position cannot shift later keys
+///   into or out of a page (resumption is `key > last_key`, and the
+///   per-subject key list is always read in sorted order);
+/// * keys inserted mid-export are included iff they sort after the
+///   cursor position.
+///
+/// Clients treat the token as opaque: `"0"` starts an export, and each
+/// reply carries the token for the next page (`"0"` again when done).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportCursor {
+    /// Items rendered by all previous pages (lets the final page close
+    /// the envelope with the exact `item_count`, and decides comma
+    /// placement so pages concatenate byte-identically).
+    pub emitted: u64,
+    /// Last key the previous page consumed; the next page resumes at the
+    /// first subject key strictly greater than this.
+    pub last_key: String,
+}
+
+impl ExportCursor {
+    /// Encode into the opaque wire token (`v2:<emitted>:<hex(last_key)>`).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(8 + self.last_key.len() * 2);
+        out.push_str("v2:");
+        write_u64(&mut out, self.emitted);
+        out.push(':');
+        for b in self.last_key.as_bytes() {
+            out.push(char::from(HEX_DIGITS[(b >> 4) as usize]));
+            out.push(char::from(HEX_DIGITS[(b & 0xf) as usize]));
+        }
+        out
+    }
+
+    /// Parse a wire token.
+    ///
+    /// Returns `None` for a malformed token, `Some(None)` for the start
+    /// token `"0"`, and `Some(Some(cursor))` for a resumption point.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Option<Self>> {
+        if token == "0" {
+            return Some(None);
+        }
+        let rest = token.strip_prefix("v2:")?;
+        let (emitted, hex_key) = rest.split_once(':')?;
+        let emitted = emitted.parse().ok()?;
+        let last_key = String::from_utf8(hex_decode(hex_key)?).ok()?;
+        Some(Some(ExportCursor { emitted, last_key }))
+    }
+}
+
+/// One page produced by [`crate::store::GdprStore::export_page`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportPage {
+    /// The rendered chunk. Concatenating every page's chunk in order
+    /// yields exactly the monolithic export document.
+    pub chunk: String,
+    /// Cursor for the next page, or `None` when this page closed the
+    /// envelope (the wire layer encodes `None` as the token `"0"`).
+    pub next_cursor: Option<ExportCursor>,
+    /// Items rendered into this chunk.
+    pub items_rendered: u64,
+}
 
 /// A JSON value under construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,26 +316,15 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Number(n) => {
                 if n.fract() == 0.0 && n.abs() < 9.0e15 {
-                    out.push_str(&format!("{}", *n as i64));
+                    write_i64(out, *n as i64);
                 } else {
-                    out.push_str(&format!("{n}"));
+                    // Non-integral numbers are rare (nothing in the export
+                    // produces them today); `write!` still appends in place
+                    // without a temporary String.
+                    let _ = write!(out, "{n}");
                 }
             }
-            Json::String(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
+            Json::String(s) => write_json_string(out, s),
             Json::Array(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -92,7 +341,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    Json::String(key.clone()).write(out);
+                    write_json_string(out, key);
                     out.push(':');
                     value.write(out);
                 }
@@ -186,5 +435,61 @@ mod tests {
     #[test]
     fn large_integers_keep_integer_form() {
         assert_eq!(Json::integer(1_700_000_000_000).render(), "1700000000000");
+    }
+
+    #[test]
+    fn write_u64_matches_display() {
+        for v in [0u64, 1, 9, 10, 42, 999, 1_000, u64::MAX] {
+            let mut out = String::new();
+            write_u64(&mut out, v);
+            assert_eq!(out, v.to_string());
+        }
+    }
+
+    #[test]
+    fn negative_numbers_render() {
+        assert_eq!(Json::Number(-42.0).render(), "-42");
+        assert_eq!(Json::Number(-1.5).render(), "-1.5");
+    }
+
+    #[test]
+    fn streamed_bytes_match_tree_renderer() {
+        for case in [&b"plain text"[..], &[0xff, 0xfe, 0x00], b"quo\"te\n"] {
+            let mut streamed = String::new();
+            write_bytes_value(&mut streamed, case);
+            assert_eq!(streamed, bytes_to_json(case).render());
+        }
+    }
+
+    #[test]
+    fn export_cursor_roundtrips() {
+        let cursor = ExportCursor {
+            emitted: 17,
+            last_key: "user:alice:email \u{1F512}".to_string(),
+        };
+        let token = cursor.encode();
+        assert_eq!(ExportCursor::parse(&token), Some(Some(cursor)));
+        assert_eq!(ExportCursor::parse("0"), Some(None));
+    }
+
+    #[test]
+    fn malformed_cursors_are_rejected() {
+        for bad in ["", "1", "v2:", "v2:abc", "v2:1:zz", "v2:1:abc", "v1:1:ab"] {
+            assert_eq!(ExportCursor::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn export_envelope_streams_to_valid_shape() {
+        let mut out = String::new();
+        write_export_header(&mut out, "alice", 1_000);
+        let meta = PersonalMetadata::new("alice").with_purpose("billing");
+        write_export_item(&mut out, 0, "k1", &meta, Some(b"v1"), None);
+        write_export_item(&mut out, 1, "k2", &meta, Some(b"v2"), None);
+        write_export_footer(&mut out, 2);
+        assert!(out.starts_with("{\"format\":\"gdpr-portability-export/v2\""));
+        assert!(out.contains("\"items\":[{\"key\":\"k1\""));
+        assert!(out.contains("},{\"key\":\"k2\""));
+        assert!(out.ends_with("],\"item_count\":2}"));
     }
 }

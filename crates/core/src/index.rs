@@ -14,10 +14,108 @@
 //! cross-shard queries (`right_to_erasure`, `right_of_access`, …) merge
 //! over all segments.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
-use kvstore::shard::ShardRouter;
+use kvstore::shard::{hash_key, ShardRouter};
 use parking_lot::Mutex;
+
+/// Number of independently locked stripes in a [`SubjectPresence`] map.
+/// Presence updates ride inside the per-key mutation bracket, so the
+/// stripe lock is only ever held for a hash-map poke; 16 stripes keep
+/// cross-shard writers from serializing on one mutex.
+const PRESENCE_STRIPES: usize = 16;
+
+/// Which index segments currently hold postings for which subjects.
+///
+/// `keys_of_subject` historically locked and searched *every* segment,
+/// which made the per-subject fan-out scale with the shard count even
+/// though a subject's keys usually live in a few segments (one, in the
+/// worst measured case). This map answers "which segments can possibly
+/// hold this subject?" without touching any segment lock.
+///
+/// The map is keyed by the seeded FNV hash of the subject (subjects ≪
+/// 2^64) and stores a per-shard count of *distinct subjects with that
+/// hash* present in the shard. Counting distinct subjects — rather than
+/// keeping one bit — keeps the map exact under hash collisions: a shard's
+/// entry only drops to zero when every colliding subject has left, so a
+/// set bit can over-approximate but a cleared bit is always truthful.
+/// Maintenance happens inside the existing per-key mutation brackets
+/// ([`ShardedMetadataIndex::with_key_segment`]): the bracket that removes
+/// a subject's last posting from a segment is the one that decrements the
+/// count, so erasure clears presence exactly when the last posting dies.
+#[derive(Debug)]
+pub struct SubjectPresence {
+    stripes: Vec<Mutex<HashMap<u64, Vec<u32>>>>,
+    seed: u64,
+}
+
+impl SubjectPresence {
+    fn new(seed: u64) -> Self {
+        SubjectPresence {
+            stripes: (0..PRESENCE_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            seed,
+        }
+    }
+
+    fn stripe_of(&self, hash: u64) -> usize {
+        (hash >> 32) as usize % PRESENCE_STRIPES
+    }
+
+    /// A subject gained its first posting in `shard`.
+    fn note_added(&self, subject: &str, shard: usize, shards: usize) {
+        let hash = hash_key(self.seed, subject);
+        let mut stripe = self.stripes[self.stripe_of(hash)].lock();
+        let counts = stripe.entry(hash).or_insert_with(|| vec![0; shards]);
+        if counts.len() < shards {
+            counts.resize(shards, 0);
+        }
+        counts[shard] += 1;
+    }
+
+    /// A subject lost its last posting in `shard`.
+    fn note_removed(&self, subject: &str, shard: usize) {
+        let hash = hash_key(self.seed, subject);
+        let mut stripe = self.stripes[self.stripe_of(hash)].lock();
+        if let Some(counts) = stripe.get_mut(&hash) {
+            if let Some(count) = counts.get_mut(shard) {
+                *count = count.saturating_sub(1);
+            }
+            if counts.iter().all(|&c| c == 0) {
+                stripe.remove(&hash);
+            }
+        }
+    }
+
+    /// The shards that may hold postings for `subject`, ascending. Exact
+    /// up to subject-hash collisions (a collision can add shards, never
+    /// hide one).
+    #[must_use]
+    pub fn shards_with(&self, subject: &str) -> Vec<usize> {
+        let hash = hash_key(self.seed, subject);
+        let stripe = self.stripes[self.stripe_of(hash)].lock();
+        match stripe.get(&hash) {
+            Some(counts) => counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, _)| i)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The presence bitmap for `subject`: bit `shard % 64` is set when the
+    /// shard may hold postings for the subject.
+    #[must_use]
+    pub fn shard_mask(&self, subject: &str) -> u64 {
+        self.shards_with(subject)
+            .into_iter()
+            .fold(0u64, |mask, shard| mask | (1u64 << (shard % 64)))
+    }
+}
 
 /// In-memory inverted indexes over the GDPR metadata.
 ///
@@ -30,6 +128,12 @@ pub struct MetadataIndex {
     by_purpose: BTreeMap<String, BTreeSet<String>>,
     /// Number of index mutations performed (used by the ablation bench).
     updates: u64,
+    /// Set when this index is a segment of a [`ShardedMetadataIndex`]:
+    /// `(shard id, total shards, shared presence map)`. Mutations then
+    /// keep the presence map in sync — the caller already holds this
+    /// segment's lock, so subject arrival/departure here is exactly the
+    /// first/last posting transition.
+    presence: Option<(usize, usize, Arc<SubjectPresence>)>,
 }
 
 impl MetadataIndex {
@@ -41,6 +145,7 @@ impl MetadataIndex {
 
     /// Index `key` as belonging to `subject` with the given purposes.
     pub fn insert(&mut self, key: &str, subject: &str, purposes: impl IntoIterator<Item = String>) {
+        let subject_is_new = !self.by_subject.contains_key(subject);
         self.by_subject
             .entry(subject.to_string())
             .or_default()
@@ -52,12 +157,20 @@ impl MetadataIndex {
                 .insert(key.to_string());
         }
         self.updates += 1;
+        if subject_is_new {
+            if let Some((shard, shards, presence)) = &self.presence {
+                presence.note_added(subject, *shard, *shards);
+            }
+        }
     }
 
     /// Remove `key` from every posting list.
     pub fn remove(&mut self, key: &str) {
-        self.by_subject.retain(|_, keys| {
-            keys.remove(key);
+        let mut departed: Vec<String> = Vec::new();
+        self.by_subject.retain(|subject, keys| {
+            if keys.remove(key) && keys.is_empty() {
+                departed.push(subject.clone());
+            }
             !keys.is_empty()
         });
         self.by_purpose.retain(|_, keys| {
@@ -65,6 +178,11 @@ impl MetadataIndex {
             !keys.is_empty()
         });
         self.updates += 1;
+        if let Some((shard, _, presence)) = &self.presence {
+            for subject in &departed {
+                presence.note_removed(subject, *shard);
+            }
+        }
     }
 
     /// Remove `key` from one purpose's posting list (used when an objection
@@ -123,6 +241,11 @@ impl MetadataIndex {
 
     /// Clear the index (before a rebuild).
     pub fn clear(&mut self) {
+        if let Some((shard, _, presence)) = &self.presence {
+            for subject in self.by_subject.keys() {
+                presence.note_removed(subject, *shard);
+            }
+        }
         self.by_subject.clear();
         self.by_purpose.clear();
     }
@@ -135,22 +258,62 @@ impl MetadataIndex {
 pub struct ShardedMetadataIndex {
     segments: Vec<Mutex<MetadataIndex>>,
     router: ShardRouter,
+    presence: Arc<SubjectPresence>,
 }
 
 impl ShardedMetadataIndex {
     /// An empty index aligned with `router`'s shard layout.
     #[must_use]
     pub fn new(router: ShardRouter) -> Self {
-        let segments = (0..router.shard_count())
-            .map(|_| Mutex::new(MetadataIndex::new()))
+        let presence = Arc::new(SubjectPresence::new(router.seed()));
+        let shards = router.shard_count();
+        let segments = (0..shards)
+            .map(|shard| {
+                let mut segment = MetadataIndex::new();
+                segment.presence = Some((shard, shards, Arc::clone(&presence)));
+                Mutex::new(segment)
+            })
             .collect();
-        ShardedMetadataIndex { segments, router }
+        ShardedMetadataIndex {
+            segments,
+            router,
+            presence,
+        }
     }
 
     /// Number of segments (= engine shards).
     #[must_use]
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// The segment (= engine shard) owning `key`.
+    #[must_use]
+    pub fn shard_of(&self, key: &str) -> usize {
+        self.router.shard_of(key)
+    }
+
+    /// The per-subject shard-presence map (which segments may hold
+    /// postings for a subject).
+    #[must_use]
+    pub fn presence(&self) -> &SubjectPresence {
+        &self.presence
+    }
+
+    /// Run `f` while holding the lock of segment `shard`.
+    ///
+    /// This is the batched sibling of [`Self::with_key_segment`]: a caller
+    /// that has already grouped keys by [`Self::shard_of`] can read or
+    /// mutate every key of one segment under a single lock acquisition.
+    /// The same bracket rules apply — same segment → engine lock order,
+    /// and the closure must use the provided segment, not re-enter `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn with_segment<R>(&self, shard: usize, f: impl FnOnce(&mut MetadataIndex) -> R) -> R {
+        let mut segment = self.segments[shard].lock();
+        f(&mut segment)
     }
 
     /// Run `f` while holding the lock of `key`'s segment.
@@ -189,12 +352,17 @@ impl ShardedMetadataIndex {
 
     /// Every key owned by `subject`, merged across segments in
     /// lexicographic order.
+    ///
+    /// Only the segments the presence map lists for the subject are
+    /// locked, so the fan-out cost tracks where the subject's data
+    /// actually lives instead of the shard count.
     #[must_use]
     pub fn keys_of_subject(&self, subject: &str) -> Vec<String> {
         let mut keys: Vec<String> = self
-            .segments
-            .iter()
-            .flat_map(|s| s.lock().keys_of_subject(subject))
+            .presence
+            .shards_with(subject)
+            .into_iter()
+            .flat_map(|shard| self.segments[shard].lock().keys_of_subject(subject))
             .collect();
         keys.sort();
         keys
@@ -235,12 +403,14 @@ impl ShardedMetadataIndex {
         set.into_iter().collect()
     }
 
-    /// Number of keys indexed for `subject` across all segments.
+    /// Number of keys indexed for `subject` across all segments (pruned
+    /// by the presence map, like [`Self::keys_of_subject`]).
     #[must_use]
     pub fn subject_key_count(&self, subject: &str) -> usize {
-        self.segments
-            .iter()
-            .map(|s| s.lock().subject_key_count(subject))
+        self.presence
+            .shards_with(subject)
+            .into_iter()
+            .map(|shard| self.segments[shard].lock().subject_key_count(subject))
             .sum()
     }
 
@@ -367,6 +537,118 @@ mod tests {
         assert!(idx.keys_for_purpose("analytics").is_empty());
         idx.clear();
         assert!(idx.subjects().is_empty());
+    }
+
+    #[test]
+    fn presence_map_tracks_arrival_and_departure() {
+        let idx = ShardedMetadataIndex::new(ShardRouter::new(4, 7));
+        assert!(idx.presence().shards_with("alice").is_empty());
+        assert_eq!(idx.presence().shard_mask("alice"), 0);
+        for i in 0..16 {
+            idx.insert(&format!("a:{i}"), "alice", ["p".to_string()]);
+        }
+        let shards = idx.presence().shards_with("alice");
+        assert!(!shards.is_empty());
+        // Presence lists exactly the segments that hold postings.
+        for shard in 0..idx.segment_count() {
+            let holds = idx.with_segment(shard, |s| !s.keys_of_subject("alice").is_empty());
+            assert_eq!(shards.contains(&shard), holds, "shard {shard}");
+        }
+        // Erasing all keys clears every bit.
+        for i in 0..16 {
+            idx.remove(&format!("a:{i}"));
+        }
+        assert!(idx.presence().shards_with("alice").is_empty());
+        assert!(idx.keys_of_subject("alice").is_empty());
+    }
+
+    #[test]
+    fn presence_map_survives_clear_and_reinsert() {
+        let idx = ShardedMetadataIndex::new(ShardRouter::new(4, 7));
+        idx.insert("k1", "alice", ["p".to_string()]);
+        idx.insert("k2", "bob", ["p".to_string()]);
+        idx.clear();
+        assert!(idx.presence().shards_with("alice").is_empty());
+        assert!(idx.presence().shards_with("bob").is_empty());
+        idx.insert("k1", "alice", ["p".to_string()]);
+        assert_eq!(idx.keys_of_subject("alice"), vec!["k1"]);
+    }
+
+    #[test]
+    fn presence_counts_stay_exact_for_colliding_subjects() {
+        // Two different subjects hashing to the same stripe entry must not
+        // clear each other's presence: the map counts distinct subjects per
+        // shard, so the bit drops only when both are gone. Exercised here
+        // with same-shard subjects (hash collisions are impractical to
+        // construct; the per-shard count logic is identical).
+        let idx = ShardedMetadataIndex::new(ShardRouter::new(1, 7));
+        idx.insert("k1", "alice", ["p".to_string()]);
+        idx.insert("k2", "bob", ["p".to_string()]);
+        idx.remove("k1");
+        assert!(idx.presence().shards_with("alice").is_empty());
+        assert_eq!(idx.presence().shards_with("bob"), vec![0]);
+        assert_eq!(idx.keys_of_subject("bob"), vec!["k2"]);
+    }
+
+    // The pruned cross-segment queries must agree with an exact reference
+    // (a single unsharded MetadataIndex) under arbitrary interleavings of
+    // insert / remove / remove_purpose / clear.
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig { cases: 64 })]
+        #[test]
+        fn pruned_queries_match_exact_index(
+            ops in proptest::collection::vec(
+                ((0u8..100, 0u8..12), (0u8..4, 0u8..3)),
+                1..120,
+            ),
+            shards in 1usize..9,
+        ) {
+            let sharded = ShardedMetadataIndex::new(ShardRouter::new(shards, 7));
+            let mut exact = MetadataIndex::new();
+            for ((op, key), (subject, purpose)) in ops {
+                let key = format!("key:{key:02}");
+                let subject = format!("subject:{subject}");
+                let purpose = format!("purpose:{purpose}");
+                match op {
+                    0..=59 => {
+                        sharded.insert(&key, &subject, [purpose.clone()]);
+                        exact.insert(&key, &subject, [purpose]);
+                    }
+                    60..=89 => {
+                        sharded.remove(&key);
+                        exact.remove(&key);
+                    }
+                    90..=97 => {
+                        sharded.remove_purpose(&key, &purpose);
+                        exact.remove_purpose(&key, &purpose);
+                    }
+                    _ => {
+                        sharded.clear();
+                        exact.clear();
+                    }
+                }
+            }
+            for s in 0..12 {
+                let subject = format!("subject:{s}");
+                proptest::prop_assert_eq!(
+                    sharded.keys_of_subject(&subject),
+                    exact.keys_of_subject(&subject)
+                );
+                proptest::prop_assert_eq!(
+                    sharded.subject_key_count(&subject),
+                    exact.subject_key_count(&subject)
+                );
+                // A cleared presence bit is always truthful: no segment may
+                // still hold postings for the subject.
+                let shards_with = sharded.presence().shards_with(&subject);
+                for shard in 0..sharded.segment_count() {
+                    if !shards_with.contains(&shard) {
+                        proptest::prop_assert!(sharded
+                            .with_segment(shard, |seg| seg.keys_of_subject(&subject).is_empty()));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -75,7 +75,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod acl;
 pub mod audit_pipeline;

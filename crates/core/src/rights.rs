@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use audit::record::{AuditRecord, Operation};
 use kvstore::object::Bytes;
 
-use crate::export::{bytes_to_json, Json};
+use crate::export::{self, ExportCursor, ExportPage};
 use crate::metadata::PersonalMetadata;
 use crate::store::{AccessContext, GdprStore};
 use crate::Result;
@@ -49,6 +49,13 @@ pub struct SubjectDataItem {
     pub fields: Option<BTreeMap<String, Bytes>>,
     /// The GDPR metadata attached to the value.
     pub metadata: PersonalMetadata,
+}
+
+/// Per-key state fetched under the segment lock during an export page.
+struct ItemData {
+    metadata: PersonalMetadata,
+    value: Option<Bytes>,
+    fields: Option<BTreeMap<String, Bytes>>,
 }
 
 /// Result of a right-to-be-forgotten request.
@@ -222,65 +229,175 @@ impl GdprStore {
 
     /// Article 20: export all of a subject's data as machine-readable JSON.
     ///
+    /// The document is streamed into one buffer by the chunked renderer in
+    /// [`crate::export`] — the same renderer the paged wire form uses — so
+    /// a monolithic export is exactly the concatenation of all pages.
+    ///
     /// # Errors
     ///
     /// Returns storage or corruption errors.
     pub fn right_to_portability(&self, ctx: &AccessContext, subject: &str) -> Result<String> {
         let _timed = self.rights_timing.export.start_timer();
-        let report = self.right_of_access(ctx, subject)?;
-        let items: Vec<Json> = report
-            .items
-            .iter()
-            .map(|item| {
-                let mut object = Json::object()
-                    .field("key", Json::string(&item.key))
-                    .field("subject", Json::string(&item.metadata.subject))
-                    .field(
-                        "purposes",
-                        Json::Array(item.metadata.purposes.iter().map(Json::string).collect()),
-                    )
-                    .field(
-                        "recipients",
-                        Json::Array(item.metadata.recipients.iter().map(Json::string).collect()),
-                    )
-                    .field("origin", Json::string(&item.metadata.origin))
-                    .field("location", Json::string(item.metadata.location.as_str()))
-                    .field(
-                        "expires_at_ms",
-                        item.metadata
-                            .expires_at_ms
-                            .map_or(Json::Null, Json::integer),
-                    )
-                    .field(
-                        "automated_decisions",
-                        Json::Bool(item.metadata.automated_decisions),
-                    );
-                if let Some(value) = &item.value {
-                    object = object.field("value", bytes_to_json(value));
-                }
-                if let Some(fields) = &item.fields {
-                    object = object.field(
-                        "fields",
-                        Json::Object(
-                            fields
-                                .iter()
-                                .map(|(f, v)| (f.clone(), bytes_to_json(v)))
-                                .collect(),
-                        ),
-                    );
-                }
-                object.build()
-            })
-            .collect();
+        let now = self.now_ms();
+        let mut out = String::with_capacity(1024);
+        let (emitted, next) = self.render_export(subject, None, None, now, &mut out)?;
+        debug_assert!(next.is_none(), "unpaged export must complete");
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
+                .subject(subject)
+                .purpose(&ctx.purpose)
+                .detail(&format!("art.20 portability export: {emitted} items")),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(out)
+    }
 
-        let export = Json::object()
-            .field("format", Json::string("gdpr-portability-export/v1"))
-            .field("subject", Json::string(subject))
-            .field("generated_at_ms", Json::integer(report.generated_at_ms))
-            .field("item_count", Json::integer(items.len() as u64))
-            .field("items", Json::Array(items))
-            .build();
-        Ok(export.render())
+    /// Article 20, paged: render one page of the portability export.
+    ///
+    /// `cursor` is `None` for the first page; subsequent pages pass the
+    /// cursor returned by the previous one. `count` bounds the number of
+    /// subject keys consumed by this page (clamped to at least 1).
+    /// Concatenating every page's `chunk` in order yields exactly the
+    /// monolithic [`Self::right_to_portability`] document; see
+    /// [`ExportCursor`] for the resumption semantics under concurrent
+    /// erasure.
+    ///
+    /// # Errors
+    ///
+    /// Returns storage or corruption errors.
+    pub fn export_page(
+        &self,
+        ctx: &AccessContext,
+        subject: &str,
+        cursor: Option<&ExportCursor>,
+        count: usize,
+    ) -> Result<ExportPage> {
+        let _timed = self.rights_timing.export.start_timer();
+        let now = self.now_ms();
+        let mut chunk = String::with_capacity(1024);
+        let (emitted, next_cursor) =
+            self.render_export(subject, cursor, Some(count.max(1)), now, &mut chunk)?;
+        self.emit_audit(
+            AuditRecord::new(now, &ctx.actor, Operation::RightsRequest)
+                .subject(subject)
+                .purpose(&ctx.purpose)
+                .detail(&format!(
+                    "art.20 portability export page: {emitted} items, {}",
+                    if next_cursor.is_some() {
+                        "continued"
+                    } else {
+                        "complete"
+                    }
+                )),
+        );
+        self.flush_audit_if_strict()?;
+        Ok(ExportPage {
+            chunk,
+            next_cursor,
+            items_rendered: emitted,
+        })
+    }
+
+    /// Shared streaming renderer behind the monolithic and paged exports.
+    ///
+    /// Renders up to `max_keys` subject keys (all of them when `None`)
+    /// after the `resume` position into `out`, batching the per-key
+    /// value and metadata-shadow reads by index segment: keys are grouped
+    /// with [`crate::index::ShardedMetadataIndex::shard_of`] and each group is
+    /// read under a single segment-lock acquisition (the same segment →
+    /// engine lock order every mutation bracket uses) instead of paying
+    /// one bracket per item. Returns the number of items rendered in this
+    /// call and the cursor for the next page (`None` when the envelope
+    /// was closed).
+    fn render_export(
+        &self,
+        subject: &str,
+        resume: Option<&ExportCursor>,
+        max_keys: Option<usize>,
+        now_ms: u64,
+        out: &mut String,
+    ) -> Result<(u64, Option<ExportCursor>)> {
+        let mut emitted = resume.map_or(0, |c| c.emitted);
+        let emitted_at_entry = emitted;
+        if resume.is_none() {
+            export::write_export_header(out, subject, now_ms);
+        }
+
+        let keys = self.keys_of_subject(subject)?;
+        let start = match resume {
+            Some(cursor) => keys.partition_point(|k| k.as_str() <= cursor.last_key.as_str()),
+            None => 0,
+        };
+        let end = max_keys.map_or(keys.len(), |max| keys.len().min(start + max));
+        let page_keys = &keys[start..end];
+
+        // Group this page's keys by owning segment, then read value +
+        // shadow under one lock acquisition per segment. A key that
+        // vanished (erased, or past its retention deadline — the engine
+        // expires lazily on read) yields no item.
+        let mut fetched: BTreeMap<&str, ItemData> = BTreeMap::new();
+        let mut by_shard: Vec<Vec<&str>> = vec![Vec::new(); self.index.segment_count()];
+        for key in page_keys {
+            by_shard[self.index.shard_of(key)].push(key);
+        }
+        for (shard, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            self.index.with_segment(shard, |_segment| -> Result<()> {
+                for &key in group {
+                    let Some(metadata) = self.load_metadata(key)? else {
+                        continue;
+                    };
+                    // Values can be plain strings or multi-field records.
+                    let fields = self.kv.hgetall(key).ok().flatten();
+                    let value = if fields.is_some() {
+                        None
+                    } else {
+                        self.kv.get(key)?
+                    };
+                    fetched.insert(
+                        key,
+                        ItemData {
+                            metadata,
+                            value,
+                            fields,
+                        },
+                    );
+                }
+                Ok(())
+            })?;
+        }
+
+        for key in page_keys {
+            if let Some(item) = fetched.get(key.as_str()) {
+                export::write_export_item(
+                    out,
+                    emitted,
+                    key,
+                    &item.metadata,
+                    item.value.as_deref(),
+                    item.fields.as_ref(),
+                );
+                emitted += 1;
+            }
+        }
+
+        if end < keys.len() {
+            Ok((
+                emitted - emitted_at_entry,
+                Some(ExportCursor {
+                    emitted,
+                    last_key: page_keys
+                        .last()
+                        .expect("non-final page consumed at least one key")
+                        .clone(),
+                }),
+            ))
+        } else {
+            export::write_export_footer(out, emitted);
+            Ok((emitted - emitted_at_entry, None))
+        }
     }
 
     /// Article 21: record an objection against `purpose` on every key of
@@ -347,9 +464,32 @@ mod tests {
     use crate::metadata::Region;
     use crate::policy::CompliancePolicy;
     use crate::GdprError;
+    use audit::sink::MemorySink;
+    use kvstore::clock::SimClock;
+    use kvstore::config::StoreConfig;
 
     fn ctx() -> AccessContext {
         AccessContext::new("app", "billing")
+    }
+
+    /// Drive a paged export to completion, returning the concatenated
+    /// chunks and the number of pages.
+    fn paged_export(store: &GdprStore, subject: &str, count: usize) -> (String, usize) {
+        let mut out = String::new();
+        let mut cursor: Option<ExportCursor> = None;
+        let mut pages = 0;
+        loop {
+            let page = store
+                .export_page(&ctx(), subject, cursor.as_ref(), count)
+                .unwrap();
+            out.push_str(&page.chunk);
+            pages += 1;
+            match page.next_cursor {
+                Some(next) => cursor = Some(next),
+                None => break,
+            }
+        }
+        (out, pages)
     }
 
     fn store_with_data(policy: CompliancePolicy) -> GdprStore {
@@ -450,6 +590,100 @@ mod tests {
             !json.contains("bob@example.com"),
             "other subjects' data must not leak"
         );
+    }
+
+    #[test]
+    fn paged_export_concatenates_to_the_monolithic_document() {
+        // Pin the clock so the monolithic and paged runs stamp the same
+        // generated_at_ms into the envelope header.
+        let clock = SimClock::new(1_000_000);
+        let store = GdprStore::open(
+            CompliancePolicy::eventual(),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .shards(4)
+                .clock(clock),
+            Box::new(MemorySink::new()),
+        )
+        .unwrap();
+        store.grant(Grant::new("app", "billing"));
+        for i in 0..37 {
+            let meta = PersonalMetadata::new("alice").with_purpose("billing");
+            store
+                .put(&ctx(), &format!("user:alice:{i:03}"), vec![b'x'; 40], meta)
+                .unwrap();
+        }
+        let monolithic = store.right_to_portability(&ctx(), "alice").unwrap();
+        for count in [1, 5, 36, 37, 100] {
+            let (paged, pages) = paged_export(&store, "alice", count);
+            assert_eq!(paged, monolithic, "count={count}");
+            assert_eq!(pages, 37usize.div_ceil(count).max(1), "count={count}");
+        }
+        // Unknown subject: a single page closing an empty envelope.
+        let (empty, pages) = paged_export(&store, "nobody", 10);
+        assert_eq!(pages, 1);
+        assert_eq!(empty, store.right_to_portability(&ctx(), "nobody").unwrap());
+        assert!(empty.contains("\"items\":[]"));
+        assert!(empty.contains("\"item_count\":0"));
+    }
+
+    #[test]
+    fn erasure_racing_a_paged_export_omits_but_never_serves_erased_keys() {
+        let store = store_with_data(CompliancePolicy::strict());
+        // Page 1: one key consumed, cursor handed out.
+        let first = store.export_page(&ctx(), "alice", None, 1).unwrap();
+        assert_eq!(first.items_rendered, 1);
+        let cursor = first.next_cursor.clone().expect("more pages pending");
+        // Alice is erased between pages.
+        store.right_to_erasure(&ctx(), "alice").unwrap();
+        // Resuming must close the envelope without serving erased data and
+        // without double-counting: item_count reflects what was rendered.
+        let last = store
+            .export_page(&ctx(), "alice", Some(&cursor), 10)
+            .unwrap();
+        assert_eq!(last.items_rendered, 0);
+        assert!(last.next_cursor.is_none());
+        assert!(!last.chunk.contains("alice@example.com"));
+        assert!(!last.chunk.contains("1 Main St"));
+        let document = format!("{}{}", first.chunk, last.chunk);
+        assert!(document.ends_with("\"item_count\":1}"), "{document}");
+    }
+
+    #[test]
+    fn export_omits_keys_past_an_unfired_retention_deadline() {
+        // A subject whose keys straddle an expired-but-unfired deadline:
+        // one key outlives the export, one is past its TTL but the active
+        // expiry cycle has not run. Both export paths must omit the
+        // expired item (the engine expires lazily on read).
+        let clock = SimClock::new(1_000_000);
+        let store = GdprStore::open(
+            CompliancePolicy::strict(),
+            StoreConfig::in_memory()
+                .aof_in_memory()
+                .shards(2)
+                .clock(clock.clone()),
+            Box::new(MemorySink::new()),
+        )
+        .unwrap();
+        store.grant(Grant::new("app", "billing"));
+        let durable = PersonalMetadata::new("erin").with_purpose("billing");
+        let fleeting = PersonalMetadata::new("erin")
+            .with_purpose("billing")
+            .with_ttl_millis(5_000);
+        store
+            .put(&ctx(), "user:erin:keep", b"keep-me".to_vec(), durable)
+            .unwrap();
+        store
+            .put(&ctx(), "user:erin:gone", b"drop-me".to_vec(), fleeting)
+            .unwrap();
+        // Cross the deadline without running the expiry cycle (no tick()).
+        clock.advance_millis(6_000);
+        let monolithic = store.right_to_portability(&ctx(), "erin").unwrap();
+        assert!(monolithic.contains("keep-me"));
+        assert!(!monolithic.contains("drop-me"), "{monolithic}");
+        assert!(monolithic.contains("\"item_count\":1"));
+        let (paged, _) = paged_export(&store, "erin", 1);
+        assert_eq!(paged, monolithic);
     }
 
     #[test]

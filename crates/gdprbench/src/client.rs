@@ -226,6 +226,8 @@ fn op_frame(op: &GdprOp) -> Frame {
         .to_frame(),
         GdprOp::Export { subject } => GdprRequest::Export {
             subject: subject.clone(),
+            cursor: None,
+            count: None,
         }
         .to_frame(),
         GdprOp::Erase { subject } => GdprRequest::Erase {

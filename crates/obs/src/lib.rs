@@ -21,7 +21,7 @@
 //!   rendering for counters, gauges and the histograms above.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hist;
 pub mod prom;

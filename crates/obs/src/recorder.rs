@@ -1,7 +1,7 @@
 //! Always-on concurrent histogram recording.
 //!
 //! [`AtomicHistogram`] is the shared-mutable form of
-//! [`LatencyHistogram`](crate::hist::LatencyHistogram): a small set of
+//! [`LatencyHistogram`]: a small set of
 //! cache-line-aligned *stripes*, each holding atomic bucket counters.
 //! Every thread picks a stripe once (thread-local, round-robin over a
 //! global counter) and then records with relaxed atomic adds only, so a

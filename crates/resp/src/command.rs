@@ -207,11 +207,24 @@ pub enum GdprRequest {
         /// The data subject whose keys are erased.
         subject: String,
     },
-    /// `GDPR.EXPORT subject` — the right to data portability (Article 20),
-    /// returning a machine-readable JSON export.
+    /// `GDPR.EXPORT subject [CURSOR c [COUNT n]]` — the right to data
+    /// portability (Article 20).
+    ///
+    /// Without `CURSOR` the reply is one bulk string holding the whole
+    /// machine-readable JSON export. With `CURSOR` the export is paged:
+    /// `CURSOR 0` starts it, the reply is a two-element array
+    /// `[next_cursor, chunk]`, and the client resends the returned cursor
+    /// until it reads `0`. Concatenating the chunks in order yields
+    /// exactly the monolithic document; `COUNT` bounds the subject keys
+    /// consumed per page (server default when omitted).
     Export {
         /// The data subject whose data is exported.
         subject: String,
+        /// Paged form: the resumption cursor token (`"0"` = first page).
+        /// `None` selects the monolithic single-reply form.
+        cursor: Option<String>,
+        /// Paged form: maximum subject keys consumed by this page.
+        count: Option<u64>,
     },
     /// `GDPR.OBJECT subject purpose` — record an objection (Article 21).
     Object {
@@ -320,15 +333,39 @@ impl GdprRequest {
                     },
                 }
             }
-            "GDPR.KEYSOF" | "GDPR.ERASE" | "GDPR.EXPORT" => {
+            "GDPR.KEYSOF" | "GDPR.ERASE" => {
                 if cmd.arity() != 1 {
                     return Err(arity("subject"));
                 }
                 let subject = cmd.arg_str(0)?.to_string();
                 match cmd.name.as_str() {
                     "GDPR.KEYSOF" => GdprRequest::KeysOf { subject },
-                    "GDPR.ERASE" => GdprRequest::Erase { subject },
-                    _ => GdprRequest::Export { subject },
+                    _ => GdprRequest::Erase { subject },
+                }
+            }
+            "GDPR.EXPORT" => {
+                if cmd.arity() != 1 && cmd.arity() != 3 && cmd.arity() != 5 {
+                    return Err(arity("subject [CURSOR cursor [COUNT n]]"));
+                }
+                let subject = cmd.arg_str(0)?.to_string();
+                let mut cursor = None;
+                let mut count = None;
+                if cmd.arity() >= 3 {
+                    if !cmd.arg_str(1)?.eq_ignore_ascii_case("CURSOR") {
+                        return Err(arity("subject [CURSOR cursor [COUNT n]]"));
+                    }
+                    cursor = Some(cmd.arg_str(2)?.to_string());
+                }
+                if cmd.arity() == 5 {
+                    if !cmd.arg_str(3)?.eq_ignore_ascii_case("COUNT") {
+                        return Err(arity("subject [CURSOR cursor [COUNT n]]"));
+                    }
+                    count = Some(cmd.arg_u64(4)?);
+                }
+                GdprRequest::Export {
+                    subject,
+                    cursor,
+                    count,
                 }
             }
             "GDPR.OBJECT" => {
@@ -414,8 +451,21 @@ impl GdprRequest {
             GdprRequest::Erase { subject } => {
                 WireCommand::new("GDPR.ERASE", vec![subject.clone().into_bytes()])
             }
-            GdprRequest::Export { subject } => {
-                WireCommand::new("GDPR.EXPORT", vec![subject.clone().into_bytes()])
+            GdprRequest::Export {
+                subject,
+                cursor,
+                count,
+            } => {
+                let mut args = vec![subject.clone().into_bytes()];
+                if let Some(cursor) = cursor {
+                    args.push(b"CURSOR".to_vec());
+                    args.push(cursor.clone().into_bytes());
+                    if let Some(count) = count {
+                        args.push(b"COUNT".to_vec());
+                        args.push(count.to_string().into_bytes());
+                    }
+                }
+                WireCommand::new("GDPR.EXPORT", args)
             }
             GdprRequest::Object { subject, purpose } => WireCommand::new(
                 "GDPR.OBJECT",
@@ -521,6 +571,18 @@ mod tests {
             },
             GdprRequest::Export {
                 subject: "alice".into(),
+                cursor: None,
+                count: None,
+            },
+            GdprRequest::Export {
+                subject: "alice".into(),
+                cursor: Some("0".into()),
+                count: None,
+            },
+            GdprRequest::Export {
+                subject: "alice".into(),
+                cursor: Some("v2:17:6b6579".into()),
+                count: Some(64),
             },
             GdprRequest::Object {
                 subject: "alice".into(),
@@ -574,6 +636,58 @@ mod tests {
             ],
         );
         assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+    }
+
+    #[test]
+    fn paged_export_parse_errors() {
+        // Wrong keyword in the CURSOR slot.
+        let cmd = WireCommand::new(
+            "GDPR.EXPORT",
+            vec![b"alice".to_vec(), b"PAGE".to_vec(), b"0".to_vec()],
+        );
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+        // COUNT requires CURSOR first (arity 3 with COUNT keyword fails).
+        let cmd = WireCommand::new(
+            "GDPR.EXPORT",
+            vec![b"alice".to_vec(), b"COUNT".to_vec(), b"10".to_vec()],
+        );
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+        // Non-numeric COUNT.
+        let cmd = WireCommand::new(
+            "GDPR.EXPORT",
+            vec![
+                b"alice".to_vec(),
+                b"CURSOR".to_vec(),
+                b"0".to_vec(),
+                b"COUNT".to_vec(),
+                b"many".to_vec(),
+            ],
+        );
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+        // Dangling arity (4 args).
+        let cmd = WireCommand::new(
+            "GDPR.EXPORT",
+            vec![
+                b"alice".to_vec(),
+                b"CURSOR".to_vec(),
+                b"0".to_vec(),
+                b"COUNT".to_vec(),
+            ],
+        );
+        assert!(GdprRequest::from_wire(&cmd).unwrap().is_err());
+        // Keywords are case-insensitive.
+        let cmd = WireCommand::new(
+            "GDPR.EXPORT",
+            vec![b"alice".to_vec(), b"cursor".to_vec(), b"0".to_vec()],
+        );
+        assert_eq!(
+            GdprRequest::from_wire(&cmd).unwrap().unwrap(),
+            GdprRequest::Export {
+                subject: "alice".into(),
+                cursor: Some("0".into()),
+                count: None,
+            }
+        );
     }
 
     #[test]

@@ -323,11 +323,68 @@ impl TcpRemoteClient {
     pub fn export_subject(&mut self, subject: &str) -> Result<String> {
         match self.gdpr(&GdprRequest::Export {
             subject: subject.to_string(),
+            cursor: None,
+            count: None,
         })? {
             Frame::Bulk(json) => Ok(String::from_utf8_lossy(&json).into_owned()),
             other => Err(ServerError::Server(format!(
                 "unexpected export reply {other:?}"
             ))),
+        }
+    }
+
+    /// `GDPR.EXPORT subject CURSOR cursor [COUNT n]` — one page of the
+    /// Article 20 export. Returns `(next_cursor, chunk)`; pass `"0"` as
+    /// `cursor` for the first page and keep calling with the returned
+    /// cursor until it is `"0"` again.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::roundtrip`], plus a server error for an unexpected
+    /// reply shape.
+    pub fn export_subject_page(
+        &mut self,
+        subject: &str,
+        cursor: &str,
+        count: Option<u64>,
+    ) -> Result<(String, String)> {
+        match self.gdpr(&GdprRequest::Export {
+            subject: subject.to_string(),
+            cursor: Some(cursor.to_string()),
+            count,
+        })? {
+            Frame::Array(items) => match <[Frame; 2]>::try_from(items) {
+                Ok([Frame::Bulk(next), Frame::Bulk(chunk)]) => Ok((
+                    String::from_utf8_lossy(&next).into_owned(),
+                    String::from_utf8_lossy(&chunk).into_owned(),
+                )),
+                other => Err(ServerError::Server(format!(
+                    "unexpected export page reply {other:?}"
+                ))),
+            },
+            other => Err(ServerError::Server(format!(
+                "unexpected export page reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Drive a paged export to completion, concatenating every chunk —
+    /// the result is byte-identical to [`Self::export_subject`] on a
+    /// quiescent subject.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::export_subject_page`].
+    pub fn export_subject_paged(&mut self, subject: &str, count: u64) -> Result<String> {
+        let mut out = String::new();
+        let mut cursor = "0".to_string();
+        loop {
+            let (next, chunk) = self.export_subject_page(subject, &cursor, Some(count))?;
+            out.push_str(&chunk);
+            if next == "0" {
+                return Ok(out);
+            }
+            cursor = next;
         }
     }
 }

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gdpr_core::acl::Grant;
+use gdpr_core::export::{ExportCursor, DEFAULT_EXPORT_PAGE_ITEMS};
 use gdpr_core::metadata::PersonalMetadata;
 use gdpr_core::store::{AccessContext, GdprStore};
 use gdpr_crypto::sha256::Sha256;
@@ -994,14 +995,39 @@ fn dispatch_gdpr(
                 Err(e) => gdpr_err(&e),
             }
         }
-        GdprRequest::Export { subject } => {
+        GdprRequest::Export {
+            subject,
+            cursor,
+            count,
+        } => {
             let ctx = match require_ctx(session) {
                 Ok(ctx) => ctx,
                 Err(e) => return e,
             };
-            match store.right_to_portability(&ctx, subject) {
-                Ok(json) => Frame::Bulk(json.into_bytes()),
-                Err(e) => gdpr_err(&e),
+            match cursor {
+                // Monolithic form: one bulk reply with the whole document.
+                None => match store.right_to_portability(&ctx, subject) {
+                    Ok(json) => Frame::Bulk(json.into_bytes()),
+                    Err(e) => gdpr_err(&e),
+                },
+                // Paged form: `[next_cursor, chunk]`, SCAN-style ("0" ends).
+                Some(token) => match ExportCursor::parse(token) {
+                    None => Frame::Error("ERR invalid export cursor".to_string()),
+                    Some(resume) => {
+                        let count = count.map_or(DEFAULT_EXPORT_PAGE_ITEMS, |n| n as usize);
+                        match store.export_page(&ctx, subject, resume.as_ref(), count) {
+                            Ok(page) => Frame::Array(vec![
+                                Frame::Bulk(
+                                    page.next_cursor
+                                        .map_or_else(|| "0".to_string(), |c| c.encode())
+                                        .into_bytes(),
+                                ),
+                                Frame::Bulk(page.chunk.into_bytes()),
+                            ]),
+                            Err(e) => gdpr_err(&e),
+                        }
+                    }
+                },
             }
         }
         GdprRequest::Object { subject, purpose } => {
@@ -1500,6 +1526,8 @@ mod tests {
         match d.handle_frame(
             &GdprRequest::Export {
                 subject: "bob".into(),
+                cursor: None,
+                count: None,
             }
             .to_frame(),
             &mut session,
